@@ -1,0 +1,438 @@
+package hyperx
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation at laptop scale and reports the headline numbers as custom
+// benchmark metrics, plus ablations over the design choices called out in
+// DESIGN.md and microbenchmarks of the hot substrate paths.
+//
+//	go test -bench=. -benchmem
+//
+// Full-size (paper-scale) regeneration: cmd/experiments -full.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/escape"
+	"repro/internal/experiments"
+	"repro/internal/rng"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/traffic"
+)
+
+// benchBudget keeps one simulated point under a second.
+func benchBudget() experiments.Budget {
+	return experiments.Budget{Warmup: 800, Measure: 1600}
+}
+
+func bench2D() *topo.HyperX { return topo.MustHyperX(4, 4) }
+func bench3D() *topo.HyperX { return topo.MustHyperX(4, 4, 4) }
+
+// BenchmarkTable3_TopologicalParameters regenerates Table 3 on the paper's
+// full-size networks (pure graph computation).
+func BenchmarkTable3_TopologicalParameters(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r2 := experiments.Table3(experiments.Topology2D(experiments.ScaleFull))
+		r3 := experiments.Table3(experiments.Topology3D(experiments.ScaleFull))
+		if r2.Links != 3840 || r3.Links != 5376 {
+			b.Fatal("Table 3 regeneration wrong")
+		}
+	}
+}
+
+// BenchmarkFig1_DiameterUnderFaults regenerates the Figure 1 diameter
+// evolution on a 4x4x4 network.
+func BenchmarkFig1_DiameterUnderFaults(b *testing.B) {
+	h := bench3D()
+	for i := 0; i < b.N; i++ {
+		points := experiments.Fig1(h, []uint64{1}, 32)
+		if len(points) == 0 {
+			b.Fatal("no points")
+		}
+	}
+}
+
+// BenchmarkFig4_2DLoadSweep regenerates the 2D fault-free sweep (Figure 4)
+// at saturation and reports the per-mechanism accepted load on Uniform.
+func BenchmarkFig4_2DLoadSweep(b *testing.B) {
+	var sat map[string]map[string]float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.LoadSweep(experiments.SweepConfig{
+			H:      bench2D(),
+			Loads:  []float64{1.0},
+			Budget: benchBudget(),
+			Seed:   1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sat = experiments.SaturationThroughput(rows)
+	}
+	for mech, v := range sat["Uniform"] {
+		b.ReportMetric(v, "uniform_"+mech)
+	}
+}
+
+// BenchmarkFig5_3DLoadSweep regenerates the 3D sweep (Figure 5) at
+// saturation and reports the RPN column — the paper's separating pattern.
+func BenchmarkFig5_3DLoadSweep(b *testing.B) {
+	var sat map[string]map[string]float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.LoadSweep(experiments.SweepConfig{
+			H:      bench3D(),
+			Loads:  []float64{1.0},
+			Budget: benchBudget(),
+			Seed:   1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sat = experiments.SaturationThroughput(rows)
+	}
+	for mech, v := range sat["Regular Permutation to Neighbour"] {
+		b.ReportMetric(v, "rpn_"+mech)
+	}
+}
+
+// BenchmarkFig6_RandomFaultSweep regenerates the Figure 6 random-fault
+// throughput sweep and reports the healthy and faulty endpoints.
+func BenchmarkFig6_RandomFaultSweep(b *testing.B) {
+	var rows []experiments.Fig6Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Fig6(experiments.Fig6Config{
+			H:         bench3D(),
+			MaxFaults: 20,
+			Step:      10,
+			Patterns:  []string{"Uniform"},
+			Budget:    benchBudget(),
+			Seed:      2,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.Mechanism == "PolSP" && (r.Faults == 0 || r.Faults == 20) {
+			b.ReportMetric(r.Accepted, fmt.Sprintf("polsp_%dfaults", r.Faults))
+		}
+	}
+}
+
+// BenchmarkFig8_2DShapeFaults regenerates the 2D structured-shape bars.
+func BenchmarkFig8_2DShapeFaults(b *testing.B) {
+	benchShapes(b, bench2D())
+}
+
+// BenchmarkFig9_3DShapeFaults regenerates the 3D structured-shape bars
+// (Row, Subcube, Star).
+func BenchmarkFig9_3DShapeFaults(b *testing.B) {
+	benchShapes(b, bench3D())
+}
+
+func benchShapes(b *testing.B, h *topo.HyperX) {
+	b.Helper()
+	var rows []experiments.ShapeRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Shapes(experiments.ShapesConfig{
+			H:        h,
+			Patterns: []string{"Uniform"},
+			Budget:   benchBudget(),
+			Seed:     3,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.Mechanism == "PolSP" {
+			b.ReportMetric(r.Accepted, "polsp_"+r.Shape)
+		}
+	}
+}
+
+// BenchmarkFig10_CompletionTime regenerates the completion-time experiment
+// (RPN burst under the Star shape) and reports the OmniSP/PolSP ratio the
+// paper quotes as 2.8x.
+func BenchmarkFig10_CompletionTime(b *testing.B) {
+	var results []experiments.Fig10Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		results, err = experiments.Fig10(experiments.Fig10Config{
+			H:          bench3D(),
+			BurstPhits: 1600,
+			Seed:       4,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var omni, pol float64
+	for _, r := range results {
+		switch r.Mechanism {
+		case "OmniSP":
+			omni = float64(r.CompletionTime)
+		case "PolSP":
+			pol = float64(r.CompletionTime)
+		}
+	}
+	if pol > 0 {
+		b.ReportMetric(omni/pol, "completion_ratio")
+	}
+}
+
+// BenchmarkAblationEscapeShortcuts compares the three escape rules — the
+// shortcut-free tree (AutoNet baseline), the paper's literal table rule and
+// the phased refinement — while the escape subnetwork carries real load. To
+// force that, SurePath runs over a DOR base on a faulty network: DOR's
+// unique routes break for many pairs, so their traffic is forced onto
+// escape paths. It reproduces the paper's claim that opportunistic
+// shortcuts prevent the escape subnetwork from collapsing to tree
+// throughput ("effectively replacing a deadlock into the marginal
+// throughput of a tree").
+func BenchmarkAblationEscapeShortcuts(b *testing.B) {
+	h := bench3D()
+	seq := topo.RandomFaultSequence(h, 9)
+	nw := topo.NewNetwork(h, topo.NewFaultSet(seq[:40]...))
+	if !nw.Graph().Connected() {
+		b.Fatal("fault draw disconnected the bench network")
+	}
+	pat, err := traffic.NewUniform(h.Switches() * 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, rule := range []escape.Rule{escape.RuleTree, escape.RuleUDTable, escape.RulePhased} {
+		b.Run(rule.String(), func(b *testing.B) {
+			var accepted, escaped float64
+			for i := 0; i < b.N; i++ {
+				alg, err := routing.NewDOR(nw)
+				if err != nil {
+					b.Fatal(err)
+				}
+				mech, err := core.NewWithAlgorithm(nw, alg, 4, core.WithEscapeRule(rule))
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := sim.Run(sim.RunOptions{
+					Net: nw, ServersPerSwitch: 4, Mechanism: mech, Pattern: pat,
+					Load: 1.0, WarmupCycles: 800, MeasureCycles: 1600, Seed: 5,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				accepted, escaped = res.AcceptedLoad, res.EscapeFraction
+			}
+			b.ReportMetric(accepted, "accepted")
+			b.ReportMetric(escaped, "escape_frac")
+		})
+	}
+}
+
+// BenchmarkAblationSurePathVCs sweeps the SurePath VC budget (2 = the
+// functional minimum, 4 = the paper's fault studies, 6 = Table 4 parity),
+// demonstrating the cost/performance trade of Section 6.
+func BenchmarkAblationSurePathVCs(b *testing.B) {
+	h := bench3D()
+	nw := topo.NewNetwork(h, nil)
+	pat, err := traffic.NewUniform(h.Switches() * 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, vcs := range []int{2, 4, 6} {
+		b.Run(fmt.Sprintf("vcs%d", vcs), func(b *testing.B) {
+			var accepted float64
+			for i := 0; i < b.N; i++ {
+				mech, err := core.New(nw, core.PolarizedRoutes, vcs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := sim.Run(sim.RunOptions{
+					Net: nw, ServersPerSwitch: 4, Mechanism: mech, Pattern: pat,
+					Load: 1.0, WarmupCycles: 800, MeasureCycles: 1600, Seed: 6,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				accepted = res.AcceptedLoad
+			}
+			b.ReportMetric(accepted, "accepted")
+		})
+	}
+}
+
+// BenchmarkAblationPenalties sweeps the penalty weight on the RPN pattern
+// with Polarized routes: too high freezes adaptivity at the 0.5 aligned
+// bound, too low deroutes wastefully on benign traffic. The paper's "large
+// regions of similar performance" claim corresponds to the plateau.
+func BenchmarkAblationPenalties(b *testing.B) {
+	h := bench3D()
+	nw := topo.NewNetwork(h, nil)
+	sv := traffic.Servers{H: h, Per: 4}
+	pat, err := traffic.NewRegularPermutationToNeighbour(sv)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range []float64{0, 2, 8} {
+		b.Run(fmt.Sprintf("weight%.0f", w), func(b *testing.B) {
+			cfg := sim.DefaultConfig()
+			cfg.PenaltyWeight = w
+			var accepted float64
+			for i := 0; i < b.N; i++ {
+				alg, err := routing.NewPolarized(nw)
+				if err != nil {
+					b.Fatal(err)
+				}
+				mech, err := routing.NewLadder(alg, 6, 1, "Polarized")
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := sim.Run(sim.RunOptions{
+					Net: nw, ServersPerSwitch: 4, Mechanism: mech, Pattern: pat,
+					Load: 1.0, WarmupCycles: 800, MeasureCycles: 1600, Seed: 7, Config: cfg,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				accepted = res.AcceptedLoad
+			}
+			b.ReportMetric(accepted, "accepted")
+		})
+	}
+}
+
+// BenchmarkExtensionSection7 regenerates the cross-topology escape
+// comparison (paper Section 7): escape stretch and throughput on HyperX vs
+// Torus vs Dragonfly.
+func BenchmarkExtensionSection7(b *testing.B) {
+	var rows []experiments.Section7Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Section7(1, experiments.Budget{Warmup: 600, Measure: 1200})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		name := r.Topology[:4]
+		b.ReportMetric(r.AvgStretch, "stretch_"+name)
+		b.ReportMetric(r.PolSPAccepted, "polsp_"+name)
+	}
+}
+
+// BenchmarkExtensionRecovery regenerates the live-failure recovery
+// timeline: mid-run link failures with BFS table rebuild.
+func BenchmarkExtensionRecovery(b *testing.B) {
+	var results []experiments.RecoveryResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		results, err = experiments.Recovery(experiments.RecoveryConfig{
+			H: bench3D(), Load: 0.5, Faults: 5, Cycles: 6000, Seed: 11,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range results {
+		b.ReportMetric(r.PostFaultAvg, "post_"+r.Mechanism)
+		b.ReportMetric(float64(r.LostPackets), "lost_"+r.Mechanism)
+	}
+}
+
+// --- Microbenchmarks of the substrate hot paths. ---
+
+// BenchmarkBFS measures one BFS over the paper's 8x8x8 network.
+func BenchmarkBFS(b *testing.B) {
+	g := topo.MustHyperX(8, 8, 8).Graph()
+	dist := make([]int32, g.N())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.BFS(int32(i%g.N()), dist)
+	}
+}
+
+// BenchmarkDistanceTables measures the all-pairs BFS rebuild the routing
+// tables need after every failure (the paper argues this cost matches
+// Minimal routing).
+func BenchmarkDistanceTables(b *testing.B) {
+	nw := topo.NewNetwork(topo.MustHyperX(8, 8, 8), nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := routing.BuildTables(nw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEscapeBuild measures the escape subnetwork construction
+// (levels, Up/Down and descent tables) on the paper's 8x8x8.
+func BenchmarkEscapeBuild(b *testing.B) {
+	nw := topo.NewNetwork(topo.MustHyperX(8, 8, 8), nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := escape.Build(nw, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPolarizedCandidates measures per-hop candidate generation, the
+// simulator's innermost routing call.
+func BenchmarkPolarizedCandidates(b *testing.B) {
+	nw := topo.NewNetwork(topo.MustHyperX(8, 8, 8), nil)
+	alg, err := routing.NewPolarized(nw)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(1)
+	var st routing.PacketState
+	alg.Init(&st, 0, 511, r)
+	buf := make([]routing.PortCandidate, 0, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = alg.PortCandidates(int32(i%512), &st, buf[:0])
+	}
+}
+
+// BenchmarkEscapeCandidates measures escape candidate generation.
+func BenchmarkEscapeCandidates(b *testing.B) {
+	nw := topo.NewNetwork(topo.MustHyperX(8, 8, 8), nil)
+	sub, err := escape.Build(nw, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]routing.PortCandidate, 0, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = sub.Candidates(int32(i%511)+1, 0, escape.PhaseUp, buf[:0])
+	}
+}
+
+// BenchmarkSimulatorCycleRate measures raw engine speed: simulated
+// cycles per second on a loaded 4x4x4 network.
+func BenchmarkSimulatorCycleRate(b *testing.B) {
+	h := bench3D()
+	nw := topo.NewNetwork(h, nil)
+	pat, err := traffic.NewUniform(h.Switches() * 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const cycles = 2000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mech, err := core.New(nw, core.PolarizedRoutes, 6)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sim.Run(sim.RunOptions{
+			Net: nw, ServersPerSwitch: 4, Mechanism: mech, Pattern: pat,
+			Load: 0.7, WarmupCycles: 0, MeasureCycles: cycles, Seed: 8,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(cycles)*float64(b.N)/b.Elapsed().Seconds(), "cycles/s")
+}

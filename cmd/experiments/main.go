@@ -1,0 +1,216 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation. Each experiment prints the same rows or series the paper
+// reports; EXPERIMENTS.md records the comparison against the published
+// results.
+//
+// Usage:
+//
+//	experiments -exp table3            # topological parameters
+//	experiments -exp fig1              # diameter vs random failures
+//	experiments -exp fig4              # 2D fault-free load sweep
+//	experiments -exp fig5 -full        # 3D sweep on the paper's 8x8x8
+//	experiments -exp fig6              # random-fault throughput sweep
+//	experiments -exp fig8 -exp fig9    # structured fault shapes
+//	experiments -exp fig10             # completion time under the Star
+//	experiments -exp all
+//
+// Default runs use scaled-down networks (8x8 and 4x4x4) that finish in
+// minutes on a laptop; -full switches to the paper's 16x16 / 8x8x8 with
+// long windows (hours).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/topo"
+)
+
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, strings.ToLower(v)); return nil }
+
+func main() {
+	var exps multiFlag
+	flag.Var(&exps, "exp", "experiment to run: table2|table3|table4|fig1|fig4|fig5|fig6|fig7|fig8|fig9|fig10|recovery|cost|section7|all (repeatable)")
+	full := flag.Bool("full", false, "use the paper's full-size networks and long windows")
+	seed := flag.Uint64("seed", 1, "random seed")
+	flag.Parse()
+
+	if len(exps) == 0 {
+		exps = multiFlag{"all"}
+	}
+	scale := experiments.ScaleSmall
+	budget := experiments.DefaultBudget()
+	if *full {
+		scale = experiments.ScaleFull
+		budget = experiments.PaperBudget()
+	}
+
+	want := make(map[string]bool)
+	for _, e := range exps {
+		want[e] = true
+	}
+	all := want["all"]
+	run := func(name string, fn func() error) {
+		if !all && !want[name] {
+			return
+		}
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	h2 := experiments.Topology2D(scale)
+	h3 := experiments.Topology3D(scale)
+	root2 := centerSwitch(h2)
+	root3 := centerSwitch(h3)
+
+	run("cost", func() error {
+		out, err := experiments.RenderCost()
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
+		return nil
+	})
+	run("table2", func() error {
+		fmt.Print(experiments.RenderTable2())
+		return nil
+	})
+	run("table3", func() error {
+		fmt.Print(experiments.RenderTable3(experiments.Topology2D(experiments.ScaleFull),
+			experiments.Topology3D(experiments.ScaleFull)))
+		return nil
+	})
+	run("table4", func() error {
+		fmt.Print(experiments.RenderTable4())
+		return nil
+	})
+	run("fig1", func() error {
+		// The paper sweeps an 8x8x8 with several random sequences.
+		h := experiments.Topology3D(scale)
+		step := 16
+		if *full {
+			step = 64
+		}
+		points := experiments.Fig1(h, []uint64{*seed, *seed + 1, *seed + 2}, step)
+		fmt.Print(experiments.RenderFig1(h, points))
+		return nil
+	})
+	run("fig4", func() error {
+		rows, err := experiments.Fig4(scale, budget, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderSweep(fmt.Sprintf("Figure 4: 2D %s fault-free sweep", h2), rows))
+		return nil
+	})
+	run("fig5", func() error {
+		rows, err := experiments.Fig5(scale, budget, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderSweep(fmt.Sprintf("Figure 5: 3D %s fault-free sweep", h3), rows))
+		return nil
+	})
+	run("fig6", func() error {
+		for _, h := range []*topo.HyperX{h2, h3} {
+			max, step := 40, 10
+			if *full {
+				max, step = 100, 10
+			}
+			rows, err := experiments.Fig6(experiments.Fig6Config{
+				H: h, MaxFaults: max, Step: step, Budget: budget, Seed: *seed,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.RenderFig6(fmt.Sprintf("Figure 6: %s under random failures", h), rows))
+		}
+		return nil
+	})
+	run("fig7", func() error {
+		for _, hr := range []struct {
+			h    *topo.HyperX
+			root int32
+		}{{h2, root2}, {h3, root3}} {
+			out, err := experiments.RenderFig7(hr.h, hr.root)
+			if err != nil {
+				return err
+			}
+			fmt.Print(out)
+		}
+		return nil
+	})
+	run("fig8", func() error {
+		rows, err := experiments.Shapes(experiments.ShapesConfig{
+			H: h2, Budget: budget, Seed: *seed, Root: root2,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderShapes(fmt.Sprintf("Figure 8: %s under fault shapes (root %d)", h2, root2), rows))
+		return nil
+	})
+	run("fig9", func() error {
+		rows, err := experiments.Shapes(experiments.ShapesConfig{
+			H: h3, Budget: budget, Seed: *seed, Root: root3,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderShapes(fmt.Sprintf("Figure 9: %s under fault shapes (root %d)", h3, root3), rows))
+		return nil
+	})
+	run("fig10", func() error {
+		burst := 1600
+		if *full {
+			burst = 8000 // the paper's 8000 phits per server
+		}
+		results, err := experiments.Fig10(experiments.Fig10Config{
+			H: h3, BurstPhits: burst, Seed: *seed, Root: root3,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderFig10(
+			fmt.Sprintf("Figure 10: completion time, RPN + Star faults on %s", h3), results))
+		return nil
+	})
+	run("section7", func() error {
+		rows, err := experiments.Section7(*seed, budget)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderSection7(rows))
+		return nil
+	})
+	run("recovery", func() error {
+		results, err := experiments.Recovery(experiments.RecoveryConfig{
+			H: h3, Seed: *seed, Root: root3,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderRecovery(
+			fmt.Sprintf("Extension: live link failures with BFS table rebuild on %s", h3), results))
+		return nil
+	})
+}
+
+// centerSwitch picks the middle of the network as the escape root, the
+// paper's stressed placement for the shape experiments.
+func centerSwitch(h *topo.HyperX) int32 {
+	coord := make([]int, h.NDims())
+	for i, k := range h.Dims() {
+		coord[i] = k/2 - 1
+	}
+	return h.ID(coord)
+}

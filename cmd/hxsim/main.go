@@ -1,0 +1,131 @@
+// Command hxsim runs a single HyperX simulation and prints its metrics:
+// the direct line into the simulator for ad-hoc studies.
+//
+// Examples:
+//
+//	hxsim -dims 8x8 -mech PolSP -pattern Uniform -load 0.7
+//	hxsim -dims 8x8x8 -mech OmniSP -pattern RPN -load 1.0 -faults 50
+//	hxsim -dims 4x4x4 -mech PolSP -pattern RPN -burst 100 -shape cross
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	hyperx "repro"
+	"repro/internal/cliutil"
+)
+
+func main() {
+	var (
+		dimsFlag    = flag.String("dims", "8x8", "topology sides, e.g. 16x16 or 8x8x8")
+		mechFlag    = flag.String("mech", "PolSP", "mechanism: Minimal|Valiant|OmniWAR|Polarized|DOR|OmniSP|PolSP")
+		patFlag     = flag.String("pattern", "Uniform", "pattern: Uniform|RSP|DCR|RPN")
+		loadFlag    = flag.Float64("load", 0.5, "offered load in phits/server/cycle (0,1]")
+		loadsFlag   = flag.String("loads", "", "comma-separated load sweep, e.g. 0.1,0.5,1.0 (overrides -load)")
+		vcsFlag     = flag.Int("vcs", 0, "virtual channels per port (0 = paper's 2n)")
+		warmFlag    = flag.Int64("warmup", 3000, "warmup cycles")
+		measFlag    = flag.Int64("measure", 6000, "measurement cycles")
+		faultsFlag  = flag.Int("faults", 0, "random link failures to inject")
+		shapeFlag   = flag.String("shape", "", "structured fault shape: row|subblock|cross (overrides -faults)")
+		rootFlag    = flag.Int("root", 0, "escape subnetwork root switch (SurePath)")
+		burstFlag   = flag.Int("burst", 0, "burst packets per server (completion-time mode)")
+		seedFlag    = flag.Uint64("seed", 1, "random seed")
+		serversFlag = flag.Int("servers", 0, "servers per switch (0 = side k)")
+	)
+	flag.Parse()
+
+	dims, err := cliutil.ParseDims(*dimsFlag)
+	check(err)
+	h, err := hyperx.NewTopology(dims...)
+	check(err)
+	per := *serversFlag
+	if per == 0 {
+		per = dims[0]
+	}
+
+	faults := hyperx.NewFaultSet()
+	switch {
+	case *shapeFlag != "":
+		kind, err := cliutil.ParseShape(*shapeFlag)
+		check(err)
+		edges, err := hyperx.PaperShape(h, int32(*rootFlag), kind)
+		check(err)
+		faults.AddAll(edges)
+	case *faultsFlag > 0:
+		seq := hyperx.RandomFaultSequence(h, *seedFlag)
+		if *faultsFlag > len(seq) {
+			check(fmt.Errorf("at most %d links can fail", len(seq)))
+		}
+		faults.AddAll(seq[:*faultsFlag])
+	}
+	net := hyperx.NewNetwork(h, faults)
+	if !net.Graph().Connected() {
+		check(fmt.Errorf("the chosen faults disconnect the network"))
+	}
+
+	vcs := *vcsFlag
+	if vcs == 0 {
+		vcs = 2 * h.NDims()
+	}
+	mech, err := hyperx.NewMechanism(*mechFlag, net, vcs, int32(*rootFlag))
+	check(err)
+	pat, err := hyperx.NewPattern(*patFlag, h, per, *seedFlag)
+	check(err)
+
+	fmt.Printf("%s  servers/switch=%d  faults=%d  mech=%s  pattern=%s  vcs=%d\n",
+		h, per, faults.Len(), mech.Name(), pat.Name(), vcs)
+
+	loads := []float64{*loadFlag}
+	if *loadsFlag != "" {
+		loads, err = cliutil.ParseLoads(*loadsFlag)
+		check(err)
+	}
+	for _, load := range loads {
+		opts := hyperx.RunOptions{
+			Net:              net,
+			ServersPerSwitch: per,
+			Mechanism:        mech,
+			Pattern:          pat,
+			Load:             load,
+			WarmupCycles:     *warmFlag,
+			MeasureCycles:    *measFlag,
+			Seed:             *seedFlag,
+		}
+		if *burstFlag > 0 {
+			opts.BurstPackets = *burstFlag
+			opts.SeriesBucket = 2000
+		}
+		res, err := hyperx.Run(opts)
+		check(err)
+
+		if *burstFlag > 0 {
+			fmt.Printf("completion time     %d cycles\n", res.CompletionTime)
+			for _, p := range res.Series {
+				fmt.Printf("  t=%-8d accepted=%.3f\n", p.Cycle, p.Accepted)
+			}
+			return
+		}
+		if len(loads) > 1 {
+			fmt.Printf("load %.2f: accepted %.3f  latency %.1f  jain %.4f  escape %.4f  util %.3f\n",
+				load, res.AcceptedLoad, res.AvgLatency, res.JainIndex, res.EscapeFraction, res.LinkUtilization)
+			continue
+		}
+		fmt.Printf("offered load        %.3f phits/server/cycle\n", res.OfferedLoad)
+		fmt.Printf("accepted load       %.3f phits/server/cycle\n", res.AcceptedLoad)
+		fmt.Printf("avg message latency %.1f cycles\n", res.AvgLatency)
+		fmt.Printf("avg hops            %.2f\n", res.AvgHops)
+		fmt.Printf("Jain index          %.4f\n", res.JainIndex)
+		fmt.Printf("escape fraction     %.4f\n", res.EscapeFraction)
+		fmt.Printf("link utilization    %.3f\n", res.LinkUtilization)
+		fmt.Printf("delivered packets   %d\n", res.DeliveredPackets)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hxsim:", err)
+		os.Exit(1)
+	}
+}

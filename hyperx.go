@@ -1,0 +1,204 @@
+// Package hyperx is the public API of the SurePath reproduction: HyperX
+// (Hamming graph) topologies, the routing mechanisms of the paper
+// "Achieving High-Performance Fault-Tolerant Routing in HyperX
+// Interconnection Networks" (Camarero, Cano, Martínez, Beivide — SC 2024),
+// fault models, synthetic traffic patterns, and a cycle-level
+// virtual-cut-through simulator to evaluate them.
+//
+// Quick start:
+//
+//	h, _ := hyperx.NewTopology(8, 8)
+//	net := hyperx.NewNetwork(h, nil)
+//	mech, _ := hyperx.NewMechanism("PolSP", net, 4, 0)
+//	pat, _ := hyperx.NewPattern("Uniform", h, 8, 1)
+//	res, _ := hyperx.Run(hyperx.RunOptions{
+//	    Net: net, ServersPerSwitch: 8, Mechanism: mech, Pattern: pat,
+//	    Load: 0.5, WarmupCycles: 2000, MeasureCycles: 4000, Seed: 1,
+//	})
+//	fmt.Println(res.AcceptedLoad, res.AvgLatency, res.JainIndex)
+//
+// The full experiment drivers that regenerate every table and figure of
+// the paper live behind the Fig*/Table*/Sweep helpers and the
+// cmd/experiments binary.
+package hyperx
+
+import (
+	"repro/internal/core"
+	"repro/internal/escape"
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/traffic"
+)
+
+// Topology is an n-dimensional HyperX (Hamming graph).
+type Topology = topo.HyperX
+
+// Network is a topology plus a set of failed links.
+type Network = topo.Network
+
+// FaultSet is a set of failed links.
+type FaultSet = topo.FaultSet
+
+// Edge is an undirected link between two switches.
+type Edge = topo.Edge
+
+// Graph is an immutable undirected graph with BFS-based metrics.
+type Graph = topo.Graph
+
+// ShapeKind names a structured fault configuration (Row, SubBlock, Cross).
+type ShapeKind = topo.ShapeKind
+
+// The structured fault shapes of the paper's Section 6.
+const (
+	ShapeRow      = topo.ShapeRow
+	ShapeSubBlock = topo.ShapeSubBlock
+	ShapeCross    = topo.ShapeCross
+)
+
+// Mechanism is a routing mechanism: a routing algorithm paired with a VC
+// management.
+type Mechanism = routing.Mechanism
+
+// Algorithm is a raw routing algorithm (next-hop candidates without VC
+// policy), the form SurePath consumes.
+type Algorithm = routing.Algorithm
+
+// SurePath is the paper's fault-tolerant routing mechanism.
+type SurePath = core.SurePath
+
+// EscapeRule selects the escape subnetwork legality rule.
+type EscapeRule = escape.Rule
+
+// Escape rules: RulePhased (provably deadlock-free refinement, default),
+// RuleUDTable (the paper's literal table rule, whose channel dependency
+// graph has cycles — see EXPERIMENTS.md), and RuleTree (the shortcut-free
+// AutoNet-style baseline used by the ablation).
+const (
+	RulePhased  = escape.RulePhased
+	RuleUDTable = escape.RuleUDTable
+	RuleTree    = escape.RuleTree
+)
+
+// Pattern generates message destinations.
+type Pattern = traffic.Pattern
+
+// Servers describes the server numbering of a network.
+type Servers = traffic.Servers
+
+// RunOptions configures one simulation run.
+type RunOptions = sim.RunOptions
+
+// Result carries the paper's metrics for one run.
+type Result = sim.Result
+
+// Config carries the microarchitectural parameters of the paper's Table 2.
+type Config = sim.Config
+
+// SeriesPoint is one bucket of a throughput time series.
+type SeriesPoint = metrics.SeriesPoint
+
+// Scale selects between laptop-size and paper-size experiment topologies.
+type Scale = experiments.Scale
+
+// Experiment scales.
+const (
+	ScaleSmall = experiments.ScaleSmall
+	ScaleFull  = experiments.ScaleFull
+)
+
+// Budget sizes experiment simulation windows.
+type Budget = experiments.Budget
+
+// Switched is the abstract switch-level topology; table-driven mechanisms
+// (Minimal, Valiant, Polarized, SurePath) and the simulator run on any
+// implementation, enabling the paper's Section 7 cross-topology study.
+type Switched = topo.Switched
+
+// Torus is a k-ary n-cube topology (Section 7 comparison substrate).
+type Torus = topo.Torus
+
+// Dragonfly is the canonical Dragonfly topology (Section 7 comparison
+// substrate).
+type Dragonfly = topo.Dragonfly
+
+// NewTopology constructs a HyperX with the given sides (each >= 2).
+func NewTopology(dims ...int) (*Topology, error) { return topo.NewHyperX(dims...) }
+
+// NewTorus constructs a k-ary n-cube with the given sides (each >= 3).
+func NewTorus(dims ...int) (*Torus, error) { return topo.NewTorus(dims...) }
+
+// NewDragonfly constructs the balanced Dragonfly with a switches per group
+// and h global ports per switch.
+func NewDragonfly(a, h int) (*Dragonfly, error) { return topo.NewDragonfly(a, h) }
+
+// NewNetwork pairs any switched topology with a fault set (nil means
+// fault-free).
+func NewNetwork(t Switched, faults *FaultSet) *Network { return topo.NewNetwork(t, faults) }
+
+// NewFaultSet builds a fault set from failed links.
+func NewFaultSet(edges ...Edge) *FaultSet { return topo.NewFaultSet(edges...) }
+
+// RandomFaultSequence returns a seeded random ordering of all links; its
+// prefixes model growing sets of isolated failures.
+func RandomFaultSequence(h *Topology, seed uint64) []Edge {
+	return topo.RandomFaultSequence(h, seed)
+}
+
+// PaperShape builds a structured fault shape (Row, Subplane/Subcube,
+// Cross/Star) centred on root, scaled to the topology.
+func PaperShape(h *Topology, root int32, kind ShapeKind) ([]Edge, error) {
+	return topo.PaperShape(h, root, kind)
+}
+
+// NewMechanism constructs one of the paper's mechanisms by name: "Minimal",
+// "Valiant", "OmniWAR", "Polarized", "DOR", "OmniSP" or "PolSP", with vcs
+// virtual channels per port (the paper uses 2n). root pins the escape
+// subnetwork root of the SurePath configurations.
+func NewMechanism(name string, nw *Network, vcs int, root int32) (Mechanism, error) {
+	return experiments.BuildMechanism(name, nw, vcs, root)
+}
+
+// NewSurePath builds a SurePath mechanism around a custom base algorithm.
+func NewSurePath(nw *Network, alg Algorithm, totalVCs int, opts ...core.Option) (*SurePath, error) {
+	return core.NewWithAlgorithm(nw, alg, totalVCs, opts...)
+}
+
+// NewDALAlgorithm builds the DAL routing algorithm (the original HyperX
+// routing with per-dimension deroutes) for use with NewSurePath or a
+// ladder.
+func NewDALAlgorithm(nw *Network) (Algorithm, error) { return routing.NewDAL(nw) }
+
+// WithRoot pins the SurePath escape root.
+func WithRoot(root int32) core.Option { return core.WithRoot(root) }
+
+// WithEscapeRule selects the SurePath escape legality rule.
+func WithEscapeRule(rule EscapeRule) core.Option { return core.WithEscapeRule(rule) }
+
+// NewPattern constructs a traffic pattern by name: "Uniform", "Random
+// Server Permutation" (or "RSP"), "Dimension Complement Reverse" ("DCR"),
+// "Regular Permutation to Neighbour" ("RPN").
+func NewPattern(name string, h *Topology, serversPerSwitch int, seed uint64) (Pattern, error) {
+	return experiments.BuildPattern(name, Servers{H: h, Per: serversPerSwitch}, seed)
+}
+
+// NewUniformPattern constructs the Uniform pattern for an explicit server
+// count, usable with any Switched topology.
+func NewUniformPattern(servers int) (Pattern, error) {
+	return traffic.NewUniform(servers)
+}
+
+// Run simulates one configuration on the cycle-level engine.
+func Run(o RunOptions) (*Result, error) { return sim.Run(o) }
+
+// DefaultConfig returns the paper's Table 2 simulation parameters.
+func DefaultConfig() Config { return sim.DefaultConfig() }
+
+// MechanismNames lists the six mechanisms of the paper's Table 4.
+func MechanismNames() []string { return experiments.MechanismNames() }
+
+// PatternNames lists the patterns of the paper's Section 4 for a topology
+// dimensionality.
+func PatternNames(ndims int) []string { return experiments.PatternNames(ndims) }

@@ -1,0 +1,68 @@
+// Package cliutil holds the small parsing helpers shared by the command
+// line tools, kept out of main packages so they are testable.
+package cliutil
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/topo"
+)
+
+// ParseDims parses a topology spec such as "16x16" or "8x8x8" into sides.
+func ParseDims(s string) ([]int, error) {
+	parts := strings.Split(strings.ToLower(strings.TrimSpace(s)), "x")
+	if len(parts) == 0 || parts[0] == "" {
+		return nil, fmt.Errorf("empty dimension spec %q", s)
+	}
+	dims := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad dimensions %q: %v", s, err)
+		}
+		if v < 2 {
+			return nil, fmt.Errorf("bad dimensions %q: sides must be >= 2", s)
+		}
+		dims = append(dims, v)
+	}
+	return dims, nil
+}
+
+// ParseShape parses a structured fault shape name, accepting the paper's
+// per-dimension aliases (subplane/subcube, cross/star).
+func ParseShape(s string) (topo.ShapeKind, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "row":
+		return topo.ShapeRow, nil
+	case "subblock", "subplane", "subcube":
+		return topo.ShapeSubBlock, nil
+	case "cross", "star":
+		return topo.ShapeCross, nil
+	}
+	return 0, fmt.Errorf("unknown shape %q (row|subblock|cross)", s)
+}
+
+// ParseLoads parses a comma-separated load list such as "0.1,0.5,1.0".
+func ParseLoads(s string) ([]float64, error) {
+	var loads []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad load %q: %v", part, err)
+		}
+		if v <= 0 || v > 1 {
+			return nil, fmt.Errorf("load %v out of (0,1]", v)
+		}
+		loads = append(loads, v)
+	}
+	if len(loads) == 0 {
+		return nil, fmt.Errorf("no loads in %q", s)
+	}
+	return loads, nil
+}

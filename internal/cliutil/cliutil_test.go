@@ -1,0 +1,76 @@
+package cliutil
+
+import (
+	"testing"
+
+	"repro/internal/topo"
+)
+
+func TestParseDims(t *testing.T) {
+	good := map[string][]int{
+		"16x16":  {16, 16},
+		"8x8x8":  {8, 8, 8},
+		" 4X4 ":  {4, 4},
+		"2x3x4":  {2, 3, 4},
+		"32":     {32},
+		"8x8X08": {8, 8, 8},
+	}
+	for in, want := range good {
+		got, err := ParseDims(in)
+		if err != nil {
+			t.Errorf("ParseDims(%q): %v", in, err)
+			continue
+		}
+		if len(got) != len(want) {
+			t.Errorf("ParseDims(%q) = %v, want %v", in, got, want)
+			continue
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("ParseDims(%q) = %v, want %v", in, got, want)
+			}
+		}
+	}
+	for _, bad := range []string{"", "x", "4x", "axb", "4x1", "0x8", "-4x4"} {
+		if _, err := ParseDims(bad); err == nil {
+			t.Errorf("ParseDims(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseShape(t *testing.T) {
+	cases := map[string]topo.ShapeKind{
+		"row":      topo.ShapeRow,
+		"Row":      topo.ShapeRow,
+		"subplane": topo.ShapeSubBlock,
+		"SUBCUBE":  topo.ShapeSubBlock,
+		"subblock": topo.ShapeSubBlock,
+		"cross":    topo.ShapeCross,
+		"star ":    topo.ShapeCross,
+	}
+	for in, want := range cases {
+		got, err := ParseShape(in)
+		if err != nil || got != want {
+			t.Errorf("ParseShape(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseShape("blob"); err == nil {
+		t.Error("unknown shape accepted")
+	}
+}
+
+func TestParseLoads(t *testing.T) {
+	loads, err := ParseLoads("0.1, 0.5,1.0")
+	if err != nil || len(loads) != 3 || loads[0] != 0.1 || loads[2] != 1.0 {
+		t.Errorf("ParseLoads = %v, %v", loads, err)
+	}
+	for _, bad := range []string{"", "0", "1.5", "abc", "0.5,,2.0"} {
+		if _, err := ParseLoads(bad); err == nil {
+			t.Errorf("ParseLoads(%q) accepted", bad)
+		}
+	}
+	// Trailing commas are tolerated.
+	if loads, err := ParseLoads("0.3,"); err != nil || len(loads) != 1 {
+		t.Errorf("trailing comma: %v, %v", loads, err)
+	}
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/escape"
+	"repro/internal/rng"
+	"repro/internal/routing"
+	"repro/internal/topo"
+)
+
+func TestEscapeOnlyConstruction(t *testing.T) {
+	nw := topo.NewNetwork(topo.MustHyperX(4, 4), nil)
+	if _, err := NewEscapeOnly(nw, 0, escape.RulePhased, 0); err == nil {
+		t.Error("0 VCs accepted")
+	}
+	if _, err := NewEscapeOnly(nw, -1, escape.RulePhased, 1); err == nil {
+		t.Error("bad root accepted")
+	}
+	eo, err := NewEscapeOnly(nw, 3, escape.RulePhased, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eo.Name() != "EscapeOnly" || eo.VCs() != 2 {
+		t.Errorf("name %q vcs %d", eo.Name(), eo.VCs())
+	}
+	if eo.Escape().Root() != 3 {
+		t.Errorf("root %d", eo.Escape().Root())
+	}
+	var st routing.PacketState
+	if vcs := eo.InjectVCs(&st, nil); len(vcs) != 1 || vcs[0] != 0 {
+		t.Errorf("InjectVCs %v", vcs)
+	}
+}
+
+func TestEscapeOnlyWalksAndMultiVC(t *testing.T) {
+	h := topo.MustHyperX(4, 4)
+	nw := topo.NewNetwork(h, nil)
+	eo, err := NewEscapeOnly(nw, 0, escape.RulePhased, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(9)
+	for trial := 0; trial < 200; trial++ {
+		src, dst := int32(r.Intn(16)), int32(r.Intn(16))
+		var st routing.PacketState
+		eo.Init(&st, src, dst, r)
+		if !st.InEscape {
+			t.Fatal("escape-only packet not marked InEscape")
+		}
+		cur := src
+		var buf []Candidate
+		for hops := 0; cur != dst; hops++ {
+			if hops > 32 {
+				t.Fatalf("escape-only walk %d->%d too long", src, dst)
+			}
+			buf = eo.Candidates(cur, &st, 0, buf[:0])
+			if len(buf) == 0 {
+				t.Fatalf("escape-only stuck at %d toward %d", cur, dst)
+			}
+			// Multi-VC duplication: every port appears once per VC.
+			seen := map[[2]int]bool{}
+			for _, c := range buf {
+				key := [2]int{c.Port, c.VC}
+				if seen[key] {
+					t.Fatal("duplicate (port, vc) candidate")
+				}
+				seen[key] = true
+				if c.VC < 0 || c.VC >= 2 {
+					t.Fatalf("VC %d out of range", c.VC)
+				}
+			}
+			pick := buf[r.Intn(len(buf))]
+			eo.Advance(cur, pick.Port, pick.VC, &st)
+			cur = h.PortNeighbor(cur, pick.Port)
+		}
+	}
+}
+
+func TestEscapeOnlyRebuild(t *testing.T) {
+	h := topo.MustHyperX(4, 4)
+	nw := topo.NewNetwork(h, nil)
+	eo, err := NewEscapeOnly(nw, 0, escape.RulePhased, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := topo.RandomFaultSequence(h, 13)
+	nw2 := topo.NewNetwork(h, topo.NewFaultSet(seq[:5]...))
+	if !nw2.Graph().Connected() {
+		t.Skip("draw disconnected")
+	}
+	if err := eo.Rebuild(nw2); err != nil {
+		t.Fatal(err)
+	}
+	// Dead ports are no longer offered.
+	var st routing.PacketState
+	r := rng.New(11)
+	for trial := 0; trial < 100; trial++ {
+		src, dst := int32(r.Intn(16)), int32(r.Intn(16))
+		if src == dst {
+			continue
+		}
+		eo.Init(&st, src, dst, r)
+		for _, c := range eo.Candidates(src, &st, 0, nil) {
+			if !nw2.PortAlive(src, c.Port) {
+				t.Fatal("dead port offered after rebuild")
+			}
+		}
+	}
+	// Disconnecting rebuild errors.
+	f := topo.NewFaultSet()
+	for p := 0; p < h.SwitchRadix(); p++ {
+		f.Add(0, h.PortNeighbor(0, p))
+	}
+	if err := eo.Rebuild(topo.NewNetwork(h, f)); err == nil {
+		t.Error("disconnected rebuild accepted")
+	}
+}

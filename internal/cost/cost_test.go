@@ -1,0 +1,113 @@
+package cost
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/topo"
+)
+
+// TestPaperK33Example reproduces the introduction's example: 64-port
+// switches, a Complete graph K33 equipping 1056 servers (32 per switch)
+// over 528 switch-to-switch wires.
+func TestPaperK33Example(t *testing.T) {
+	b, err := CompleteGraph(64, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Servers != 1056 {
+		t.Errorf("servers %d, want 1056", b.Servers)
+	}
+	if b.SwitchLinks != 528 {
+		t.Errorf("wires %d, want 528", b.SwitchLinks)
+	}
+	if per := b.Servers / b.Switches; per != 32 {
+		t.Errorf("servers per switch %d, want 32", per)
+	}
+}
+
+func TestCompleteGraphValidation(t *testing.T) {
+	if _, err := CompleteGraph(8, 10); err == nil {
+		t.Error("undersized switches accepted")
+	}
+	if _, err := CompleteGraph(8, 1); err == nil {
+		t.Error("single switch accepted")
+	}
+}
+
+func TestHyperXBill(t *testing.T) {
+	h := topo.MustHyperX(16, 16)
+	b := HyperX(h, 16)
+	if b.Servers != 4096 || b.Switches != 256 || b.SwitchPorts != 46 {
+		t.Errorf("bill %+v", b)
+	}
+	if b.SwitchLinks != 3840 {
+		t.Errorf("switch cables %d, want 3840", b.SwitchLinks)
+	}
+	if b.TotalCables != 3840+4096 {
+		t.Errorf("total cables %d", b.TotalCables)
+	}
+	if math.Abs(b.PortsPerServer-float64(256*46)/4096) > 1e-12 {
+		t.Errorf("ports/server %v", b.PortsPerServer)
+	}
+}
+
+func TestFatTreeClassicCounts(t *testing.T) {
+	b, err := FatTree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4-ary fat tree: 16 servers, 4 core + 8 agg + 8 edge switches.
+	if b.Servers != 16 || b.Switches != 20 {
+		t.Errorf("4-ary fat tree %+v", b)
+	}
+	// Edge->agg: 8*2; agg->core: 8*2.
+	if b.SwitchLinks != 32 {
+		t.Errorf("switch links %d, want 32", b.SwitchLinks)
+	}
+	if _, err := FatTree(5); err == nil {
+		t.Error("odd radix accepted")
+	}
+}
+
+func TestFatTreeForServers(t *testing.T) {
+	b, err := FatTreeForServers(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Servers < 4096 {
+		t.Errorf("fat tree with %d servers cannot host 4096", b.Servers)
+	}
+	// r=26 gives 4394 servers; r=24 gives 3456: expect r=26.
+	if b.SwitchPorts != 26 {
+		t.Errorf("radix %d, want 26", b.SwitchPorts)
+	}
+}
+
+// TestPaperCheaperClaim checks the paper's "around 25% cheaper than Fat
+// Trees" motivation: per server, the paper's HyperX networks need
+// substantially fewer switch ports and cables than the smallest Fat Tree
+// of equal capacity.
+func TestPaperCheaperClaim(t *testing.T) {
+	for _, tc := range []struct {
+		dims []int
+		per  int
+	}{
+		{[]int{16, 16}, 16},
+		{[]int{8, 8, 8}, 8},
+	} {
+		hx := HyperX(topo.MustHyperX(tc.dims...), tc.per)
+		cables, switches, ft, err := SavingsVsFatTree(hx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%s vs %s: cable savings %.0f%%, switch-port savings %.0f%%",
+			hx.Topology, ft.Topology, 100*cables, 100*switches)
+		if cables < 0.15 {
+			t.Errorf("%s: cable savings %.0f%%, expected >= 15%% (paper: ~25%%)", hx.Topology, 100*cables)
+		}
+		if switches < 0.15 {
+			t.Errorf("%s: switch-port savings %.0f%%, expected >= 15%%", hx.Topology, 100*switches)
+		}
+	}
+}

@@ -1,0 +1,381 @@
+// Package escape implements SurePath's opportunistic Up/Down escape
+// subnetwork (Section 3.2 of the paper).
+//
+// Construction: pick a root switch r and classify every live link (x,y) by
+// the BFS levels d(x,r), d(y,r): links joining different levels are Up/Down
+// ("black"), links joining equal levels are horizontal shortcuts ("red").
+// The black links induce the Up/Down distance ud(x,t): the minimum number of
+// black links on a path from x to t that first moves toward the root ("up"
+// sub-path) and then away from it ("down" sub-path). There is always such a
+// path through the root, so ud is finite on connected networks.
+//
+// Two legality rules are provided:
+//
+//   - RuleUDTable is the paper's literal mechanism: a hop x -> y is legal
+//     exactly when it strictly reduces the Up/Down distance to the target,
+//     ud(y,t) < ud(x,t). Reproducing it exposed a finding documented in
+//     EXPERIMENTS.md: the rule admits cycles in the escape channel
+//     dependency graph (CheckDeadlockFree returns them), e.g. rings of
+//     same-level shortcuts, so single-buffer deadlock freedom is not
+//     guaranteed by the Dally-Seitz criterion.
+//
+//   - RulePhased (the default) is a refinement that keeps the opportunistic
+//     shortcuts but is provably deadlock-free. Each escape packet is in an
+//     Up phase and then a Down phase. In the Up phase it climbs black links
+//     toward the root; at any point it may transition to the Down phase,
+//     where it follows the "descent DAG": black Down links plus shortcuts
+//     oriented by switch id. Because the descent DAG is acyclic (potential
+//     (level, id) grows along every edge) and phase changes are one-way,
+//     the escape channel dependency graph is acyclic for every topology,
+//     fault set and root — CheckDeadlockFree verifies this in the tests.
+//
+// Both rules guarantee delivery: a legal hop exists at every switch other
+// than the target, and a monotone potential (ud, or phase + table distance)
+// strictly decreases, so escape routes are loop-free and bounded.
+//
+// Penalties follow the paper: Up hops 112 phits, Down hops 96, shortcuts
+// 80/64/48 for Up/Down-distance reductions of 1/2/>=3, so minimal shortcut
+// paths are preferred and the root is spared.
+package escape
+
+import (
+	"fmt"
+
+	"repro/internal/routing"
+	"repro/internal/topo"
+)
+
+// Rule selects the escape-hop legality rule.
+type Rule int
+
+const (
+	// RulePhased is the provably deadlock-free refinement (default).
+	RulePhased Rule = iota
+	// RuleUDTable is the paper's literal Up/Down-distance table rule.
+	RuleUDTable
+	// RuleTree disables the opportunistic shortcuts entirely: a pure
+	// adaptive Up*/Down* escape over black links, the AutoNet-style
+	// baseline the paper improves on. Provably deadlock-free like
+	// RulePhased; exists for the shortcut ablation.
+	RuleTree
+)
+
+// String names the rule.
+func (r Rule) String() string {
+	switch r {
+	case RulePhased:
+		return "phased"
+	case RuleUDTable:
+		return "udtable"
+	case RuleTree:
+		return "tree"
+	}
+	return fmt.Sprintf("Rule(%d)", int(r))
+}
+
+// Phases of a RulePhased escape packet, stored in
+// routing.PacketState.EscPhase.
+const (
+	PhaseUp   int8 = 0 // climbing toward the root; may transition down
+	PhaseDown int8 = 1 // committed to the descent DAG
+)
+
+// Subnetwork is the escape subnetwork built for one network and root.
+// Rebuild it (Build again) whenever the fault set changes.
+type Subnetwork struct {
+	nw    *topo.Network
+	root  int32
+	rule  Rule
+	level []int32 // BFS distance from root over live links
+	ud    []int32 // ud[t*n+x]: black-only Up/Down distance x -> t
+	ddr   []int32 // ddr[t*n+x]: descent-DAG distance x -> t (RulePhased)
+	uddr  []int32 // uddr[t*n+x]: up-prefix + descent distance (RulePhased)
+	n     int
+}
+
+// Build constructs the escape subnetwork of nw rooted at root using
+// RulePhased. It fails if the live graph is disconnected, since an escape
+// path must exist for every pair.
+func Build(nw *topo.Network, root int32) (*Subnetwork, error) {
+	return BuildWithRule(nw, root, RulePhased)
+}
+
+// BuildWithRule constructs the escape subnetwork with an explicit legality
+// rule.
+func BuildWithRule(nw *topo.Network, root int32, rule Rule) (*Subnetwork, error) {
+	g := nw.Graph()
+	n := g.N()
+	if root < 0 || int(root) >= n {
+		return nil, fmt.Errorf("escape: root %d out of range [0,%d)", root, n)
+	}
+	s := &Subnetwork{nw: nw, root: root, rule: rule, n: n}
+	s.level = make([]int32, n)
+	if g.BFS(root, s.level) != n {
+		return nil, fmt.Errorf("escape: network is disconnected (%d faults)", nw.Faults.Len())
+	}
+	s.ud = make([]int32, n*n)
+	s.computeBlackUpDown(g)
+	if rule == RulePhased || rule == RuleTree {
+		s.ddr = make([]int32, n*n)
+		s.uddr = make([]int32, n*n)
+		s.computePhased(g)
+	}
+	return s, nil
+}
+
+// byLevelOrder returns the switches sorted by increasing level.
+func (s *Subnetwork) byLevelOrder() []int32 {
+	maxLevel := int32(0)
+	for _, l := range s.level {
+		if l > maxLevel {
+			maxLevel = l
+		}
+	}
+	order := make([]int32, 0, s.n)
+	for l := int32(0); l <= maxLevel; l++ {
+		for v := int32(0); v < int32(s.n); v++ {
+			if s.level[v] == l {
+				order = append(order, v)
+			}
+		}
+	}
+	return order
+}
+
+// computeBlackUpDown fills s.ud. For each target t it first computes
+// down(w) = min black hops w -> t moving strictly away from the root at
+// every step (reverse BFS over Down edges), then folds in up-prefixes with a
+// dynamic program over increasing levels:
+//
+//	ud(x,t) = min( down(x), 1 + min{ ud(y,t) : y black neighbor one level
+//	               closer to the root } )
+func (s *Subnetwork) computeBlackUpDown(g *topo.Graph) {
+	n := s.n
+	order := s.byLevelOrder()
+	down := make([]int32, n)
+	queue := make([]int32, 0, n)
+	for t := int32(0); t < int32(n); t++ {
+		for i := range down {
+			down[i] = topo.Unreachable
+		}
+		down[t] = 0
+		queue = append(queue[:0], t)
+		for head := 0; head < len(queue); head++ {
+			v := queue[head]
+			dv := down[v]
+			for _, w := range g.Neighbors(v) {
+				if s.level[w] == s.level[v]-1 && down[w] == topo.Unreachable {
+					down[w] = dv + 1
+					queue = append(queue, w)
+				}
+			}
+		}
+		row := s.ud[int(t)*n : int(t)*n+n]
+		for _, x := range order {
+			best := down[x]
+			lx := s.level[x]
+			for _, y := range g.Neighbors(x) {
+				if s.level[y] == lx-1 && row[y]+1 < best {
+					best = row[y] + 1
+				}
+			}
+			// best is always finite: every switch reaches the root going up
+			// and the root reaches t going down.
+			row[x] = best
+		}
+	}
+}
+
+// descentEdge reports whether the directed hop x -> y belongs to the
+// descent DAG: black Down links (level increases) plus — except under
+// RuleTree — shortcuts oriented from lower to higher switch id. The
+// potential (level, id) strictly grows along every descent edge, making
+// the DAG acyclic by construction.
+func (s *Subnetwork) descentEdge(x, y int32) bool {
+	lx, ly := s.level[x], s.level[y]
+	if ly != lx {
+		return ly == lx+1
+	}
+	return s.rule != RuleTree && x < y
+}
+
+// computePhased fills ddr (descent-DAG distances) and uddr (optimal
+// up-prefix plus descent) for every target.
+func (s *Subnetwork) computePhased(g *topo.Graph) {
+	n := s.n
+	order := s.byLevelOrder()
+	queue := make([]int32, 0, n)
+	for t := int32(0); t < int32(n); t++ {
+		ddr := s.ddr[int(t)*n : int(t)*n+n]
+		for i := range ddr {
+			ddr[i] = topo.Unreachable
+		}
+		// Reverse BFS from t over descent edges.
+		ddr[t] = 0
+		queue = append(queue[:0], t)
+		for head := 0; head < len(queue); head++ {
+			v := queue[head]
+			dv := ddr[v]
+			for _, w := range g.Neighbors(v) {
+				if s.descentEdge(w, v) && ddr[w] == topo.Unreachable {
+					ddr[w] = dv + 1
+					queue = append(queue, w)
+				}
+			}
+		}
+		// uddr(x) = min(ddr(x), 1 + min over up-neighbors y of uddr(y)),
+		// processed by increasing level so up-neighbors are final.
+		uddr := s.uddr[int(t)*n : int(t)*n+n]
+		for _, x := range order {
+			best := ddr[x]
+			lx := s.level[x]
+			for _, y := range g.Neighbors(x) {
+				if s.level[y] == lx-1 && uddr[y]+1 < best {
+					best = uddr[y] + 1
+				}
+			}
+			// Finite via the root: ddr(root, t) <= level(t) because BFS
+			// shortest paths from the root descend one level per hop.
+			uddr[x] = best
+		}
+	}
+}
+
+// Root returns the root switch of the subnetwork.
+func (s *Subnetwork) Root() int32 { return s.root }
+
+// RuleUsed returns the legality rule the subnetwork was built with.
+func (s *Subnetwork) RuleUsed() Rule { return s.rule }
+
+// Level returns the BFS level (distance to the root) of switch x.
+func (s *Subnetwork) Level(x int32) int32 { return s.level[x] }
+
+// UpDownDist returns the black-only Up/Down distance from x to t.
+func (s *Subnetwork) UpDownDist(x, t int32) int32 { return s.ud[int(t)*s.n+int(x)] }
+
+// DescentDist returns the descent-DAG distance from x to t under
+// RulePhased, or Unreachable when x cannot reach t by descending.
+func (s *Subnetwork) DescentDist(x, t int32) int32 {
+	if s.ddr == nil {
+		return topo.Unreachable
+	}
+	return s.ddr[int(t)*s.n+int(x)]
+}
+
+// IsHorizontal reports whether the live link (x,y) is a horizontal
+// (shortcut, "red") link: both endpoints on the same level.
+func (s *Subnetwork) IsHorizontal(x, y int32) bool { return s.level[x] == s.level[y] }
+
+// RouteLen returns the length of the shortest legal escape route from x to
+// t under RulePhased/RuleTree (the up-prefix plus descent distance). It
+// measures the Section 7 "escape stretch": on HyperX escape routes contain
+// near-minimal paths; on other topologies they are much longer than graph
+// distance. Unavailable (Unreachable) under RuleUDTable.
+func (s *Subnetwork) RouteLen(x, t int32) int32 {
+	if s.uddr == nil {
+		return topo.Unreachable
+	}
+	return s.uddr[int(t)*s.n+int(x)]
+}
+
+// shortcutPenalty grades a shortcut by its black Up/Down distance reduction,
+// Section 3.2's 80/64/48 classes. Reductions below 1 clamp to the worst
+// class (they can occur under RulePhased when a shortcut helps the descent
+// DAG but not the black metric).
+func shortcutPenalty(delta int32) int32 {
+	switch {
+	case delta >= 3:
+		return routing.PenaltyShortcut3up
+	case delta == 2:
+		return routing.PenaltyShortcut2
+	default:
+		return routing.PenaltyShortcut1
+	}
+}
+
+// Candidates appends the legal escape hops for a packet at switch cur in
+// escape phase phase (PhaseUp for packets not yet in the escape subnetwork)
+// targeting switch dst, with the paper's penalties. At every switch other
+// than the target at least one candidate exists, and every hop strictly
+// decreases a bounded potential, so escape delivery is guaranteed.
+func (s *Subnetwork) Candidates(cur, dst int32, phase int8, buf []routing.PortCandidate) []routing.PortCandidate {
+	if cur == dst {
+		return buf
+	}
+	if s.rule == RuleUDTable {
+		return s.udTableCandidates(cur, dst, buf)
+	}
+	h := s.nw.H
+	n := s.n
+	udRow := s.ud[int(dst)*n:]
+	ddrRow := s.ddr[int(dst)*n:]
+	uddrRow := s.uddr[int(dst)*n:]
+	lc := s.level[cur]
+	for p := 0; p < h.SwitchRadix(); p++ {
+		if !s.nw.PortAlive(cur, p) {
+			continue
+		}
+		next := h.PortNeighbor(cur, p)
+		ln := s.level[next]
+		if phase == PhaseUp && ln == lc-1 && uddrRow[next] < uddrRow[cur] {
+			buf = append(buf, routing.PortCandidate{Port: p, Penalty: routing.PenaltyEscapeUp})
+			continue
+		}
+		if !s.descentEdge(cur, next) || ddrRow[next] >= topo.Unreachable {
+			continue
+		}
+		if phase == PhaseDown && ddrRow[next] >= ddrRow[cur] {
+			continue // in the Down phase the descent distance must shrink
+		}
+		if ln > lc {
+			buf = append(buf, routing.PortCandidate{Port: p, Penalty: routing.PenaltyEscapeDown})
+		} else {
+			buf = append(buf, routing.PortCandidate{Port: p, Penalty: shortcutPenalty(udRow[cur] - udRow[next])})
+		}
+	}
+	return buf
+}
+
+// udTableCandidates implements the paper's literal rule.
+func (s *Subnetwork) udTableCandidates(cur, dst int32, buf []routing.PortCandidate) []routing.PortCandidate {
+	h := s.nw.H
+	row := s.ud[int(dst)*s.n:]
+	udCur := row[cur]
+	lc := s.level[cur]
+	for p := 0; p < h.SwitchRadix(); p++ {
+		if !s.nw.PortAlive(cur, p) {
+			continue
+		}
+		next := h.PortNeighbor(cur, p)
+		delta := udCur - row[next]
+		if delta <= 0 {
+			continue
+		}
+		var penalty int32
+		switch {
+		case s.level[next] < lc:
+			penalty = routing.PenaltyEscapeUp
+		case s.level[next] > lc:
+			penalty = routing.PenaltyEscapeDown
+		default:
+			penalty = shortcutPenalty(delta)
+		}
+		buf = append(buf, routing.PortCandidate{Port: p, Penalty: penalty})
+	}
+	return buf
+}
+
+// NextPhase returns the escape phase after taking the hop through port p of
+// cur: climbing black links keeps a packet in the Up phase, any descent
+// edge commits it to the Down phase. Under RuleUDTable the phase is
+// irrelevant and preserved.
+func (s *Subnetwork) NextPhase(cur int32, p int, phase int8) int8 {
+	if s.rule == RuleUDTable {
+		return phase
+	}
+	next := s.nw.H.PortNeighbor(cur, p)
+	if s.level[next] == s.level[cur]-1 {
+		return PhaseUp
+	}
+	return PhaseDown
+}

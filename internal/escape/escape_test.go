@@ -1,0 +1,477 @@
+package escape
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/routing"
+	"repro/internal/topo"
+)
+
+func build(t *testing.T, nw *topo.Network, root int32) *Subnetwork {
+	t.Helper()
+	s, err := Build(nw, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestBuildValidation(t *testing.T) {
+	h := topo.MustHyperX(4, 4)
+	nw := topo.NewNetwork(h, nil)
+	if _, err := Build(nw, -1); err == nil {
+		t.Error("negative root accepted")
+	}
+	if _, err := Build(nw, 99); err == nil {
+		t.Error("out-of-range root accepted")
+	}
+	// Disconnect switch 0 entirely.
+	f := topo.NewFaultSet()
+	for p := 0; p < h.SwitchRadix(); p++ {
+		f.Add(0, h.PortNeighbor(0, p))
+	}
+	if _, err := Build(topo.NewNetwork(h, f), 5); err == nil {
+		t.Error("disconnected network accepted")
+	}
+	if _, err := BuildWithRule(topo.NewNetwork(h, f), 5, RuleUDTable); err == nil {
+		t.Error("disconnected network accepted under udtable rule")
+	}
+}
+
+func TestRuleString(t *testing.T) {
+	if RulePhased.String() != "phased" || RuleUDTable.String() != "udtable" || RuleTree.String() != "tree" {
+		t.Error("rule names wrong")
+	}
+	if Rule(9).String() == "" {
+		t.Error("unknown rule stringer empty")
+	}
+}
+
+func TestTreeRule(t *testing.T) {
+	// The shortcut-free baseline: delivery still guaranteed, CDG still
+	// acyclic, but no horizontal link is ever offered.
+	h := topo.MustHyperX(4, 4)
+	s, err := BuildWithRule(topo.NewNetwork(h, nil), 0, RuleTree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, cycle := s.CheckDeadlockFree(); !ok {
+		t.Errorf("tree rule CDG cycle through %v", cycle)
+	}
+	r := rng.New(3)
+	var buf []routing.PortCandidate
+	for trial := 0; trial < 300; trial++ {
+		src, tgt := int32(r.Intn(16)), int32(r.Intn(16))
+		cur, phase := src, PhaseUp
+		for hops := 0; cur != tgt; hops++ {
+			if hops > 64 {
+				t.Fatalf("tree walk %d->%d did not terminate", src, tgt)
+			}
+			buf = s.Candidates(cur, tgt, phase, buf[:0])
+			if len(buf) == 0 {
+				t.Fatalf("tree rule stuck at %d toward %d", cur, tgt)
+			}
+			pc := buf[r.Intn(len(buf))]
+			next := h.PortNeighbor(cur, pc.Port)
+			if s.IsHorizontal(cur, next) {
+				t.Fatalf("tree rule offered a shortcut %d->%d", cur, next)
+			}
+			phase = s.NextPhase(cur, pc.Port, phase)
+			cur = next
+		}
+	}
+}
+
+func TestLevelsAndColors(t *testing.T) {
+	// Figure 2 of the paper: 4x4 HyperX rooted at (0,0). The link
+	// (1,0)-(1,1) is black (levels 1 and 2); (1,0)-(2,0) is red (both 1).
+	h := topo.MustHyperX(4, 4)
+	s := build(t, topo.NewNetwork(h, nil), h.ID([]int{0, 0}))
+	if s.Level(h.ID([]int{0, 0})) != 0 {
+		t.Error("root level nonzero")
+	}
+	if s.Level(h.ID([]int{1, 0})) != 1 || s.Level(h.ID([]int{1, 1})) != 2 {
+		t.Error("levels of (1,0)/(1,1) wrong")
+	}
+	if s.IsHorizontal(h.ID([]int{1, 0}), h.ID([]int{1, 1})) {
+		t.Error("(1,0)-(1,1) should be Up/Down (black)")
+	}
+	if !s.IsHorizontal(h.ID([]int{1, 0}), h.ID([]int{2, 0})) {
+		t.Error("(1,0)-(2,0) should be horizontal (red)")
+	}
+	if s.Root() != h.ID([]int{0, 0}) || s.RuleUsed() != RulePhased {
+		t.Error("root/rule accessors wrong")
+	}
+}
+
+func TestUpDownDistanceFigure2(t *testing.T) {
+	// Paper examples: from (0,0) to (1,1) the Up/Down distance is 2; from
+	// (0,1) to (0,3) it is 2 over black links, but the red link offers a
+	// shortcut candidate, while (0,1)->(0,2) is never offered.
+	h := topo.MustHyperX(4, 4)
+	root := h.ID([]int{0, 0})
+	sn, err := BuildWithRule(topo.NewNetwork(h, nil), root, RuleUDTable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sn.UpDownDist(root, h.ID([]int{1, 1})); got != 2 {
+		t.Errorf("ud((0,0),(1,1)) = %d, want 2", got)
+	}
+	from, to := h.ID([]int{0, 1}), h.ID([]int{0, 3})
+	if got := sn.UpDownDist(from, to); got != 2 {
+		t.Errorf("ud((0,1),(0,3)) = %d, want 2", got)
+	}
+	var buf []routing.PortCandidate
+	buf = sn.Candidates(from, to, PhaseUp, buf)
+	foundShortcut := false
+	for _, pc := range buf {
+		next := h.PortNeighbor(from, pc.Port)
+		if next == to {
+			foundShortcut = true
+			if pc.Penalty != routing.PenaltyShortcut2 {
+				t.Errorf("shortcut penalty %d, want %d", pc.Penalty, routing.PenaltyShortcut2)
+			}
+		}
+		if next == h.ID([]int{0, 2}) {
+			t.Error("(0,1)->(0,2) offered but it does not reduce the Up/Down distance")
+		}
+	}
+	if !foundShortcut {
+		t.Error("direct shortcut (0,1)->(0,3) not offered under the paper rule")
+	}
+}
+
+func TestUpDownDistanceProperties(t *testing.T) {
+	h := topo.MustHyperX(4, 4, 4)
+	g := h.Graph()
+	root := int32(21)
+	s := build(t, topo.NewNetwork(h, nil), root)
+	dist := g.Distances()
+	n := int32(g.N())
+	for x := int32(0); x < n; x++ {
+		if s.UpDownDist(x, x) != 0 {
+			t.Fatalf("ud(%d,%d) != 0", x, x)
+		}
+		for tgt := int32(0); tgt < n; tgt++ {
+			ud := s.UpDownDist(x, tgt)
+			d := dist[int(x)*int(n)+int(tgt)]
+			if ud < d {
+				t.Fatalf("ud(%d,%d)=%d below graph distance %d", x, tgt, ud, d)
+			}
+			if bound := s.Level(x) + s.Level(tgt); ud > bound {
+				t.Fatalf("ud(%d,%d)=%d above through-root bound %d", x, tgt, ud, bound)
+			}
+		}
+	}
+}
+
+func TestDescentDistanceProperties(t *testing.T) {
+	h := topo.MustHyperX(4, 4)
+	root := h.ID([]int{1, 2})
+	s := build(t, topo.NewNetwork(h, nil), root)
+	n := int32(h.Switches())
+	for tgt := int32(0); tgt < n; tgt++ {
+		// The root always reaches every target descending (BFS levels).
+		if d := s.DescentDist(root, tgt); d > s.Level(tgt) {
+			t.Errorf("ddr(root,%d)=%d above level bound %d", tgt, d, s.Level(tgt))
+		}
+		for x := int32(0); x < n; x++ {
+			if x == tgt {
+				if s.DescentDist(x, tgt) != 0 {
+					t.Fatalf("ddr(%d,%d) != 0", x, x)
+				}
+			}
+		}
+	}
+}
+
+func TestCandidatesAlwaysExist(t *testing.T) {
+	// Key delivery invariant under both rules and both phases: at any
+	// switch != target there is at least one escape candidate (in the Down
+	// phase, provided the packet legally entered it).
+	h := topo.MustHyperX(4, 4)
+	seq := topo.RandomFaultSequence(h, 99)
+	for _, rule := range []Rule{RulePhased, RuleUDTable} {
+		for _, cut := range []int{0, 5, 15} {
+			nw := topo.NewNetwork(h, topo.NewFaultSet(seq[:cut]...))
+			if !nw.Graph().Connected() {
+				continue
+			}
+			s, err := BuildWithRule(nw, 3, rule)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf []routing.PortCandidate
+			for x := int32(0); x < 16; x++ {
+				for tgt := int32(0); tgt < 16; tgt++ {
+					if x == tgt {
+						continue
+					}
+					buf = s.Candidates(x, tgt, PhaseUp, buf[:0])
+					if len(buf) == 0 {
+						t.Fatalf("rule %v: no Up-phase candidate at %d toward %d with %d faults", rule, x, tgt, cut)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestEscapeWalkTerminates(t *testing.T) {
+	// Random escape walks must reach the target within a bounded number of
+	// hops, under both rules, tracking phases as SurePath would.
+	h := topo.MustHyperX(4, 4, 4)
+	nw := topo.NewNetwork(h, nil)
+	for _, rule := range []Rule{RulePhased, RuleUDTable} {
+		s, err := BuildWithRule(nw, 0, rule)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rng.New(31)
+		var buf []routing.PortCandidate
+		bound := 3 * h.Switches() // generous; real routes are far shorter
+		for trial := 0; trial < 500; trial++ {
+			src := int32(r.Intn(64))
+			tgt := int32(r.Intn(64))
+			cur, phase := src, PhaseUp
+			for hops := 0; cur != tgt; hops++ {
+				if hops > bound {
+					t.Fatalf("rule %v: walk %d->%d did not terminate", rule, src, tgt)
+				}
+				buf = s.Candidates(cur, tgt, phase, buf[:0])
+				if len(buf) == 0 {
+					t.Fatalf("rule %v: stuck at %d toward %d (phase %d)", rule, cur, tgt, phase)
+				}
+				pc := buf[r.Intn(len(buf))]
+				phase = s.NextPhase(cur, pc.Port, phase)
+				cur = h.PortNeighbor(cur, pc.Port)
+			}
+		}
+	}
+}
+
+func TestPhaseTransitionsMonotone(t *testing.T) {
+	// Once a packet enters the Down phase it never returns to Up.
+	h := topo.MustHyperX(4, 4)
+	s := build(t, topo.NewNetwork(h, nil), 0)
+	r := rng.New(77)
+	var buf []routing.PortCandidate
+	for trial := 0; trial < 300; trial++ {
+		src, tgt := int32(r.Intn(16)), int32(r.Intn(16))
+		cur, phase := src, PhaseUp
+		for hops := 0; cur != tgt && hops < 64; hops++ {
+			buf = s.Candidates(cur, tgt, phase, buf[:0])
+			if len(buf) == 0 {
+				t.Fatalf("stuck at %d toward %d phase %d", cur, tgt, phase)
+			}
+			pc := buf[r.Intn(len(buf))]
+			next := s.NextPhase(cur, pc.Port, phase)
+			if phase == PhaseDown && next == PhaseUp {
+				t.Fatal("phase regressed from Down to Up")
+			}
+			phase = next
+			cur = h.PortNeighbor(cur, pc.Port)
+		}
+	}
+}
+
+func TestPenaltyClasses(t *testing.T) {
+	h := topo.MustHyperX(4, 4)
+	root := h.ID([]int{0, 0})
+	s := build(t, topo.NewNetwork(h, nil), root)
+	var buf []routing.PortCandidate
+	// From (1,1) (level 2) toward root: up candidates penalty 112.
+	from := h.ID([]int{1, 1})
+	buf = s.Candidates(from, root, PhaseUp, buf[:0])
+	if len(buf) == 0 {
+		t.Fatal("no candidates toward root")
+	}
+	for _, pc := range buf {
+		next := h.PortNeighbor(from, pc.Port)
+		if s.Level(next) < s.Level(from) && pc.Penalty != routing.PenaltyEscapeUp {
+			t.Errorf("up candidate penalty %d", pc.Penalty)
+		}
+	}
+	// From root toward (1,1): down candidates penalty 96.
+	buf = s.Candidates(root, from, PhaseUp, buf[:0])
+	for _, pc := range buf {
+		next := h.PortNeighbor(root, pc.Port)
+		if s.Level(next) > 0 && pc.Penalty != routing.PenaltyEscapeDown {
+			t.Errorf("down candidate penalty %d", pc.Penalty)
+		}
+	}
+}
+
+// TestDeadlockFreedomPhased is the central oracle: under RulePhased the
+// escape channel dependency graph must be acyclic on every topology family
+// the paper simulates.
+func TestDeadlockFreedomPhased(t *testing.T) {
+	cases := [][]int{{4}, {8}, {3, 3}, {4, 4}, {5, 5}, {2, 2, 2}, {3, 3, 3}, {4, 4, 4}, {4, 2, 3}}
+	for _, dims := range cases {
+		h := topo.MustHyperX(dims...)
+		s := build(t, topo.NewNetwork(h, nil), 0)
+		if ok, cycle := s.CheckDeadlockFree(); !ok {
+			t.Errorf("%s: escape CDG has a cycle through switches %v", h, cycle)
+		}
+	}
+}
+
+// TestPaperRuleHasCycles documents the reproduction finding: the literal
+// Up/Down-distance table rule of Section 3.2 admits channel dependency
+// cycles (e.g. rings of same-level shortcuts), so it does not satisfy the
+// Dally-Seitz single-buffer deadlock-freedom criterion. This is why
+// RulePhased exists and is the default.
+func TestPaperRuleHasCycles(t *testing.T) {
+	h := topo.MustHyperX(4, 4)
+	s, err := BuildWithRule(topo.NewNetwork(h, nil), 0, RuleUDTable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, cycle := s.CheckDeadlockFree()
+	if ok {
+		t.Fatal("expected the literal paper rule to exhibit CDG cycles on 4x4; it did not")
+	}
+	if len(cycle) < 3 {
+		t.Fatalf("reported cycle %v too short", cycle)
+	}
+}
+
+func TestDeadlockFreedomUnderFaults(t *testing.T) {
+	h := topo.MustHyperX(4, 4)
+	seq := topo.RandomFaultSequence(h, 5)
+	for _, cut := range []int{4, 12, 20} {
+		nw := topo.NewNetwork(h, topo.NewFaultSet(seq[:cut]...))
+		if !nw.Graph().Connected() {
+			continue
+		}
+		s := build(t, nw, 7)
+		if ok, cycle := s.CheckDeadlockFree(); !ok {
+			t.Errorf("%d faults: escape CDG cycle through %v", cut, cycle)
+		}
+	}
+}
+
+func TestDeadlockFreedomUnderShapes(t *testing.T) {
+	for _, dims := range [][]int{{8, 8}, {4, 4, 4}} {
+		h := topo.MustHyperX(dims...)
+		root := h.ID(make([]int, len(dims)))
+		for _, kind := range []topo.ShapeKind{topo.ShapeRow, topo.ShapeSubBlock, topo.ShapeCross} {
+			edges, err := paperLikeShape(h, root, kind)
+			if err != nil {
+				t.Fatalf("%s %v: %v", h, kind, err)
+			}
+			nw := topo.NewNetwork(h, topo.NewFaultSet(edges...))
+			if !nw.Graph().Connected() {
+				t.Fatalf("%s %v disconnects", h, kind)
+			}
+			s := build(t, nw, root)
+			if ok, cycle := s.CheckDeadlockFree(); !ok {
+				t.Errorf("%s %v: escape CDG cycle through %v", h, kind, cycle)
+			}
+		}
+	}
+}
+
+// paperLikeShape scales the paper shapes down to small test topologies.
+func paperLikeShape(h *topo.HyperX, root int32, kind topo.ShapeKind) ([]topo.Edge, error) {
+	switch kind {
+	case topo.ShapeRow:
+		return topo.RowFaults(h, root, 0)
+	case topo.ShapeSubBlock:
+		lo := make([]int, h.NDims())
+		return topo.SubBlockFaults(h, lo, 2)
+	case topo.ShapeCross:
+		m := h.Dims()[0] - 1
+		if m < 2 {
+			m = 2
+		}
+		return topo.CrossFaults(h, root, m)
+	}
+	return nil, nil
+}
+
+// TestRouteLenMatchesGreedyWalk checks that RouteLen is achievable: a walk
+// that always picks the candidate minimizing the remaining route length
+// reaches the target in exactly RouteLen hops.
+func TestRouteLenMatchesGreedyWalk(t *testing.T) {
+	for _, build := range []func() (*Subnetwork, error){
+		func() (*Subnetwork, error) {
+			return Build(topo.NewNetwork(topo.MustHyperX(4, 4), nil), 5)
+		},
+		func() (*Subnetwork, error) {
+			return Build(topo.NewNetwork(topo.MustTorus(5, 5), nil), 0)
+		},
+	} {
+		s, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := s.nw.H
+		n := int32(h.Switches())
+		var buf []routing.PortCandidate
+		for src := int32(0); src < n; src++ {
+			for dst := int32(0); dst < n; dst++ {
+				if src == dst {
+					continue
+				}
+				want := s.RouteLen(src, dst)
+				cur, phase := src, PhaseUp
+				hops := int32(0)
+				for cur != dst {
+					if hops > want {
+						t.Fatalf("greedy escape walk %d->%d exceeded RouteLen %d", src, dst, want)
+					}
+					buf = s.Candidates(cur, dst, phase, buf[:0])
+					best, bestLen := -1, int32(0)
+					for _, pc := range buf {
+						next := h.PortNeighbor(cur, pc.Port)
+						// Remaining length depends on the phase after the hop.
+						var rem int32
+						if s.NextPhase(cur, pc.Port, phase) == PhaseUp {
+							rem = s.RouteLen(next, dst)
+						} else {
+							rem = s.DescentDist(next, dst)
+						}
+						if best < 0 || rem < bestLen {
+							best, bestLen = pc.Port, rem
+						}
+					}
+					if best < 0 {
+						t.Fatalf("greedy escape walk stuck at %d toward %d", cur, dst)
+					}
+					phase = s.NextPhase(cur, best, phase)
+					cur = h.PortNeighbor(cur, best)
+					hops++
+				}
+				if hops != want {
+					t.Fatalf("greedy walk %d->%d took %d hops, RouteLen %d", src, dst, hops, want)
+				}
+			}
+		}
+	}
+}
+
+func TestRouteLenUnavailableUnderPaperRule(t *testing.T) {
+	s, err := BuildWithRule(topo.NewNetwork(topo.MustHyperX(3, 3), nil), 0, RuleUDTable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.RouteLen(1, 2) != topo.Unreachable {
+		t.Error("RouteLen should be unavailable under the literal rule")
+	}
+}
+
+func TestRootChoiceInvariance(t *testing.T) {
+	// Any root yields a valid, deadlock-free subnetwork under RulePhased.
+	h := topo.MustHyperX(3, 3)
+	for root := int32(0); root < 9; root++ {
+		s := build(t, topo.NewNetwork(h, nil), root)
+		if s.Root() != root {
+			t.Fatalf("Root() = %d, want %d", s.Root(), root)
+		}
+		if ok, _ := s.CheckDeadlockFree(); !ok {
+			t.Errorf("root %d yields cyclic CDG", root)
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cost"
+	"repro/internal/topo"
+)
+
+// RenderCost reproduces the cost comparison of the paper's introduction:
+// the K33 example, the evaluated HyperX networks, and the smallest
+// classic Fat Trees of equal capacity, with the per-server savings the
+// paper summarizes as "around 25% cheaper".
+func RenderCost() (string, error) {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Cost motivation (Sections 1-2)")
+	k33, err := cost.CompleteGraph(64, 33)
+	if err != nil {
+		return "", err
+	}
+	fmt.Fprintf(&b, "  %s\n", k33)
+	for _, tc := range []struct {
+		dims []int
+		per  int
+	}{
+		{[]int{16, 16}, 16},
+		{[]int{8, 8, 8}, 8},
+	} {
+		hx := cost.HyperX(topo.MustHyperX(tc.dims...), tc.per)
+		cables, switches, ft, err := cost.SavingsVsFatTree(hx)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "  %s\n  %s\n", hx, ft)
+		fmt.Fprintf(&b, "    -> per server, %s saves %.0f%% cables and %.0f%% switch ports vs %s\n",
+			hx.Topology, 100*cables, 100*switches, ft.Topology)
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,213 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/topo"
+	"repro/internal/traffic"
+)
+
+// Fig6Row is one point of Figure 6: saturation throughput of a SurePath
+// configuration after a number of random link failures.
+type Fig6Row struct {
+	Mechanism string
+	Pattern   string
+	Faults    int
+	Accepted  float64
+	Escape    float64
+	Diameter  int32
+}
+
+// Fig6Config parameterizes the random-fault sweep.
+type Fig6Config struct {
+	H *topo.HyperX
+	// MaxFaults and Step define the fault counts 0, Step, ..., MaxFaults
+	// (paper: 0..100 step 10).
+	MaxFaults int
+	Step      int
+	// Patterns; nil means the paper set for the topology.
+	Patterns []string
+	Budget   Budget
+	Seed     uint64
+	VCs      int // 0 means 4 (3 routing + 1 escape), the Section 6 setting
+	Root     int32
+}
+
+// Fig6 reproduces Figure 6: OmniSP and PolSP throughput at full offered
+// load under a growing sequence of random link failures. The same fault
+// sequence (per seed) is shared by all mechanisms and prefixes, as in the
+// paper. Tables are rebuilt per fault count; runs on disconnected draws are
+// skipped (the paper's sequences keep the network connected).
+func Fig6(cfg Fig6Config) ([]Fig6Row, error) {
+	if cfg.MaxFaults == 0 {
+		cfg.MaxFaults = 100
+	}
+	if cfg.Step == 0 {
+		cfg.Step = 10
+	}
+	if cfg.Patterns == nil {
+		cfg.Patterns = paperPatterns(cfg.H)
+	}
+	if cfg.Budget == (Budget{}) {
+		cfg.Budget = DefaultBudget()
+	}
+	if cfg.VCs == 0 {
+		cfg.VCs = 4
+	}
+	per := cfg.H.Dims()[0]
+	sv := traffic.Servers{H: cfg.H, Per: per}
+	seq := topo.RandomFaultSequence(cfg.H, cfg.Seed)
+	var rows []Fig6Row
+	for faults := 0; faults <= cfg.MaxFaults; faults += cfg.Step {
+		if faults > len(seq) {
+			break
+		}
+		nw := topo.NewNetwork(cfg.H, topo.NewFaultSet(seq[:faults]...))
+		g := nw.Graph()
+		diam, connected := g.Diameter()
+		if !connected {
+			return rows, fmt.Errorf("experiments: %d faults disconnected %s (seed %d)", faults, cfg.H, cfg.Seed)
+		}
+		for _, patName := range cfg.Patterns {
+			pat, err := BuildPattern(patName, sv, cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			for _, mechName := range SurePathNames() {
+				res, err := runOne(nw, mechName, cfg.VCs, cfg.Root, pat, per, 1.0, cfg.Budget, cfg.Seed)
+				if err != nil {
+					return nil, fmt.Errorf("%s/%s with %d faults: %w", mechName, patName, faults, err)
+				}
+				rows = append(rows, Fig6Row{
+					Mechanism: mechName, Pattern: patName, Faults: faults,
+					Accepted: res.AcceptedLoad, Escape: res.EscapeFraction, Diameter: diam,
+				})
+			}
+		}
+	}
+	return rows, nil
+}
+
+// RenderFig6 formats the fault sweep grouped by pattern and mechanism.
+func RenderFig6(title string, rows []Fig6Row) string {
+	ordered := append([]Fig6Row(nil), rows...)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		if ordered[i].Pattern != ordered[j].Pattern {
+			return ordered[i].Pattern < ordered[j].Pattern
+		}
+		if ordered[i].Mechanism != ordered[j].Mechanism {
+			return ordered[i].Mechanism < ordered[j].Mechanism
+		}
+		return ordered[i].Faults < ordered[j].Faults
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	last := ""
+	for _, r := range ordered {
+		key := r.Pattern + "/" + r.Mechanism
+		if key != last {
+			fmt.Fprintf(&b, "== %s / %s ==\n", r.Pattern, r.Mechanism)
+			fmt.Fprintf(&b, "  %-7s %-9s %-8s %s\n", "faults", "accepted", "escape", "diameter")
+			last = key
+		}
+		fmt.Fprintf(&b, "  %-7d %-9.3f %-8.4f %d\n", r.Faults, r.Accepted, r.Escape, r.Diameter)
+	}
+	return b.String()
+}
+
+// ShapeRow is one bar of Figures 8 and 9: throughput of a SurePath
+// configuration under a structured fault shape, with the healthy-network
+// reference mark.
+type ShapeRow struct {
+	Mechanism string
+	Pattern   string
+	Shape     string
+	Faults    int
+	Accepted  float64
+	Healthy   float64 // fault-free reference (the top marks in the figures)
+	Escape    float64
+}
+
+// ShapesConfig parameterizes the structured-fault experiments.
+type ShapesConfig struct {
+	H        *topo.HyperX
+	Patterns []string
+	Budget   Budget
+	Seed     uint64
+	VCs      int   // 0 means 4, the Section 6 setting
+	Root     int32 // the shapes are centred here, as in the paper
+}
+
+// Shapes reproduces Figures 8 (2D) and 9 (3D): OmniSP and PolSP at full
+// offered load under the Row, Subplane/Subcube and Cross/Star fault
+// shapes, all centred on the escape subnetwork root to stress SurePath as
+// hard as possible.
+func Shapes(cfg ShapesConfig) ([]ShapeRow, error) {
+	if cfg.Patterns == nil {
+		cfg.Patterns = paperPatterns(cfg.H)
+	}
+	if cfg.Budget == (Budget{}) {
+		cfg.Budget = DefaultBudget()
+	}
+	if cfg.VCs == 0 {
+		cfg.VCs = 4
+	}
+	per := cfg.H.Dims()[0]
+	sv := traffic.Servers{H: cfg.H, Per: per}
+	var rows []ShapeRow
+	healthyNet := topo.NewNetwork(cfg.H, nil)
+	for _, patName := range cfg.Patterns {
+		pat, err := BuildPattern(patName, sv, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		for _, mechName := range SurePathNames() {
+			healthy, err := runOne(healthyNet, mechName, cfg.VCs, cfg.Root, pat, per, 1.0, cfg.Budget, cfg.Seed)
+			if err != nil {
+				return nil, fmt.Errorf("healthy %s/%s: %w", mechName, patName, err)
+			}
+			for _, kind := range []topo.ShapeKind{topo.ShapeRow, topo.ShapeSubBlock, topo.ShapeCross} {
+				edges, err := topo.PaperShape(cfg.H, cfg.Root, kind)
+				if err != nil {
+					return nil, err
+				}
+				nw := topo.NewNetwork(cfg.H, topo.NewFaultSet(edges...))
+				res, err := runOne(nw, mechName, cfg.VCs, cfg.Root, pat, per, 1.0, cfg.Budget, cfg.Seed)
+				if err != nil {
+					return nil, fmt.Errorf("%s/%s under %s: %w", mechName, patName, kind.PaperName(cfg.H.NDims()), err)
+				}
+				rows = append(rows, ShapeRow{
+					Mechanism: mechName, Pattern: patName,
+					Shape: kind.PaperName(cfg.H.NDims()), Faults: len(edges),
+					Accepted: res.AcceptedLoad, Healthy: healthy.AcceptedLoad,
+					Escape: res.EscapeFraction,
+				})
+			}
+		}
+	}
+	return rows, nil
+}
+
+// RenderShapes formats the shape experiment as the paper's bar chart rows.
+func RenderShapes(title string, rows []ShapeRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	last := ""
+	for _, r := range rows {
+		if r.Pattern != last {
+			fmt.Fprintf(&b, "== %s ==\n", r.Pattern)
+			fmt.Fprintf(&b, "  %-8s %-10s %-7s %-9s %-9s %-7s %s\n",
+				"mech", "shape", "faults", "accepted", "healthy", "drop%", "escape")
+			last = r.Pattern
+		}
+		drop := 0.0
+		if r.Healthy > 0 {
+			drop = 100 * (r.Healthy - r.Accepted) / r.Healthy
+		}
+		fmt.Fprintf(&b, "  %-8s %-10s %-7d %-9.3f %-9.3f %-7.1f %.4f\n",
+			r.Mechanism, r.Shape, r.Faults, r.Accepted, r.Healthy, drop, r.Escape)
+	}
+	return b.String()
+}

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/topo"
+)
+
+// Fig1Point is one measurement of Figure 1: the diameter of the network
+// after Faults random link failures. Disconnected marks the point where the
+// network broke apart (the line "exits the plot" in the paper).
+type Fig1Point struct {
+	Seed         uint64
+	Faults       int
+	Diameter     int32
+	Disconnected bool
+}
+
+// Fig1 reproduces Figure 1: the evolution of the diameter of a HyperX under
+// an increasing number of uniform random link failures, one fault sequence
+// per seed, sampled every step failures until disconnection. The paper uses
+// an 8x8x8 network; any topology works.
+func Fig1(h *topo.HyperX, seeds []uint64, step int) []Fig1Point {
+	if step < 1 {
+		step = 1
+	}
+	var points []Fig1Point
+	g := h.Graph()
+	for _, seed := range seeds {
+		seq := topo.RandomFaultSequence(h, seed)
+		for cut := 0; cut <= len(seq); cut += step {
+			cur := g.RemoveEdges(seq[:cut])
+			diam, connected := cur.Diameter()
+			points = append(points, Fig1Point{Seed: seed, Faults: cut, Diameter: diam, Disconnected: !connected})
+			if !connected {
+				break
+			}
+		}
+	}
+	return points
+}
+
+// Fig1Transitions compresses a Figure 1 series to the fault counts where
+// the diameter first reached each value, per seed.
+func Fig1Transitions(points []Fig1Point) map[uint64][]Fig1Point {
+	firsts := make(map[uint64][]Fig1Point)
+	last := make(map[uint64]int32)
+	for _, p := range points {
+		if p.Disconnected {
+			firsts[p.Seed] = append(firsts[p.Seed], p)
+			continue
+		}
+		if prev, seen := last[p.Seed]; !seen || p.Diameter > prev {
+			last[p.Seed] = p.Diameter
+			firsts[p.Seed] = append(firsts[p.Seed], p)
+		}
+	}
+	return firsts
+}
+
+// RenderFig1 formats the transition table.
+func RenderFig1(h *topo.HyperX, points []Fig1Point) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 1: diameter vs random link failures on %s (%d links)\n", h, h.Links())
+	trans := Fig1Transitions(points)
+	for seed, list := range trans {
+		fmt.Fprintf(&b, "  seed %d:\n", seed)
+		for _, p := range list {
+			if p.Disconnected {
+				fmt.Fprintf(&b, "    disconnected at >= %d faults (%.0f%% of links)\n",
+					p.Faults, 100*float64(p.Faults)/float64(h.Links()))
+				continue
+			}
+			fmt.Fprintf(&b, "    diameter %d first seen at %d faults (%.0f%% of links)\n",
+				p.Diameter, p.Faults, 100*float64(p.Faults)/float64(h.Links()))
+		}
+	}
+	return b.String()
+}

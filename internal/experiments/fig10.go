@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/traffic"
+)
+
+// Fig10Result is one completion-time curve of Figure 10: the throughput
+// time series and completion time of a burst of Regular Permutation to
+// Neighbour traffic under the Star fault configuration.
+type Fig10Result struct {
+	Mechanism      string
+	CompletionTime int64
+	PeakAccepted   float64
+	Series         []metrics.SeriesPoint
+}
+
+// Fig10Config parameterizes the completion-time experiment.
+type Fig10Config struct {
+	H *topo.HyperX
+	// BurstPhits per server (paper: 8000 phits = 500 packets). Scaled-down
+	// runs use less.
+	BurstPhits int
+	// SeriesBucket in cycles for the reported curve.
+	SeriesBucket int64
+	Seed         uint64
+	VCs          int // 0 means 4
+	Root         int32
+}
+
+// Fig10 reproduces Figure 10: each server generates a fixed burst of
+// Regular Permutation to Neighbour traffic on a network with the Star
+// fault configuration centred on the escape root; the run ends when all
+// packets complete. The paper's finding: OmniSP shows higher peak
+// throughput but a far larger completion time than PolSP (2.8x on the
+// paper's testbed) because only one of the root's three live links serves
+// its in-cast traffic.
+func Fig10(cfg Fig10Config) ([]Fig10Result, error) {
+	if cfg.BurstPhits == 0 {
+		cfg.BurstPhits = 8000
+	}
+	if cfg.SeriesBucket == 0 {
+		cfg.SeriesBucket = 2000
+	}
+	if cfg.VCs == 0 {
+		cfg.VCs = 4
+	}
+	per := cfg.H.Dims()[0]
+	sv := traffic.Servers{H: cfg.H, Per: per}
+	pat, err := BuildPattern("Regular Permutation to Neighbour", sv, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	edges, err := topo.PaperShape(cfg.H, cfg.Root, topo.ShapeCross) // Star in 3D
+	if err != nil {
+		return nil, err
+	}
+	nw := topo.NewNetwork(cfg.H, topo.NewFaultSet(edges...))
+	cfgSim := sim.DefaultConfig()
+	burstPkts := cfg.BurstPhits / cfgSim.PacketPhits
+	var out []Fig10Result
+	for _, mechName := range SurePathNames() {
+		mech, err := BuildMechanism(mechName, nw, cfg.VCs, cfg.Root)
+		if err != nil {
+			return nil, err
+		}
+		res, err := sim.Run(sim.RunOptions{
+			Net:              nw,
+			ServersPerSwitch: per,
+			Mechanism:        mech,
+			Pattern:          pat,
+			BurstPackets:     burstPkts,
+			SeriesBucket:     cfg.SeriesBucket,
+			Seed:             cfg.Seed,
+			Config:           cfgSim,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s burst: %w", mechName, err)
+		}
+		peak := 0.0
+		for _, p := range res.Series {
+			if p.Accepted > peak {
+				peak = p.Accepted
+			}
+		}
+		out = append(out, Fig10Result{
+			Mechanism:      mechName,
+			CompletionTime: res.CompletionTime,
+			PeakAccepted:   peak,
+			Series:         res.Series,
+		})
+	}
+	return out, nil
+}
+
+// RenderFig10 formats the completion-time curves.
+func RenderFig10(title string, results []Fig10Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for _, r := range results {
+		fmt.Fprintf(&b, "== %s: completion %d cycles, peak accepted %.3f ==\n",
+			r.Mechanism, r.CompletionTime, r.PeakAccepted)
+		for _, p := range r.Series {
+			fmt.Fprintf(&b, "  t=%-8d accepted=%.3f\n", p.Cycle, p.Accepted)
+		}
+	}
+	if len(results) == 2 {
+		a, z := results[0], results[1]
+		if a.CompletionTime > 0 && z.CompletionTime > 0 {
+			fmt.Fprintf(&b, "completion-time ratio %s/%s = %.2fx\n",
+				a.Mechanism, z.Mechanism, float64(a.CompletionTime)/float64(z.CompletionTime))
+		}
+	}
+	return b.String()
+}

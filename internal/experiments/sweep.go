@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/topo"
+	"repro/internal/traffic"
+)
+
+// SweepRow is one point of a load sweep: one (mechanism, pattern, load)
+// triple with the three metrics of the paper's Figures 4 and 5.
+type SweepRow struct {
+	Mechanism string
+	Pattern   string
+	Offered   float64
+	Accepted  float64
+	Latency   float64
+	Jain      float64
+	Escape    float64 // fraction of packets that used the escape subnetwork
+}
+
+// SweepConfig parameterizes a fault-free load sweep (Figures 4 and 5).
+type SweepConfig struct {
+	// H is the topology; servers per switch defaults to the first side.
+	H *topo.HyperX
+	// Mechanisms to evaluate; nil means MechanismNames().
+	Mechanisms []string
+	// Patterns to evaluate; nil means PatternNames for the topology,
+	// following the paper (RPN only shown in 3D).
+	Patterns []string
+	// Loads to sweep; nil means 0.1..1.0 in steps of 0.1.
+	Loads []float64
+	// Budget sizes the runs; zero means DefaultBudget.
+	Budget Budget
+	// Seed drives all randomness.
+	Seed uint64
+	// Faults optionally injects a fault set (used by the fault figures).
+	Faults *topo.FaultSet
+	// VCs per port; 0 means the paper's 2n.
+	VCs int
+	// Root of the escape subnetwork for SurePath mechanisms.
+	Root int32
+}
+
+func (c *SweepConfig) fill() {
+	if c.Mechanisms == nil {
+		c.Mechanisms = MechanismNames()
+	}
+	if c.Patterns == nil {
+		c.Patterns = paperPatterns(c.H)
+	}
+	if c.Loads == nil {
+		for l := 0.1; l <= 1.0001; l += 0.1 {
+			c.Loads = append(c.Loads, l)
+		}
+	}
+	if c.Budget == (Budget{}) {
+		c.Budget = DefaultBudget()
+	}
+	if c.VCs == 0 {
+		c.VCs = 2 * c.H.NDims()
+	}
+}
+
+// paperPatterns returns the pattern set the paper shows for the topology:
+// three patterns in 2D (Figure 4), four in 3D (Figure 5).
+func paperPatterns(h *topo.HyperX) []string {
+	ps := []string{"Uniform", "Random Server Permutation", "Dimension Complement Reverse"}
+	if h.NDims() >= 3 {
+		ps = append(ps, "Regular Permutation to Neighbour")
+	}
+	return ps
+}
+
+// LoadSweep runs the sweep and returns one row per (mechanism, pattern,
+// load), in a deterministic order.
+func LoadSweep(cfg SweepConfig) ([]SweepRow, error) {
+	cfg.fill()
+	per := cfg.H.Dims()[0]
+	nw := topo.NewNetwork(cfg.H, cfg.Faults)
+	sv := traffic.Servers{H: cfg.H, Per: per}
+	var rows []SweepRow
+	for _, patName := range cfg.Patterns {
+		pat, err := BuildPattern(patName, sv, cfg.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("pattern %q: %w", patName, err)
+		}
+		for _, mechName := range cfg.Mechanisms {
+			for _, load := range cfg.Loads {
+				res, err := runOne(nw, mechName, cfg.VCs, cfg.Root, pat, per, load, cfg.Budget, cfg.Seed)
+				if err != nil {
+					return nil, fmt.Errorf("%s/%s at load %.2f: %w", mechName, patName, load, err)
+				}
+				rows = append(rows, SweepRow{
+					Mechanism: mechName,
+					Pattern:   patName,
+					Offered:   load,
+					Accepted:  res.AcceptedLoad,
+					Latency:   res.AvgLatency,
+					Jain:      res.JainIndex,
+					Escape:    res.EscapeFraction,
+				})
+			}
+		}
+	}
+	return rows, nil
+}
+
+// Fig4 reproduces Figure 4: the 2D HyperX fault-free sweep.
+func Fig4(scale Scale, budget Budget, seed uint64) ([]SweepRow, error) {
+	return LoadSweep(SweepConfig{H: Topology2D(scale), Budget: budget, Seed: seed})
+}
+
+// Fig5 reproduces Figure 5: the 3D HyperX fault-free sweep, including the
+// paper's new Regular Permutation to Neighbour pattern.
+func Fig5(scale Scale, budget Budget, seed uint64) ([]SweepRow, error) {
+	return LoadSweep(SweepConfig{H: Topology3D(scale), Budget: budget, Seed: seed})
+}
+
+// SaturationThroughput extracts, per (mechanism, pattern), the accepted
+// load at the highest offered load of the sweep — the summary number the
+// paper's bar charts report.
+func SaturationThroughput(rows []SweepRow) map[string]map[string]float64 {
+	out := make(map[string]map[string]float64)
+	best := make(map[string]float64)
+	for _, r := range rows {
+		key := r.Pattern + "\x00" + r.Mechanism
+		if r.Offered >= best[key] {
+			best[key] = r.Offered
+			if out[r.Pattern] == nil {
+				out[r.Pattern] = make(map[string]float64)
+			}
+			out[r.Pattern][r.Mechanism] = r.Accepted
+		}
+	}
+	return out
+}
+
+// RenderSweep formats sweep rows grouped by pattern, one line per
+// (mechanism, load) with the three paper metrics.
+func RenderSweep(title string, rows []SweepRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	lastPat, lastMech := "", ""
+	for _, r := range rows {
+		if r.Pattern != lastPat {
+			fmt.Fprintf(&b, "== %s ==\n", r.Pattern)
+			lastPat, lastMech = r.Pattern, ""
+		}
+		if r.Mechanism != lastMech {
+			fmt.Fprintf(&b, "  %s\n", r.Mechanism)
+			fmt.Fprintf(&b, "    %-8s %-9s %-9s %-7s %s\n", "offered", "accepted", "latency", "jain", "escape")
+			lastMech = r.Mechanism
+		}
+		fmt.Fprintf(&b, "    %-8.2f %-9.3f %-9.1f %-7.4f %.4f\n", r.Offered, r.Accepted, r.Latency, r.Jain, r.Escape)
+	}
+	return b.String()
+}

@@ -1,0 +1,142 @@
+// Package metrics implements the three performance metrics of the paper's
+// Section 4 — average accepted throughput, average message latency and the
+// Jain fairness index of server generated load — plus the time-series and
+// completion-time bookkeeping used by the Figure 10 experiment.
+package metrics
+
+import "math"
+
+// Jain returns the Jain fairness index (sum x)^2 / (n * sum x^2) of the
+// per-server loads. It is 1.0 for perfect equity and 1/n when a single
+// server generates everything. An all-zero (or empty) vector returns 1.0 by
+// convention: no server is being treated unfairly.
+func Jain(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 1.0
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 1.0
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}
+
+// JainInt is Jain over integer counts (phits generated per server).
+func JainInt(xs []int64) float64 {
+	if len(xs) == 0 {
+		return 1.0
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		f := float64(x)
+		sum += f
+		sumSq += f * f
+	}
+	if sumSq == 0 {
+		return 1.0
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}
+
+// Mean returns the arithmetic mean, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Welford accumulates a running mean and variance without storing samples.
+// The zero value is ready to use.
+type Welford struct {
+	n    int64
+	mean float64
+	m2   float64
+}
+
+// Add folds one sample into the accumulator.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of samples.
+func (w *Welford) N() int64 { return w.n }
+
+// Mean returns the running mean (0 with no samples).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Var returns the sample variance (0 with fewer than two samples).
+func (w *Welford) Var() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Var()) }
+
+// SeriesPoint is one bucket of a throughput time series: the accepted load
+// measured over the bucket ending at Cycle.
+type SeriesPoint struct {
+	Cycle    int64
+	Accepted float64
+}
+
+// ThroughputSeries buckets delivered phits into fixed windows and reports
+// per-window accepted load, the presentation of the paper's Figure 10.
+type ThroughputSeries struct {
+	bucket    int64 // cycles per bucket
+	servers   int64
+	points    []SeriesPoint
+	cur       int64 // phits delivered in the open bucket
+	curBucket int64 // index of the open bucket
+}
+
+// NewThroughputSeries creates a series with the given bucket width in
+// cycles, normalizing by the server count (accepted load is
+// phits/server/cycle).
+func NewThroughputSeries(bucketCycles int64, servers int) *ThroughputSeries {
+	if bucketCycles < 1 {
+		bucketCycles = 1
+	}
+	return &ThroughputSeries{bucket: bucketCycles, servers: int64(servers)}
+}
+
+// Record notes phits delivered at the given cycle.
+func (s *ThroughputSeries) Record(cycle, phits int64) {
+	b := cycle / s.bucket
+	for s.curBucket < b {
+		s.flush()
+	}
+	s.cur += phits
+}
+
+// flush closes the open bucket.
+func (s *ThroughputSeries) flush() {
+	s.points = append(s.points, SeriesPoint{
+		Cycle:    (s.curBucket + 1) * s.bucket,
+		Accepted: float64(s.cur) / float64(s.bucket*s.servers),
+	})
+	s.cur = 0
+	s.curBucket++
+}
+
+// Points closes the open bucket and returns the full series.
+func (s *ThroughputSeries) Points() []SeriesPoint {
+	if s.cur > 0 {
+		s.flush()
+	}
+	return s.points
+}

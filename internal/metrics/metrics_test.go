@@ -1,0 +1,125 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestJainPerfectEquity(t *testing.T) {
+	if j := Jain([]float64{5, 5, 5, 5}); math.Abs(j-1) > 1e-12 {
+		t.Errorf("equal loads Jain = %v", j)
+	}
+	if j := JainInt([]int64{7, 7, 7}); math.Abs(j-1) > 1e-12 {
+		t.Errorf("equal int loads Jain = %v", j)
+	}
+}
+
+func TestJainWorstCase(t *testing.T) {
+	xs := make([]float64, 10)
+	xs[3] = 42
+	if j := Jain(xs); math.Abs(j-0.1) > 1e-12 {
+		t.Errorf("single-server Jain = %v, want 0.1", j)
+	}
+}
+
+func TestJainConventions(t *testing.T) {
+	if Jain(nil) != 1.0 || Jain([]float64{0, 0}) != 1.0 {
+		t.Error("empty/zero Jain should be 1.0")
+	}
+	if JainInt(nil) != 1.0 || JainInt([]int64{0}) != 1.0 {
+		t.Error("empty/zero JainInt should be 1.0")
+	}
+}
+
+func TestJainRangeProperty(t *testing.T) {
+	check := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		j := Jain(xs)
+		lo := 1.0 / float64(len(xs))
+		return j >= lo-1e-9 && j <= 1.0+1e-9
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJainScaleInvariance(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{10, 20, 30, 40}
+	if math.Abs(Jain(xs)-Jain(ys)) > 1e-12 {
+		t.Error("Jain not scale invariant")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("empty mean nonzero")
+	}
+	if m := Mean([]float64{1, 2, 3}); math.Abs(m-2) > 1e-12 {
+		t.Errorf("mean = %v", m)
+	}
+}
+
+func TestWelford(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Var() != 0 || w.N() != 0 {
+		t.Error("zero Welford not zeroed")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if w.N() != 8 {
+		t.Errorf("N=%d", w.N())
+	}
+	if math.Abs(w.Mean()-5) > 1e-12 {
+		t.Errorf("mean=%v", w.Mean())
+	}
+	// Sample variance of this classic data set is 32/7.
+	if math.Abs(w.Var()-32.0/7.0) > 1e-9 {
+		t.Errorf("var=%v", w.Var())
+	}
+	if math.Abs(w.StdDev()-math.Sqrt(32.0/7.0)) > 1e-9 {
+		t.Errorf("stddev=%v", w.StdDev())
+	}
+}
+
+func TestThroughputSeries(t *testing.T) {
+	s := NewThroughputSeries(100, 2) // 2 servers, 100-cycle buckets
+	s.Record(10, 160)                // bucket 0
+	s.Record(50, 160)
+	s.Record(150, 320) // bucket 1
+	s.Record(350, 160) // bucket 3, bucket 2 empty
+	pts := s.Points()
+	if len(pts) != 4 {
+		t.Fatalf("got %d points, want 4", len(pts))
+	}
+	// Bucket 0: 320 phits / (100 cycles * 2 servers) = 1.6.
+	if math.Abs(pts[0].Accepted-1.6) > 1e-12 || pts[0].Cycle != 100 {
+		t.Errorf("bucket 0 = %+v", pts[0])
+	}
+	if math.Abs(pts[1].Accepted-1.6) > 1e-12 {
+		t.Errorf("bucket 1 = %+v", pts[1])
+	}
+	if pts[2].Accepted != 0 {
+		t.Errorf("bucket 2 = %+v", pts[2])
+	}
+	if math.Abs(pts[3].Accepted-0.8) > 1e-12 || pts[3].Cycle != 400 {
+		t.Errorf("bucket 3 = %+v", pts[3])
+	}
+}
+
+func TestThroughputSeriesMinBucket(t *testing.T) {
+	s := NewThroughputSeries(0, 1) // clamps to 1
+	s.Record(0, 16)
+	pts := s.Points()
+	if len(pts) != 1 || pts[0].Accepted != 16 {
+		t.Errorf("points = %+v", pts)
+	}
+}

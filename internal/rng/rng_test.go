@@ -1,0 +1,163 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical draws out of 100", same)
+	}
+}
+
+func TestStreamsIndependent(t *testing.T) {
+	a := NewStream(7, 0)
+	b := NewStream(7, 1)
+	if a.Uint64() == b.Uint64() {
+		t.Fatal("streams 0 and 1 of the same seed coincide on first draw")
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(3)
+	for n := 1; n <= 17; n++ {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestUint64nPowerOfTwoFastPath(t *testing.T) {
+	r := New(9)
+	for i := 0; i < 1000; i++ {
+		if v := r.Uint64n(64); v >= 64 {
+			t.Fatalf("Uint64n(64) = %d", v)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(11)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(13)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("mean of %d uniform draws = %v, want ~0.5", n, mean)
+	}
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := New(17)
+	const buckets, draws = 10, 100000
+	counts := make([]int, buckets)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(buckets)]++
+	}
+	want := float64(draws) / buckets
+	for b, c := range counts {
+		if math.Abs(float64(c)-want) > 0.05*want {
+			t.Fatalf("bucket %d has %d draws, want ~%v", b, c, want)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	check := func(seed uint64, n uint8) bool {
+		p := New(seed).Perm(int(n))
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= int(n) || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return len(p) == int(n)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoolProbabilities(t *testing.T) {
+	r := New(23)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if math.Abs(got-0.3) > 0.01 {
+		t.Fatalf("Bool(0.3) hit rate %v", got)
+	}
+	if r.Bool(0) {
+		// One draw of p=0 must never hit... but a single draw proves little;
+		// check many.
+		t.Fatal("Bool(0) returned true")
+	}
+	for i := 0; i < 1000; i++ {
+		if r.Bool(0) {
+			t.Fatal("Bool(0) returned true")
+		}
+		if !r.Bool(1.5) {
+			t.Fatal("Bool(1.5) returned false")
+		}
+	}
+}
+
+func TestMix64Spreads(t *testing.T) {
+	seen := make(map[uint64]bool)
+	for i := uint64(0); i < 1000; i++ {
+		v := Mix64(i)
+		if seen[v] {
+			t.Fatalf("Mix64 collision at input %d", i)
+		}
+		seen[v] = true
+	}
+}

@@ -1,0 +1,125 @@
+package routing
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/topo"
+)
+
+func TestDALPerDimensionDeroute(t *testing.T) {
+	nw := freshNet(t, 4, 4)
+	d, err := NewDAL(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name() != "DAL" {
+		t.Errorf("name %q", d.Name())
+	}
+	var st PacketState
+	src := hx(nw).ID([]int{0, 0})
+	dst := hx(nw).ID([]int{3, 0})
+	d.Init(&st, src, dst, rng.New(1))
+	// Dimension 0 unaligned, not yet derouted: minimal + 2 deroutes.
+	buf := d.PortCandidates(src, &st, nil)
+	minimal, deroutes := 0, 0
+	for _, pc := range buf {
+		if pc.Deroute {
+			deroutes++
+		} else {
+			minimal++
+		}
+	}
+	if minimal != 1 || deroutes != 2 {
+		t.Fatalf("minimal=%d deroutes=%d, want 1 and 2", minimal, deroutes)
+	}
+	// After a deroute in dimension 0, that dimension is minimal-only.
+	var derPort int
+	for _, pc := range buf {
+		if pc.Deroute {
+			derPort = pc.Port
+			break
+		}
+	}
+	d.Advance(src, derPort, &st)
+	if st.DerouteMask&1 == 0 {
+		t.Fatal("deroute mask not set for dimension 0")
+	}
+	cur := nw.H.PortNeighbor(src, derPort)
+	buf = d.PortCandidates(cur, &st, buf[:0])
+	for _, pc := range buf {
+		if pc.Deroute && hx(nw).PortDim(pc.Port) == 0 {
+			t.Fatal("second deroute offered in the same dimension")
+		}
+	}
+}
+
+func TestDALDeliversFaultFree(t *testing.T) {
+	nw := freshNet(t, 3, 3, 3)
+	d, err := NewDAL(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(2)
+	for trial := 0; trial < 300; trial++ {
+		src, dst := int32(r.Intn(27)), int32(r.Intn(27))
+		path := walk(d, nw, src, dst, r, d.MaxHops(nw))
+		if path == nil {
+			t.Fatalf("DAL walk %d->%d failed", src, dst)
+		}
+	}
+}
+
+// TestDALFragility demonstrates the paper's claim that DAL "only supports
+// one fault": with the deroute spent in a dimension and the remaining
+// minimal link dead, a packet is stuck.
+func TestDALFragility(t *testing.T) {
+	h := topo.MustHyperX(4, 4)
+	src := h.ID([]int{0, 0})
+	dst := h.ID([]int{3, 0})
+	nw := topo.NewNetwork(h, topo.NewFaultSet(topo.NewEdge(src, dst)))
+	d, err := NewDAL(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st PacketState
+	d.Init(&st, src, dst, rng.New(3))
+	st.DerouteMask = 1 // dimension 0 deroute already spent elsewhere
+	st.Deroutes = 1
+	buf := d.PortCandidates(src, &st, nil)
+	if len(buf) != 0 {
+		t.Fatalf("expected DAL to be stuck, got %d candidates", len(buf))
+	}
+	// Under the same conditions Omnidimensional (global budget) survives,
+	// and SurePath always has the escape hatch (tested in core).
+	o, _ := NewOmni(nw)
+	var st2 PacketState
+	o.Init(&st2, src, dst, rng.New(3))
+	st2.Deroutes = 1
+	if len(o.PortCandidates(src, &st2, nil)) == 0 {
+		t.Fatal("Omni with global budget should still have candidates")
+	}
+}
+
+func TestDALRebuildAndLimits(t *testing.T) {
+	nw := freshNet(t, 4, 4)
+	d, err := NewDAL(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.MaxHops(nw) != 4 {
+		t.Errorf("MaxHops %d, want 4", d.MaxHops(nw))
+	}
+	h := nw.H
+	nw2 := topo.NewNetwork(h, topo.NewFaultSet(topo.NewEdge(0, h.PortNeighbor(0, 0))))
+	if err := d.Rebuild(nw2); err != nil {
+		t.Fatal(err)
+	}
+	var st PacketState
+	d.Init(&st, 0, h.PortNeighbor(0, 0), rng.New(4))
+	for _, pc := range d.PortCandidates(0, &st, nil) {
+		if h.PortNeighbor(0, pc.Port) == h.PortNeighbor(0, 0) && pc.Port == 0 {
+			t.Fatal("dead link offered after rebuild")
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package routing
+
+import (
+	"repro/internal/rng"
+	"repro/internal/topo"
+)
+
+// DORAlg is Dimension Ordered Routing: align coordinates with the
+// destination one dimension at a time, lowest dimension first, always
+// through the single direct link. DOR gives exactly one route per pair, so
+// — as the paper's motivation stresses — a single link failure on that route
+// leaves the pair disconnected. It is included as the fragility baseline;
+// PortCandidates simply returns nothing when the required link is dead.
+type DORAlg struct {
+	nw *topo.Network
+	h  *topo.HyperX
+}
+
+// NewDOR builds DOR on nw. The network must be a HyperX.
+func NewDOR(nw *topo.Network) (*DORAlg, error) {
+	h, err := requireHyperX(nw, "DOR")
+	if err != nil {
+		return nil, err
+	}
+	return &DORAlg{nw: nw, h: h}, nil
+}
+
+// Name implements Algorithm.
+func (d *DORAlg) Name() string { return "DOR" }
+
+// Init implements Algorithm.
+func (d *DORAlg) Init(st *PacketState, src, dst int32, _ *rng.Rand) {
+	*st = PacketState{Src: src, Dst: dst}
+}
+
+// PortCandidates implements Algorithm: the unique next hop, if its link is
+// alive.
+func (d *DORAlg) PortCandidates(cur int32, st *PacketState, buf []PortCandidate) []PortCandidate {
+	h := d.h
+	for dim := 0; dim < h.NDims(); dim++ {
+		want := h.CoordAt(st.Dst, dim)
+		if h.CoordAt(cur, dim) == want {
+			continue
+		}
+		p := h.PortTo(cur, h.WithCoord(cur, dim, want))
+		if d.nw.PortAlive(cur, p) {
+			buf = append(buf, PortCandidate{Port: p, Penalty: PenaltyMinimal})
+		}
+		return buf // first unaligned dimension only; dead link means stuck
+	}
+	return buf
+}
+
+// Advance implements Algorithm.
+func (d *DORAlg) Advance(_ int32, _ int, st *PacketState) { st.Hops++ }
+
+// MaxHops implements Algorithm: one hop per dimension.
+func (d *DORAlg) MaxHops(*topo.Network) int { return d.h.NDims() }
+
+// Rebuild implements Algorithm. DOR is table-free; it only adopts the new
+// fault set (and stays broken for pairs whose route died, by design).
+func (d *DORAlg) Rebuild(nw *topo.Network) error {
+	h, err := requireHyperX(nw, "DOR")
+	if err != nil {
+		return err
+	}
+	d.nw, d.h = nw, h
+	return nil
+}

@@ -1,0 +1,58 @@
+package routing
+
+import (
+	"fmt"
+
+	"repro/internal/topo"
+)
+
+// requireHyperX unwraps the network's topology as a HyperX for the
+// coordinate-driven algorithms (DOR, Omnidimensional, DAL); table-driven
+// algorithms run on any topo.Switched.
+func requireHyperX(nw *topo.Network, alg string) (*topo.HyperX, error) {
+	h, ok := nw.H.(*topo.HyperX)
+	if !ok {
+		return nil, fmt.Errorf("routing: %s is coordinate-driven and needs a HyperX, got %s", alg, nw.H)
+	}
+	return h, nil
+}
+
+// Tables holds the all-pairs distance table of the live topology, the state
+// the paper's table-based routings (Minimal, Valiant, Polarized) consult.
+// They are rebuilt by BFS whenever the fault set changes, which the paper
+// argues keeps SurePath's cost in the order of plain Minimal routing.
+type Tables struct {
+	n    int
+	dist []int32 // row-major n*n live-graph distances
+}
+
+// BuildTables computes distance tables for the live links of nw. It fails if
+// the live graph is disconnected, since distance-driven routing is undefined
+// across components.
+func BuildTables(nw *topo.Network) (*Tables, error) {
+	g := nw.Graph()
+	t := &Tables{n: g.N(), dist: g.Distances()}
+	for _, d := range t.dist {
+		if d == topo.Unreachable {
+			return nil, fmt.Errorf("routing: network is disconnected (%d faults)", nw.Faults.Len())
+		}
+	}
+	return t, nil
+}
+
+// N returns the number of switches covered by the tables.
+func (t *Tables) N() int { return t.n }
+
+// D returns the live-graph distance between switches a and b.
+func (t *Tables) D(a, b int32) int32 { return t.dist[int(a)*t.n+int(b)] }
+
+// Diameter returns the largest tabulated distance.
+func (t *Tables) Diameter() int32 {
+	var m int32
+	for _, d := range t.dist {
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}

@@ -1,0 +1,537 @@
+package sim
+
+import (
+	"errors"
+	"sort"
+
+	"repro/internal/metrics"
+	"repro/internal/rng"
+	"repro/internal/routing"
+	"repro/internal/topo"
+	"repro/internal/traffic"
+)
+
+// ErrDeadlock is returned when the watchdog observes no forward progress
+// while packets are in flight — the condition SurePath's escape subnetwork
+// exists to prevent.
+var ErrDeadlock = errors.New("sim: no forward progress (deadlock suspected)")
+
+// packet is the in-flight representation of one message.
+type packet struct {
+	birth    int64
+	dstLocal int16 // server index at the destination switch
+	inWindow bool  // generated during the measurement window
+	st       routing.PacketState
+}
+
+// event kinds processed from the calendar queue.
+const (
+	evArrive   = iota // packet lands in input VC `a`
+	evXferDone        // packet enters output buffer of global port `a` on VC vc
+	evCredit          // credit returns to input VC `a`
+	evDeliver         // packet reaches its destination server
+)
+
+type event struct {
+	kind int8
+	vc   int8
+	a    int32 // input VC id, global port id, or unused
+	pkt  int32
+}
+
+// request is one head packet's single allocation request this cycle.
+type request struct {
+	cost    int64 // Q + P
+	tie     uint32
+	invc    int32 // global input VC id
+	inPort  int32 // global port id
+	outPort int32 // global port id
+	pkt     int32
+	vc      int8
+	eject   bool
+}
+
+// engine holds all simulation state. Indices:
+//
+//	switch ports:  p in [0,R) link ports, [R,R+K) server (inject/eject) ports
+//	global port:   sw*P + p
+//	input VC:      gport*V + vc
+//	server:        sw*K + w
+type engine struct {
+	cfg  Config
+	nw   *topo.Network
+	mech routing.Mechanism
+	pat  traffic.Pattern
+	r    *rng.Rand
+
+	S, R, K, P, V int
+
+	// Static maps (dnInVC/portDead mutate on scheduled mid-run faults).
+	dnInVC   []int32 // per global link port: downstream input VC base, -1 if dead
+	portDead []bool  // per global port: link failed mid-run
+
+	// Input side.
+	inQ         []ring
+	inBusyUntil []int64
+	credits     []int16 // per input VC, as seen by its upstream sender
+	credSum     []int32 // per global port: sum of credits over its VCs
+	inInflight  []int8  // per global port: outgoing crossbar transfers
+
+	// Output side.
+	outQ        []ring  // per global port: entries pkt<<3|vc
+	outReserved []int16 // granted transfers not yet in outQ
+	outVCCount  []int16 // per gport*V+vc: queued+reserved packets for that VC
+	outBusy     []int64 // link serialization busy-until
+	outInflight []int8  // incoming crossbar transfers
+
+	// Servers.
+	injQ    []ring
+	injBusy []int64
+
+	// Packet pool.
+	pool []packet
+	free []int32
+
+	// Calendar queue.
+	events  [][]event
+	horizon int64
+
+	// Reused scratch.
+	cands      []routing.Candidate
+	vcBuf      []int
+	reqs       []request
+	inReleases []inRelease
+
+	// Mid-run fault schedule.
+	faultSchedule []FaultEvent
+	nextFault     int
+	lostPkts      int64
+
+	// Time and progress.
+	now          int64
+	lastProgress int64
+	inFlight     int64
+
+	// Measurement.
+	warmStart, warmEnd int64 // measurement window [warmStart, warmEnd)
+	linkBusyCycles     int64 // switch-link busy cycles inside the window
+	liveDirLinks       int64 // directed live switch-to-switch links
+	genPhits           []int64
+	stalledGenPkts     int64
+	deliveredPkts      int64
+	deliveredPhits     int64
+	latencySum         int64
+	hopSum             int64
+	escapedPkts        int64
+	totalDelivered     int64 // across all time (burst completion)
+	series             *metrics.ThroughputSeries
+	lastDeliveryCycle  int64
+}
+
+func newEngine(o RunOptions) (*engine, error) {
+	h := o.Net.H
+	e := &engine{
+		cfg:  o.Config,
+		nw:   o.Net,
+		mech: o.Mechanism,
+		pat:  o.Pattern,
+		r:    rng.NewStream(o.Seed, 0x51),
+		S:    h.Switches(),
+		R:    h.SwitchRadix(),
+		K:    o.ServersPerSwitch,
+		V:    o.Mechanism.VCs(),
+	}
+	e.P = e.R + e.K
+	SP := e.S * e.P
+	var err error
+	if e.faultSchedule, err = sortFaultSchedule(o.FaultSchedule); err != nil {
+		return nil, err
+	}
+	e.portDead = make([]bool, SP)
+	e.dnInVC = make([]int32, SP)
+	for sw := int32(0); sw < int32(e.S); sw++ {
+		for p := 0; p < e.P; p++ {
+			gp := int(sw)*e.P + p
+			if p >= e.R || !e.nw.PortAlive(sw, p) {
+				e.dnInVC[gp] = -1
+				continue
+			}
+			nbr := h.PortNeighbor(sw, p)
+			rev := h.PortTo(nbr, sw)
+			e.dnInVC[gp] = (nbr*int32(e.P) + int32(rev)) * int32(e.V)
+			e.liveDirLinks++
+		}
+	}
+	e.inQ = make([]ring, SP*e.V)
+	for i := range e.inQ {
+		e.inQ[i].init(e.cfg.InputBufPkts)
+	}
+	e.inBusyUntil = make([]int64, SP*e.V)
+	e.credits = make([]int16, SP*e.V)
+	for i := range e.credits {
+		e.credits[i] = int16(e.cfg.InputBufPkts)
+	}
+	e.credSum = make([]int32, SP)
+	for i := range e.credSum {
+		e.credSum[i] = int32(e.V * e.cfg.InputBufPkts)
+	}
+	e.inInflight = make([]int8, SP)
+	e.outQ = make([]ring, SP)
+	for i := range e.outQ {
+		e.outQ[i].init(e.cfg.OutputBufPkts)
+	}
+	e.outReserved = make([]int16, SP)
+	e.outVCCount = make([]int16, SP*e.V)
+	e.outBusy = make([]int64, SP)
+	e.outInflight = make([]int8, SP)
+
+	nServers := e.S * e.K
+	e.injQ = make([]ring, nServers)
+	for i := range e.injQ {
+		e.injQ[i].init(max(e.cfg.InjQueuePkts, o.BurstPackets))
+	}
+	e.injBusy = make([]int64, nServers)
+	e.genPhits = make([]int64, nServers)
+
+	e.horizon = int64(e.cfg.PacketPhits+e.cfg.LinkLatency) + e.cfg.xferCycles() + int64(e.cfg.XbarLatency) + 2
+	e.events = make([][]event, e.horizon)
+	return e, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// schedule enqueues an event at now+delay.
+func (e *engine) schedule(delay int64, ev event) {
+	slot := (e.now + delay) % e.horizon
+	e.events[slot] = append(e.events[slot], ev)
+}
+
+// allocPacket takes a packet from the pool.
+func (e *engine) allocPacket() int32 {
+	if n := len(e.free); n > 0 {
+		id := e.free[n-1]
+		e.free = e.free[:n-1]
+		return id
+	}
+	e.pool = append(e.pool, packet{})
+	return int32(len(e.pool) - 1)
+}
+
+func (e *engine) freePacket(id int32) {
+	e.free = append(e.free, id)
+}
+
+// generate creates one message at server src toward the pattern's
+// destination and enqueues it in the injection queue; it returns false and
+// counts a stall when the queue is full.
+func (e *engine) generate(src int32) bool {
+	if e.injQ[src].full() {
+		e.stalledGenPkts++
+		return false
+	}
+	dst := e.pat.Dest(src, e.r)
+	id := e.allocPacket()
+	pkt := &e.pool[id]
+	pkt.birth = e.now
+	pkt.dstLocal = int16(int(dst) % e.K)
+	pkt.inWindow = e.now >= e.warmStart && e.now < e.warmEnd
+	e.mech.Init(&pkt.st, src/int32(e.K), dst/int32(e.K), e.r)
+	e.injQ[src].push(id)
+	e.inFlight++
+	if pkt.inWindow {
+		e.genPhits[src] += int64(e.cfg.PacketPhits)
+	}
+	return true
+}
+
+// processEvents drains the calendar slot for the current cycle.
+func (e *engine) processEvents() {
+	slot := e.now % e.horizon
+	evs := e.events[slot]
+	e.events[slot] = evs[:0]
+	for _, ev := range evs {
+		switch ev.kind {
+		case evArrive:
+			e.inQ[ev.a].push(ev.pkt)
+		case evXferDone:
+			e.outReserved[ev.a]--
+			e.outInflight[ev.a]--
+			if e.portDead[ev.a] {
+				// The link failed while the packet crossed the switch.
+				e.outVCCount[ev.a*int32(e.V)+int32(ev.vc)]--
+				e.losePacket(ev.pkt)
+				continue
+			}
+			e.outQ[ev.a].push(ev.pkt<<3 | int32(ev.vc))
+			// The input-port inflight counter was decremented when the
+			// input released the packet (evCredit below shares the timing),
+			// so only the output side is handled here.
+		case evCredit:
+			e.credits[ev.a]++
+			e.credSum[ev.a/int32(e.V)]++
+		case evDeliver:
+			e.deliver(ev.pkt)
+		}
+	}
+}
+
+// deliver retires a packet at its destination server.
+func (e *engine) deliver(id int32) {
+	pkt := &e.pool[id]
+	e.inFlight--
+	e.totalDelivered++
+	e.lastProgress = e.now
+	e.lastDeliveryCycle = e.now
+	if e.series != nil {
+		e.series.Record(e.now, int64(e.cfg.PacketPhits))
+	}
+	if e.now >= e.warmStart && e.now < e.warmEnd {
+		e.deliveredPkts++
+		e.deliveredPhits += int64(e.cfg.PacketPhits)
+		e.latencySum += e.now - pkt.birth
+		e.hopSum += int64(pkt.st.Hops)
+		if pkt.st.InEscape {
+			e.escapedPkts++
+		}
+	}
+	e.freePacket(id)
+}
+
+// injectionStep launches head packets of server queues onto injection links.
+func (e *engine) injectionStep() {
+	V := e.V
+	for g := range e.injQ {
+		q := &e.injQ[g]
+		if q.len() == 0 || e.injBusy[g] > e.now {
+			continue
+		}
+		id := q.peek()
+		pkt := &e.pool[id]
+		sw := int32(g / e.K)
+		w := g % e.K
+		base := (sw*int32(e.P) + int32(e.R+w)) * int32(V)
+		e.vcBuf = e.mech.InjectVCs(&pkt.st, e.vcBuf[:0])
+		bestVC := -1
+		var bestCred int16
+		for _, vc := range e.vcBuf {
+			if c := e.credits[base+int32(vc)]; c > 0 && (bestVC < 0 || c > bestCred) {
+				bestVC, bestCred = vc, c
+			}
+		}
+		if bestVC < 0 {
+			continue // no space at the switch; retry next cycle
+		}
+		q.pop()
+		invc := base + int32(bestVC)
+		e.credits[invc]--
+		e.credSum[invc/int32(V)]--
+		e.injBusy[g] = e.now + int64(e.cfg.PacketPhits)
+		e.schedule(int64(e.cfg.PacketPhits+e.cfg.LinkLatency), event{kind: evArrive, a: invc, pkt: id})
+		e.lastProgress = e.now
+	}
+}
+
+// qCost computes the allocation cost Q of requesting (gport, vc): the
+// requested queue counted twice plus the rest of the port's queues, as in
+// Section 3. Occupancy of a queue is its output-buffer share plus the
+// consumed credits of the downstream input buffer.
+func (e *engine) qCost(gport int32, vc int, eject bool) int64 {
+	V := int32(e.V)
+	outTotal := int64(e.outQ[gport].len()) + int64(e.outReserved[gport])
+	qs := int64(e.outVCCount[gport*V+int32(vc)])
+	if eject {
+		// No downstream credits: the server always sinks.
+		return qs + outTotal
+	}
+	dn := e.dnInVC[gport]
+	qs += int64(e.cfg.InputBufPkts) - int64(e.credits[dn+int32(vc)])
+	consumed := int64(V)*int64(e.cfg.InputBufPkts) - int64(e.credSum[gport])
+	return qs + outTotal + consumed
+}
+
+// penaltyCost converts a penalty in phits to cost units (packets are the
+// occupancy unit, so penalties scale by the packet length), weighted by the
+// configured PenaltyWeight.
+func (e *engine) penaltyCost(p int32) int64 {
+	return int64(e.cfg.PenaltyWeight * float64(p) / float64(e.cfg.PacketPhits))
+}
+
+// allocationStep gathers one request per eligible head packet and performs
+// the per-output arbitration with crossbar speedup limits.
+func (e *engine) allocationStep() {
+	V := e.V
+	speedup := int8(e.cfg.XbarSpeedup)
+	e.reqs = e.reqs[:0]
+	for sw := int32(0); sw < int32(e.S); sw++ {
+		gpBase := sw * int32(e.P)
+		for p := 0; p < e.P; p++ {
+			gport := gpBase + int32(p)
+			if e.inInflight[gport] >= speedup {
+				continue
+			}
+			vcBase := gport * int32(V)
+			for vc := 0; vc < V; vc++ {
+				invc := vcBase + int32(vc)
+				if e.inQ[invc].len() == 0 || e.inBusyUntil[invc] > e.now {
+					continue
+				}
+				if req, ok := e.bestRequest(sw, gport, invc, vc); ok {
+					e.reqs = append(e.reqs, req)
+				}
+			}
+		}
+	}
+	if len(e.reqs) == 0 {
+		return
+	}
+	sort.Slice(e.reqs, func(i, j int) bool {
+		if e.reqs[i].cost != e.reqs[j].cost {
+			return e.reqs[i].cost < e.reqs[j].cost
+		}
+		return e.reqs[i].tie < e.reqs[j].tie
+	})
+	for i := range e.reqs {
+		e.grant(&e.reqs[i])
+	}
+}
+
+// bestRequest computes the single request of the head packet of input VC
+// invc: the candidate with the lowest Q+P, random tie-break (Section 3).
+// Flow control is NOT part of the choice — if the cheapest candidate is
+// blocked, the packet waits and retries, rather than deviating onto a more
+// expensive path; the rising Q of the blocked port shifts the choice only
+// under sustained congestion. The request is dropped at grant time if flow
+// control still fails.
+func (e *engine) bestRequest(sw, gport, invc int32, curVC int) (request, bool) {
+	id := e.inQ[invc].peek()
+	pkt := &e.pool[id]
+	gpBase := sw * int32(e.P)
+	var best request
+	found := false
+	consider := func(outPort int32, vc int, penalty int32, eject bool) {
+		cost := e.qCost(outPort, vc, eject) + e.penaltyCost(penalty)
+		tie := uint32(e.r.Uint64())
+		if !found || cost < best.cost || (cost == best.cost && tie < best.tie) {
+			best = request{
+				cost: cost, tie: tie, invc: invc, inPort: gport,
+				outPort: outPort, pkt: id, vc: int8(vc), eject: eject,
+			}
+			found = true
+		}
+	}
+	if pkt.st.Dst == sw {
+		consider(gpBase+int32(e.R)+int32(pkt.dstLocal), 0, 0, true)
+		return best, found
+	}
+	e.cands = e.mech.Candidates(sw, &pkt.st, curVC, e.cands[:0])
+	for _, c := range e.cands {
+		consider(gpBase+int32(c.Port), c.VC, c.Penalty, false)
+	}
+	return best, found
+}
+
+// grant commits a request if the speedup and buffer constraints still hold
+// after earlier grants this cycle.
+func (e *engine) grant(rq *request) {
+	speedup := int8(e.cfg.XbarSpeedup)
+	if e.inInflight[rq.inPort] >= speedup || e.outInflight[rq.outPort] >= speedup {
+		return
+	}
+	if e.outQ[rq.outPort].len()+int(e.outReserved[rq.outPort]) >= e.cfg.OutputBufPkts {
+		return
+	}
+	if e.inQ[rq.invc].len() == 0 || e.inQ[rq.invc].peek() != rq.pkt || e.inBusyUntil[rq.invc] > e.now {
+		return // the head changed or was granted through another path
+	}
+	V := int32(e.V)
+	if !rq.eject {
+		dn := e.dnInVC[rq.outPort] + int32(rq.vc)
+		if e.credits[dn] <= 0 {
+			return
+		}
+		e.credits[dn]--
+		e.credSum[dn/V]--
+	}
+	e.inQ[rq.invc].pop()
+	xfer := e.cfg.xferCycles()
+	e.inBusyUntil[rq.invc] = e.now + xfer
+	e.inInflight[rq.inPort]++
+	e.outInflight[rq.outPort]++
+	e.outReserved[rq.outPort]++
+	e.outVCCount[rq.outPort*V+int32(rq.vc)]++
+	pkt := &e.pool[rq.pkt]
+	if !rq.eject {
+		sw := rq.inPort / int32(e.P)
+		port := int(rq.outPort % int32(e.P))
+		e.mech.Advance(sw, port, int(rq.vc), &pkt.st)
+	}
+	// The packet's tail leaves the input buffer after the transfer: free
+	// the input slot (credit to the upstream sender) and the input port's
+	// crossbar slot then; the packet lands in the output buffer one
+	// crossbar latency later.
+	e.schedule(xfer, event{kind: evCredit, a: rq.invc})
+	e.scheduleInRelease(xfer, rq.inPort)
+	e.schedule(xfer+int64(e.cfg.XbarLatency), event{kind: evXferDone, a: rq.outPort, vc: rq.vc, pkt: rq.pkt})
+	e.lastProgress = e.now
+}
+
+// inRelease defers the input-port inflight decrement; encoded as an
+// evCredit-like event on a sentinel VC would be obscure, so it gets its own
+// tiny queue keyed by cycle.
+type inRelease struct {
+	at   int64
+	port int32
+}
+
+// scheduleInRelease notes that the input port frees a crossbar slot at
+// now+delay. Releases share the calendar's horizon.
+func (e *engine) scheduleInRelease(delay int64, port int32) {
+	e.inReleases = append(e.inReleases, inRelease{at: e.now + delay, port: port})
+}
+
+// processInReleases applies due input-port releases and compacts the queue.
+func (e *engine) processInReleases() {
+	keep := e.inReleases[:0]
+	for _, rel := range e.inReleases {
+		if rel.at <= e.now {
+			e.inInflight[rel.port]--
+		} else {
+			keep = append(keep, rel)
+		}
+	}
+	e.inReleases = keep
+}
+
+// transmitStep moves output-buffer heads onto links and ejection channels.
+func (e *engine) transmitStep() {
+	serial := int64(e.cfg.PacketPhits)
+	arriveDelay := serial + int64(e.cfg.LinkLatency)
+	V := int32(e.V)
+	for gport := int32(0); gport < int32(len(e.outQ)); gport++ {
+		q := &e.outQ[gport]
+		if q.len() == 0 || e.outBusy[gport] > e.now {
+			continue
+		}
+		entry := q.pop()
+		id := entry >> 3
+		vc := entry & 7
+		e.outBusy[gport] = e.now + serial
+		e.outVCCount[gport*V+vc]--
+		e.lastProgress = e.now
+		p := int(gport % int32(e.P))
+		if p >= e.R {
+			// Ejection: the server consumes the packet after serialization.
+			e.schedule(arriveDelay, event{kind: evDeliver, pkt: id})
+			continue
+		}
+		if e.now >= e.warmStart && e.now < e.warmEnd {
+			e.linkBusyCycles += serial
+		}
+		e.schedule(arriveDelay, event{kind: evArrive, a: e.dnInVC[gport] + vc, pkt: id})
+	}
+}

@@ -1,0 +1,94 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/topo"
+)
+
+// FaultEvent schedules a link failure during a run: at the start of Cycle
+// the link goes down, packets queued in the dead ports' output buffers (and
+// any mid-crossbar toward them) are lost, the routing mechanism's tables
+// are rebuilt by BFS, and traffic continues — the paper's operational
+// story ("these tables can be computed by a BFS algorithm when the
+// topology changes").
+type FaultEvent struct {
+	Cycle int64
+	Edge  topo.Edge
+}
+
+// sortFaultSchedule validates and orders the schedule.
+func sortFaultSchedule(events []FaultEvent) ([]FaultEvent, error) {
+	out := append([]FaultEvent(nil), events...)
+	for _, ev := range out {
+		if ev.Cycle < 0 {
+			return nil, fmt.Errorf("sim: fault event at negative cycle %d", ev.Cycle)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Cycle < out[j].Cycle })
+	return out, nil
+}
+
+// applyDueFaults fails every link scheduled at or before the current cycle
+// and rebuilds the mechanism's tables once. It returns an error when a
+// fault names a non-link, an already-failed link, or disconnects the
+// network (table rebuild fails).
+func (e *engine) applyDueFaults() error {
+	applied := false
+	for e.nextFault < len(e.faultSchedule) && e.faultSchedule[e.nextFault].Cycle <= e.now {
+		ev := e.faultSchedule[e.nextFault]
+		e.nextFault++
+		if err := e.failLink(ev.Edge); err != nil {
+			return err
+		}
+		applied = true
+	}
+	if !applied {
+		return nil
+	}
+	if err := e.mech.Rebuild(e.nw); err != nil {
+		return fmt.Errorf("sim: table rebuild after fault at cycle %d: %w", e.now, err)
+	}
+	return nil
+}
+
+// failLink takes one link down and drains the dead ports.
+func (e *engine) failLink(edge topo.Edge) error {
+	h := e.nw.H
+	pU := h.PortTo(edge.U, edge.V)
+	if pU < 0 {
+		return fmt.Errorf("sim: fault (%d,%d) is not a link of %s", edge.U, edge.V, h)
+	}
+	if e.nw.Faults.Has(edge.U, edge.V) {
+		return fmt.Errorf("sim: link (%d,%d) already failed", edge.U, edge.V)
+	}
+	e.nw.Faults.Add(edge.U, edge.V)
+	pV := h.PortTo(edge.V, edge.U)
+	for _, side := range []struct {
+		sw   int32
+		port int
+	}{{edge.U, pU}, {edge.V, pV}} {
+		gp := side.sw*int32(e.P) + int32(side.port)
+		e.dnInVC[gp] = -1
+		e.portDead[gp] = true
+		e.liveDirLinks--
+		// Packets already committed to this output are lost with the link.
+		q := &e.outQ[gp]
+		for q.len() > 0 {
+			entry := q.pop()
+			e.outVCCount[gp*int32(e.V)+entry&7]--
+			e.losePacket(entry >> 3)
+		}
+		// In-flight crossbar transfers toward the port are dropped on
+		// completion (see evXferDone handling).
+	}
+	return nil
+}
+
+// losePacket retires a packet lost to a link failure.
+func (e *engine) losePacket(id int32) {
+	e.inFlight--
+	e.lostPkts++
+	e.freePacket(id)
+}

@@ -1,0 +1,56 @@
+package sim
+
+import "fmt"
+
+// verifyInvariants audits the engine's flow-control accounting. It is
+// enabled by Config.CheckInvariants and panics with a diagnostic on the
+// first violation — an accounting bug would otherwise surface as subtly
+// wrong throughput numbers rather than a failure.
+func (e *engine) verifyInvariants() {
+	V := e.V
+	SP := e.S * e.P
+	for gp := 0; gp < SP; gp++ {
+		// Credit bounds and per-port sum consistency.
+		var sum int32
+		for v := 0; v < V; v++ {
+			c := e.credits[gp*V+v]
+			if c < 0 || int(c) > e.cfg.InputBufPkts {
+				panic(fmt.Sprintf("sim: credits[%d,%d] = %d out of [0,%d] at cycle %d",
+					gp, v, c, e.cfg.InputBufPkts, e.now))
+			}
+			sum += int32(c)
+			if e.outVCCount[gp*V+v] < 0 {
+				panic(fmt.Sprintf("sim: outVCCount[%d,%d] = %d negative at cycle %d",
+					gp, v, e.outVCCount[gp*V+v], e.now))
+			}
+		}
+		if sum != e.credSum[gp] {
+			panic(fmt.Sprintf("sim: credSum[%d] = %d, actual %d at cycle %d",
+				gp, e.credSum[gp], sum, e.now))
+		}
+		// Output buffer occupancy within capacity.
+		if occ := e.outQ[gp].len() + int(e.outReserved[gp]); occ > e.cfg.OutputBufPkts {
+			panic(fmt.Sprintf("sim: output %d holds %d > %d packets at cycle %d",
+				gp, occ, e.cfg.OutputBufPkts, e.now))
+		}
+		if e.outReserved[gp] < 0 {
+			panic(fmt.Sprintf("sim: outReserved[%d] = %d negative at cycle %d", gp, e.outReserved[gp], e.now))
+		}
+		// Crossbar concurrency within speedup.
+		if e.inInflight[gp] < 0 || int(e.inInflight[gp]) > e.cfg.XbarSpeedup {
+			panic(fmt.Sprintf("sim: inInflight[%d] = %d at cycle %d", gp, e.inInflight[gp], e.now))
+		}
+		if e.outInflight[gp] < 0 || int(e.outInflight[gp]) > e.cfg.XbarSpeedup {
+			panic(fmt.Sprintf("sim: outInflight[%d] = %d at cycle %d", gp, e.outInflight[gp], e.now))
+		}
+	}
+	// Packet conservation: every live packet is somewhere.
+	if e.inFlight < 0 {
+		panic(fmt.Sprintf("sim: inFlight = %d negative at cycle %d", e.inFlight, e.now))
+	}
+	inUse := int64(len(e.pool)) - int64(len(e.free))
+	if inUse != e.inFlight {
+		panic(fmt.Sprintf("sim: pool holds %d packets but inFlight = %d at cycle %d",
+			inUse, e.inFlight, e.now))
+	}
+}

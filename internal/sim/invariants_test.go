@@ -1,0 +1,105 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/topo"
+	"repro/internal/traffic"
+)
+
+// TestInvariantsHoldUnderStress runs the engine with the internal audit
+// enabled across its hardest regimes: saturation, adversarial traffic,
+// tiny buffers, faults, and mid-run failures. Any accounting drift panics.
+func TestInvariantsHoldUnderStress(t *testing.T) {
+	h := topo.MustHyperX(4, 4)
+	sv := traffic.Servers{H: h, Per: 4}
+	rpnH := topo.MustHyperX(4, 4, 4)
+	rpnSv := traffic.Servers{H: rpnH, Per: 4}
+
+	t.Run("saturation", func(t *testing.T) {
+		nw := topo.NewNetwork(h, nil)
+		mech, err := core.New(nw, core.PolarizedRoutes, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pat, _ := traffic.NewUniform(sv.Count())
+		cfg := DefaultConfig()
+		cfg.CheckInvariants = true
+		if _, err := Run(RunOptions{
+			Net: nw, ServersPerSwitch: 4, Mechanism: mech, Pattern: pat,
+			Load: 1.0, WarmupCycles: 800, MeasureCycles: 2000, Seed: 1, Config: cfg,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	t.Run("tiny-buffers-adversarial", func(t *testing.T) {
+		nw := topo.NewNetwork(rpnH, nil)
+		mech, err := core.New(nw, core.OmniRoutes, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pat, err := traffic.NewRegularPermutationToNeighbour(rpnSv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := DefaultConfig()
+		cfg.CheckInvariants = true
+		cfg.InputBufPkts = 1
+		cfg.OutputBufPkts = 1
+		if _, err := Run(RunOptions{
+			Net: nw, ServersPerSwitch: 4, Mechanism: mech, Pattern: pat,
+			Load: 1.0, WarmupCycles: 500, MeasureCycles: 1500, Seed: 2, Config: cfg,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	t.Run("live-faults", func(t *testing.T) {
+		nw := topo.NewNetwork(h, nil)
+		mech, err := core.New(nw, core.PolarizedRoutes, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pat, _ := traffic.NewUniform(sv.Count())
+		cfg := DefaultConfig()
+		cfg.CheckInvariants = true
+		seq := topo.RandomFaultSequence(h, 3)
+		res, err := Run(RunOptions{
+			Net: nw, ServersPerSwitch: 4, Mechanism: mech, Pattern: pat,
+			Load: 0.7, WarmupCycles: 500, MeasureCycles: 3000, Seed: 3, Config: cfg,
+			FaultSchedule: []FaultEvent{
+				{Cycle: 1000, Edge: seq[0]},
+				{Cycle: 1500, Edge: seq[1]},
+				{Cycle: 2000, Edge: seq[2]},
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.AcceptedLoad <= 0 {
+			t.Fatal("no traffic moved")
+		}
+	})
+
+	t.Run("burst", func(t *testing.T) {
+		nw := topo.NewNetwork(h, nil)
+		mech, err := core.New(nw, core.OmniRoutes, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pat, err := traffic.NewRandomServerPermutation(sv.Count(), 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := DefaultConfig()
+		cfg.CheckInvariants = true
+		if _, err := Run(RunOptions{
+			Net: nw, ServersPerSwitch: 4, Mechanism: mech, Pattern: pat,
+			BurstPackets: 25, Seed: 4, Config: cfg,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

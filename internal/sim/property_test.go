@@ -1,0 +1,95 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/topo"
+	"repro/internal/traffic"
+)
+
+// TestBurstConservationProperty is the end-to-end conservation law: in
+// burst mode over random small topologies, mechanisms, fault sets and
+// seeds, every generated packet is delivered (none lost, duplicated or
+// stuck). This exercises the full engine-mechanism-escape stack.
+func TestBurstConservationProperty(t *testing.T) {
+	dimChoices := [][]int{{3, 3}, {4, 4}, {2, 2, 2}, {3, 3, 3}}
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		dims := dimChoices[r.Intn(len(dimChoices))]
+		h := topo.MustHyperX(dims...)
+		// Up to ~10% random faults, keeping the network connected.
+		seq := topo.RandomFaultSequence(h, seed)
+		cut := r.Intn(h.Links()/10 + 1)
+		nw := topo.NewNetwork(h, topo.NewFaultSet(seq[:cut]...))
+		if !nw.Graph().Connected() {
+			return true // skip disconnected draws
+		}
+		base := core.OmniRoutes
+		if r.Intn(2) == 0 {
+			base = core.PolarizedRoutes
+		}
+		vcs := 2 + r.Intn(3)
+		mech, err := core.New(nw, base, vcs)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		per := 2
+		pat, err := traffic.NewRandomServerPermutation(h.Switches()*per, seed)
+		if err != nil {
+			return false
+		}
+		burst := 3 + r.Intn(8)
+		res, err := Run(RunOptions{
+			Net: nw, ServersPerSwitch: per, Mechanism: mech, Pattern: pat,
+			BurstPackets: burst, Seed: seed,
+		})
+		if err != nil {
+			t.Logf("seed %d (%v, %d faults, %d vcs): %v", seed, dims, cut, vcs, err)
+			return false
+		}
+		want := int64(burst) * int64(h.Switches()*per)
+		if res.DeliveredPackets != want {
+			t.Logf("seed %d: delivered %d, want %d", seed, res.DeliveredPackets, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAcceptedNeverExceedsOffered is a throughput sanity law across random
+// operating points.
+func TestAcceptedNeverExceedsOffered(t *testing.T) {
+	h := topo.MustHyperX(3, 3)
+	nw := topo.NewNetwork(h, nil)
+	pat, err := traffic.NewUniform(27)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		load := 0.05 + 0.95*r.Float64()
+		mech, err := core.New(nw, core.PolarizedRoutes, 4)
+		if err != nil {
+			return false
+		}
+		res, err := Run(RunOptions{
+			Net: nw, ServersPerSwitch: 3, Mechanism: mech, Pattern: pat,
+			Load: load, WarmupCycles: 400, MeasureCycles: 1200, Seed: seed,
+		})
+		if err != nil {
+			return false
+		}
+		// Allow a small measurement-window wobble above offered.
+		return res.AcceptedLoad <= load*1.1+0.02 && res.LinkUtilization >= 0 && res.LinkUtilization <= 1
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

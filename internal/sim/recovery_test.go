@@ -1,0 +1,178 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/topo"
+	"repro/internal/traffic"
+)
+
+// TestLiveFaultRecovery exercises the paper's operational story end to
+// end: a link dies mid-run, packets committed to it are lost, tables are
+// rebuilt by BFS, and SurePath keeps delivering at essentially the same
+// accepted load.
+func TestLiveFaultRecovery(t *testing.T) {
+	h := topo.MustHyperX(4, 4)
+	nw := topo.NewNetwork(h, nil)
+	mech, err := core.New(nw, core.PolarizedRoutes, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pat, err := traffic.NewUniform(h.Switches() * 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schedule := []FaultEvent{
+		{Cycle: 2000, Edge: topo.NewEdge(h.ID([]int{0, 0}), h.ID([]int{1, 0}))},
+		{Cycle: 2500, Edge: topo.NewEdge(h.ID([]int{2, 1}), h.ID([]int{2, 3}))},
+		{Cycle: 3000, Edge: topo.NewEdge(h.ID([]int{0, 0}), h.ID([]int{0, 2}))},
+	}
+	res, err := Run(RunOptions{
+		Net: nw, ServersPerSwitch: 4, Mechanism: mech, Pattern: pat,
+		Load: 0.6, WarmupCycles: 1000, MeasureCycles: 5000,
+		SeriesBucket: 500, Seed: 41, FaultSchedule: schedule,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.Faults.Len() != 3 {
+		t.Errorf("fault set has %d links, want 3", nw.Faults.Len())
+	}
+	// Accepted load must stay close to offered despite the failures.
+	if res.AcceptedLoad < 0.55 {
+		t.Errorf("accepted %.3f after live faults at offered 0.6", res.AcceptedLoad)
+	}
+	// A few packets may be lost with the links; most must not be.
+	if res.LostPackets > 30 {
+		t.Errorf("lost %d packets across 3 link failures", res.LostPackets)
+	}
+	// The throughput series must not show a dead period after the faults.
+	var post []float64
+	for _, p := range res.Series {
+		if p.Cycle > 3500 {
+			post = append(post, p.Accepted)
+		}
+	}
+	if len(post) == 0 {
+		t.Fatal("no post-fault series points")
+	}
+	for _, v := range post {
+		if v < 0.4 {
+			t.Errorf("post-fault throughput dipped to %.3f", v)
+		}
+	}
+}
+
+func TestFaultScheduleValidation(t *testing.T) {
+	h := topo.MustHyperX(3, 3)
+	nw := topo.NewNetwork(h, nil)
+	mech, err := core.New(nw, core.OmniRoutes, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pat, _ := traffic.NewUniform(27)
+	base := RunOptions{
+		Net: nw, ServersPerSwitch: 3, Mechanism: mech, Pattern: pat,
+		Load: 0.2, WarmupCycles: 100, MeasureCycles: 500, Seed: 1,
+	}
+	// Negative cycle.
+	bad := base
+	bad.FaultSchedule = []FaultEvent{{Cycle: -1, Edge: topo.Edge{U: 0, V: 1}}}
+	if _, err := Run(bad); err == nil {
+		t.Error("negative fault cycle accepted")
+	}
+	// Non-link edge: (0,0)-(1,1) is a diagonal.
+	bad = base
+	bad.FaultSchedule = []FaultEvent{{Cycle: 10, Edge: topo.NewEdge(h.ID([]int{0, 0}), h.ID([]int{1, 1}))}}
+	if _, err := Run(bad); err == nil {
+		t.Error("non-link fault accepted")
+	}
+	// Duplicate fault.
+	bad = base
+	bad.Net = topo.NewNetwork(h, nil)
+	if err := mech.Rebuild(bad.Net); err != nil {
+		t.Fatal(err)
+	}
+	e := topo.NewEdge(0, h.PortNeighbor(0, 0))
+	bad.FaultSchedule = []FaultEvent{{Cycle: 10, Edge: e}, {Cycle: 20, Edge: e}}
+	if _, err := Run(bad); err == nil {
+		t.Error("duplicate fault accepted")
+	}
+}
+
+// TestFaultDisconnectionAborts verifies that a schedule which disconnects
+// the network fails loudly at rebuild rather than hanging.
+func TestFaultDisconnectionAborts(t *testing.T) {
+	h := topo.MustHyperX(2, 2)
+	nw := topo.NewNetwork(h, nil)
+	mech, err := core.New(nw, core.PolarizedRoutes, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pat, _ := traffic.NewUniform(8)
+	// Cut both links of switch 0.
+	var schedule []FaultEvent
+	for p := 0; p < h.SwitchRadix(); p++ {
+		schedule = append(schedule, FaultEvent{Cycle: 50, Edge: topo.NewEdge(0, h.PortNeighbor(0, p))})
+	}
+	_, err = Run(RunOptions{
+		Net: nw, ServersPerSwitch: 2, Mechanism: mech, Pattern: pat,
+		Load: 0.3, WarmupCycles: 100, MeasureCycles: 1000, Seed: 2,
+		FaultSchedule: schedule,
+	})
+	if err == nil {
+		t.Fatal("disconnecting schedule did not error")
+	}
+}
+
+// TestEscapeOnlyMechanism runs the AutoNet-style escape-only baseline: it
+// must deliver everything, at clearly lower saturation throughput than
+// SurePath (the paper's motivation for not routing through the escape
+// subnetwork alone).
+func TestEscapeOnlyMechanism(t *testing.T) {
+	h := topo.MustHyperX(4, 4)
+	nw := topo.NewNetwork(h, nil)
+	pat, _ := traffic.NewUniform(h.Switches() * 4)
+	escOnly, err := core.NewEscapeOnly(nw, 0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resEsc, err := Run(RunOptions{
+		Net: nw, ServersPerSwitch: 4, Mechanism: escOnly, Pattern: pat,
+		Load: 1.0, WarmupCycles: 1000, MeasureCycles: 2000, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := core.New(nw, core.PolarizedRoutes, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resSP, err := Run(RunOptions{
+		Net: nw, ServersPerSwitch: 4, Mechanism: sp, Pattern: pat,
+		Load: 1.0, WarmupCycles: 1000, MeasureCycles: 2000, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("escape-only %.3f vs PolSP %.3f", resEsc.AcceptedLoad, resSP.AcceptedLoad)
+	if resEsc.AcceptedLoad <= 0.05 {
+		t.Errorf("escape-only moved almost nothing: %.3f", resEsc.AcceptedLoad)
+	}
+	if resSP.AcceptedLoad < 1.2*resEsc.AcceptedLoad {
+		t.Errorf("PolSP (%.3f) should clearly beat escape-only (%.3f)",
+			resSP.AcceptedLoad, resEsc.AcceptedLoad)
+	}
+	// At low load the escape-only mechanism behaves fine (delivery works).
+	resLow, err := Run(RunOptions{
+		Net: nw, ServersPerSwitch: 4, Mechanism: escOnly, Pattern: pat,
+		Load: 0.1, WarmupCycles: 500, MeasureCycles: 1500, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resLow.AcceptedLoad < 0.08 {
+		t.Errorf("escape-only at low load accepted %.3f", resLow.AcceptedLoad)
+	}
+}

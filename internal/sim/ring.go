@@ -1,0 +1,40 @@
+package sim
+
+// ring is a fixed-capacity FIFO of packet ids, used for input VC queues,
+// output buffers and injection queues. The zero value is unusable; call
+// init first.
+type ring struct {
+	buf  []int32
+	head int
+	n    int
+}
+
+func (r *ring) init(capacity int) {
+	r.buf = make([]int32, capacity)
+	r.head, r.n = 0, 0
+}
+
+func (r *ring) len() int { return r.n }
+
+func (r *ring) full() bool { return r.n == len(r.buf) }
+
+// push appends v; it panics on overflow, which would indicate a
+// flow-control accounting bug rather than a recoverable condition.
+func (r *ring) push(v int32) {
+	if r.full() {
+		panic("sim: ring overflow (flow-control accounting bug)")
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = v
+	r.n++
+}
+
+// peek returns the head without removing it; the ring must be non-empty.
+func (r *ring) peek() int32 { return r.buf[r.head] }
+
+// pop removes and returns the head; the ring must be non-empty.
+func (r *ring) pop() int32 {
+	v := r.buf[r.head]
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return v
+}

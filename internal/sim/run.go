@@ -1,0 +1,257 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/routing"
+	"repro/internal/topo"
+	"repro/internal/traffic"
+)
+
+// RunOptions configures one simulation run.
+type RunOptions struct {
+	// Net is the simulated topology with its fault set. The routing
+	// mechanism must have been built (or Rebuilt) on this same network.
+	Net *topo.Network
+	// ServersPerSwitch is the number of servers attached to every switch
+	// (the paper uses the side k).
+	ServersPerSwitch int
+	// Mechanism routes the packets.
+	Mechanism routing.Mechanism
+	// Pattern generates destinations.
+	Pattern traffic.Pattern
+	// Load is the offered load in phits per server per cycle, in (0, 1].
+	// Ignored in burst mode.
+	Load float64
+	// WarmupCycles runs before measurement starts.
+	WarmupCycles int64
+	// MeasureCycles is the measurement window length.
+	MeasureCycles int64
+	// BurstPackets, when positive, switches to completion-time mode
+	// (Figure 10): every server starts with this many queued packets, no
+	// further traffic is generated, and the run ends when all packets are
+	// delivered (or MaxCycles elapses).
+	BurstPackets int
+	// MaxCycles bounds burst-mode runs; 0 means 100x the warmup+measure
+	// budget or 10M cycles, whichever is larger.
+	MaxCycles int64
+	// SeriesBucket, when positive, records a throughput time series with
+	// this bucket width in cycles.
+	SeriesBucket int64
+	// FaultSchedule injects link failures mid-run: each event takes a link
+	// down at the start of its cycle, drops the packets committed to it,
+	// and rebuilds the mechanism's tables by BFS. Net.Faults is mutated as
+	// events fire.
+	FaultSchedule []FaultEvent
+	// Seed drives all randomness of the run.
+	Seed uint64
+	// Config carries the Table 2 microarchitecture; zero means
+	// DefaultConfig.
+	Config Config
+}
+
+// Result reports the outcome of a run using the paper's three metrics plus
+// diagnostics.
+type Result struct {
+	// OfferedLoad echoes the configured load (phits/server/cycle).
+	OfferedLoad float64
+	// AcceptedLoad is delivered phits per server per cycle over the
+	// measurement window.
+	AcceptedLoad float64
+	// AvgLatency is the mean message latency in cycles over packets
+	// delivered in the window.
+	AvgLatency float64
+	// AvgHops is the mean switch-to-switch hop count of delivered packets.
+	AvgHops float64
+	// JainIndex is the fairness of per-server generated load in the window.
+	JainIndex float64
+	// EscapeFraction is the fraction of delivered packets that used the
+	// escape subnetwork (always 0 for non-SurePath mechanisms).
+	EscapeFraction float64
+	// LinkUtilization is the mean busy fraction of live switch-to-switch
+	// links over the measurement window.
+	LinkUtilization float64
+	// DeliveredPackets and GeneratedPackets count the measurement window.
+	DeliveredPackets int64
+	GeneratedPackets int64
+	// StalledGenerations counts packets whose generation stalled on a full
+	// injection queue (across the whole run).
+	StalledGenerations int64
+	// LostPackets counts packets dropped by mid-run link failures.
+	LostPackets int64
+	// Cycles is the total simulated time.
+	Cycles int64
+	// CompletionTime is the cycle of the last delivery (burst mode).
+	CompletionTime int64
+	// Series is the bucketed throughput time series, if requested.
+	Series []metrics.SeriesPoint
+}
+
+// Run simulates one configuration and returns its metrics. It returns
+// ErrDeadlock (wrapped) if the watchdog fires.
+func Run(o RunOptions) (*Result, error) {
+	if o.Config == (Config{}) {
+		o.Config = DefaultConfig()
+	}
+	if err := o.Config.Validate(); err != nil {
+		return nil, err
+	}
+	if o.Net == nil || o.Mechanism == nil || o.Pattern == nil {
+		return nil, fmt.Errorf("sim: Net, Mechanism and Pattern are required")
+	}
+	if o.ServersPerSwitch < 1 {
+		return nil, fmt.Errorf("sim: ServersPerSwitch must be >= 1, got %d", o.ServersPerSwitch)
+	}
+	burst := o.BurstPackets > 0
+	if !burst && (o.Load <= 0 || o.Load > 1) {
+		return nil, fmt.Errorf("sim: Load must be in (0,1], got %v", o.Load)
+	}
+	if !burst && o.MeasureCycles < 1 {
+		return nil, fmt.Errorf("sim: MeasureCycles must be >= 1, got %d", o.MeasureCycles)
+	}
+	if o.WarmupCycles < 0 {
+		return nil, fmt.Errorf("sim: WarmupCycles must be >= 0, got %d", o.WarmupCycles)
+	}
+
+	e, err := newEngine(o)
+	if err != nil {
+		return nil, err
+	}
+	e.warmStart = o.WarmupCycles
+	e.warmEnd = o.WarmupCycles + o.MeasureCycles
+	if o.SeriesBucket > 0 {
+		e.series = metrics.NewThroughputSeries(o.SeriesBucket, e.S*e.K)
+	}
+
+	if burst {
+		return e.runBurst(o)
+	}
+	return e.runOpenLoop(o)
+}
+
+// runOpenLoop is the standard warmup+measurement experiment with Bernoulli
+// generation at the offered load.
+func (e *engine) runOpenLoop(o RunOptions) (*Result, error) {
+	genProb := o.Load / float64(e.cfg.PacketPhits)
+	end := e.warmEnd
+	nServers := int32(e.S * e.K)
+	for e.now = 0; e.now < end; e.now++ {
+		if err := e.applyDueFaults(); err != nil {
+			return nil, err
+		}
+		e.processEvents()
+		e.processInReleases()
+		for g := int32(0); g < nServers; g++ {
+			if e.r.Float64() < genProb {
+				e.generate(g)
+			}
+		}
+		e.injectionStep()
+		e.allocationStep()
+		e.transmitStep()
+		if e.cfg.CheckInvariants && e.now%64 == 0 {
+			e.verifyInvariants()
+		}
+		if err := e.checkWatchdog(); err != nil {
+			return nil, err
+		}
+	}
+	return e.result(o), nil
+}
+
+// runBurst preloads every injection queue and runs to completion.
+func (e *engine) runBurst(o RunOptions) (*Result, error) {
+	maxCycles := o.MaxCycles
+	if maxCycles == 0 {
+		maxCycles = 100 * (o.WarmupCycles + o.MeasureCycles)
+		if maxCycles < 10_000_000 {
+			maxCycles = 10_000_000
+		}
+	}
+	// Measure everything in burst mode.
+	e.warmStart, e.warmEnd = 0, maxCycles+1
+	nServers := int32(e.S * e.K)
+	for g := int32(0); g < nServers; g++ {
+		for i := 0; i < o.BurstPackets; i++ {
+			if !e.generate(g) {
+				return nil, fmt.Errorf("sim: burst of %d packets exceeds injection queue", o.BurstPackets)
+			}
+		}
+	}
+	total := int64(o.BurstPackets) * int64(nServers)
+	for e.now = 0; e.totalDelivered+e.lostPkts < total; e.now++ {
+		if e.now > maxCycles {
+			return nil, fmt.Errorf("sim: burst did not complete within %d cycles (%d/%d delivered)",
+				maxCycles, e.totalDelivered, total)
+		}
+		if err := e.applyDueFaults(); err != nil {
+			return nil, err
+		}
+		e.processEvents()
+		e.processInReleases()
+		e.injectionStep()
+		e.allocationStep()
+		e.transmitStep()
+		if e.cfg.CheckInvariants && e.now%64 == 0 {
+			e.verifyInvariants()
+		}
+		if err := e.checkWatchdog(); err != nil {
+			return nil, err
+		}
+	}
+	res := e.result(o)
+	res.CompletionTime = e.lastDeliveryCycle
+	res.Cycles = e.now
+	// Normalize window metrics over the actual duration.
+	res.AcceptedLoad = float64(e.deliveredPhits) / float64(e.S*e.K) / float64(e.lastDeliveryCycle)
+	if e.liveDirLinks > 0 && e.lastDeliveryCycle > 0 {
+		res.LinkUtilization = float64(e.linkBusyCycles) / float64(e.liveDirLinks) / float64(e.lastDeliveryCycle)
+	}
+	return res, nil
+}
+
+// checkWatchdog aborts when nothing moved for too long while packets exist.
+func (e *engine) checkWatchdog() error {
+	if e.cfg.WatchdogCycles == 0 || e.inFlight == 0 {
+		e.lastProgress = e.now
+		return nil
+	}
+	if e.now-e.lastProgress > e.cfg.WatchdogCycles {
+		return fmt.Errorf("%w: %d packets stuck for %d cycles at cycle %d",
+			ErrDeadlock, e.inFlight, e.now-e.lastProgress, e.now)
+	}
+	return nil
+}
+
+// result assembles the metrics.
+func (e *engine) result(o RunOptions) *Result {
+	res := &Result{
+		OfferedLoad:        o.Load,
+		StalledGenerations: e.stalledGenPkts,
+		LostPackets:        e.lostPkts,
+		DeliveredPackets:   e.deliveredPkts,
+		Cycles:             e.now,
+		JainIndex:          metrics.JainInt(e.genPhits),
+	}
+	var gen int64
+	for _, g := range e.genPhits {
+		gen += g
+	}
+	res.GeneratedPackets = gen / int64(e.cfg.PacketPhits)
+	if o.MeasureCycles > 0 {
+		res.AcceptedLoad = float64(e.deliveredPhits) / float64(e.S*e.K) / float64(o.MeasureCycles)
+		if e.liveDirLinks > 0 {
+			res.LinkUtilization = float64(e.linkBusyCycles) / float64(e.liveDirLinks) / float64(o.MeasureCycles)
+		}
+	}
+	if e.deliveredPkts > 0 {
+		res.AvgLatency = float64(e.latencySum) / float64(e.deliveredPkts)
+		res.AvgHops = float64(e.hopSum) / float64(e.deliveredPkts)
+		res.EscapeFraction = float64(e.escapedPkts) / float64(e.deliveredPkts)
+	}
+	if e.series != nil {
+		res.Series = e.series.Points()
+	}
+	return res
+}

@@ -1,0 +1,470 @@
+package sim
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/routing"
+	"repro/internal/topo"
+	"repro/internal/traffic"
+)
+
+// buildMech constructs a named mechanism on nw with the 2n-VC budget.
+func buildMech(t *testing.T, name string, nw *topo.Network) routing.Mechanism {
+	t.Helper()
+	vcs := 2 * hx(nw).NDims()
+	var (
+		mech routing.Mechanism
+		err  error
+	)
+	switch name {
+	case "Minimal":
+		var alg *routing.MinimalAlg
+		if alg, err = routing.NewMinimal(nw); err == nil {
+			mech, err = routing.NewLadder(alg, vcs, 2, "Minimal")
+		}
+	case "Valiant":
+		var alg *routing.ValiantAlg
+		if alg, err = routing.NewValiant(nw); err == nil {
+			mech, err = routing.NewLadder(alg, vcs, 1, "Valiant")
+		}
+	case "OmniWAR":
+		mech, err = routing.NewOmniWAR(nw)
+	case "Polarized":
+		var alg *routing.PolarizedAlg
+		if alg, err = routing.NewPolarized(nw); err == nil {
+			mech, err = routing.NewLadder(alg, vcs, 1, "Polarized")
+		}
+	case "OmniSP":
+		mech, err = core.New(nw, core.OmniRoutes, vcs)
+	case "PolSP":
+		mech, err = core.New(nw, core.PolarizedRoutes, vcs)
+	default:
+		t.Fatalf("unknown mechanism %q", name)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mech
+}
+
+func uniformOn(t *testing.T, h *topo.HyperX, per int) traffic.Pattern {
+	t.Helper()
+	u, err := traffic.NewUniform(h.Switches() * per)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+func TestRunValidation(t *testing.T) {
+	h := topo.MustHyperX(3, 3)
+	nw := topo.NewNetwork(h, nil)
+	mech := buildMech(t, "Minimal", nw)
+	pat := uniformOn(t, h, 3)
+	base := RunOptions{
+		Net: nw, ServersPerSwitch: 3, Mechanism: mech, Pattern: pat,
+		Load: 0.5, WarmupCycles: 10, MeasureCycles: 10, Seed: 1,
+	}
+	bad := base
+	bad.Net = nil
+	if _, err := Run(bad); err == nil {
+		t.Error("nil Net accepted")
+	}
+	bad = base
+	bad.Load = 0
+	if _, err := Run(bad); err == nil {
+		t.Error("zero load accepted")
+	}
+	bad = base
+	bad.Load = 1.5
+	if _, err := Run(bad); err == nil {
+		t.Error("load > 1 accepted")
+	}
+	bad = base
+	bad.ServersPerSwitch = 0
+	if _, err := Run(bad); err == nil {
+		t.Error("0 servers accepted")
+	}
+	bad = base
+	bad.MeasureCycles = 0
+	if _, err := Run(bad); err == nil {
+		t.Error("0 measure cycles accepted")
+	}
+	bad = base
+	bad.WarmupCycles = -1
+	if _, err := Run(bad); err == nil {
+		t.Error("negative warmup accepted")
+	}
+	bad = base
+	bad.Config = Config{InputBufPkts: -1}
+	if _, err := Run(bad); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := DefaultConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	fields := []func(*Config){
+		func(c *Config) { c.InputBufPkts = 0 },
+		func(c *Config) { c.OutputBufPkts = 0 },
+		func(c *Config) { c.PacketPhits = 0 },
+		func(c *Config) { c.LinkLatency = -1 },
+		func(c *Config) { c.XbarLatency = -1 },
+		func(c *Config) { c.XbarSpeedup = 0 },
+		func(c *Config) { c.InjQueuePkts = 0 },
+		func(c *Config) { c.WatchdogCycles = -1 },
+	}
+	for i, mutate := range fields {
+		c := DefaultConfig()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	h := topo.MustHyperX(3, 3)
+	nw := topo.NewNetwork(h, nil)
+	pat := uniformOn(t, h, 3)
+	run := func() *Result {
+		res, err := Run(RunOptions{
+			Net: nw, ServersPerSwitch: 3, Mechanism: buildMech(t, "PolSP", nw),
+			Pattern: pat, Load: 0.7, WarmupCycles: 500, MeasureCycles: 1000, Seed: 42,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.AcceptedLoad != b.AcceptedLoad || a.AvgLatency != b.AvgLatency ||
+		a.DeliveredPackets != b.DeliveredPackets || a.JainIndex != b.JainIndex {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+	// Different seed must (overwhelmingly) differ.
+	res2, err := Run(RunOptions{
+		Net: nw, ServersPerSwitch: 3, Mechanism: buildMech(t, "PolSP", nw),
+		Pattern: pat, Load: 0.7, WarmupCycles: 500, MeasureCycles: 1000, Seed: 43,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.DeliveredPackets == a.DeliveredPackets && res2.AvgLatency == a.AvgLatency {
+		t.Error("different seeds produced identical runs (suspicious)")
+	}
+}
+
+func TestAllMechanismsDeliverUniform(t *testing.T) {
+	h := topo.MustHyperX(4, 4)
+	nw := topo.NewNetwork(h, nil)
+	pat := uniformOn(t, h, 4)
+	for _, name := range []string{"Minimal", "Valiant", "OmniWAR", "Polarized", "OmniSP", "PolSP"} {
+		res, err := Run(RunOptions{
+			Net: nw, ServersPerSwitch: 4, Mechanism: buildMech(t, name, nw),
+			Pattern: pat, Load: 0.3, WarmupCycles: 500, MeasureCycles: 1500, Seed: 7,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.AcceptedLoad < 0.25 {
+			t.Errorf("%s accepted %.3f at offered 0.3", name, res.AcceptedLoad)
+		}
+		if res.AvgLatency <= 0 {
+			t.Errorf("%s latency %.1f", name, res.AvgLatency)
+		}
+	}
+}
+
+func TestValiantHalvesUniformThroughput(t *testing.T) {
+	// The classical Valiant property (visible in Figures 4 and 5): on
+	// Uniform traffic Valiant saturates near 0.5 while adaptive mechanisms
+	// exceed 0.8.
+	h := topo.MustHyperX(4, 4)
+	nw := topo.NewNetwork(h, nil)
+	pat := uniformOn(t, h, 4)
+	sat := func(name string) float64 {
+		res, err := Run(RunOptions{
+			Net: nw, ServersPerSwitch: 4, Mechanism: buildMech(t, name, nw),
+			Pattern: pat, Load: 1.0, WarmupCycles: 1500, MeasureCycles: 2500, Seed: 3,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		return res.AcceptedLoad
+	}
+	valiant := sat("Valiant")
+	polsp := sat("PolSP")
+	t.Logf("uniform saturation: Valiant=%.3f PolSP=%.3f", valiant, polsp)
+	if valiant > 0.65 {
+		t.Errorf("Valiant saturates at %.3f, expected near 0.5", valiant)
+	}
+	if polsp < 0.75 {
+		t.Errorf("PolSP saturates at %.3f, expected > 0.75", polsp)
+	}
+	if polsp <= valiant {
+		t.Errorf("PolSP (%.3f) must beat Valiant (%.3f) on uniform", polsp, valiant)
+	}
+}
+
+func TestSurePathSurvivesFaultsAtSaturation(t *testing.T) {
+	// The headline claim: OmniSP/PolSP keep working under heavy random
+	// faults at full offered load, where ladder mechanisms are not even
+	// defined. Uses small buffers to stress flow control.
+	h := topo.MustHyperX(4, 4)
+	seq := topo.RandomFaultSequence(h, 21)
+	nw := topo.NewNetwork(h, topo.NewFaultSet(seq[:6]...)) // 12.5% of links
+	if !nw.Graph().Connected() {
+		t.Skip("fault draw disconnected the network")
+	}
+	pat := uniformOn(t, h, 4)
+	for _, name := range []string{"OmniSP", "PolSP"} {
+		res, err := Run(RunOptions{
+			Net: nw, ServersPerSwitch: 4, Mechanism: buildMech(t, name, nw),
+			Pattern: pat, Load: 1.0, WarmupCycles: 1500, MeasureCycles: 2500, Seed: 11,
+		})
+		if err != nil {
+			t.Fatalf("%s under faults: %v", name, err)
+		}
+		t.Logf("%s with 6 faults: accepted=%.3f escape=%.3f", name, res.AcceptedLoad, res.EscapeFraction)
+		if res.AcceptedLoad < 0.3 {
+			t.Errorf("%s accepted only %.3f under 6 faults", name, res.AcceptedLoad)
+		}
+		if res.EscapeFraction == 0 {
+			t.Errorf("%s never used the escape subnetwork under faults", name)
+		}
+	}
+}
+
+func TestTinyBuffersNoDeadlock(t *testing.T) {
+	// Aggressive stress: 1-packet buffers, full load, adversarial pattern,
+	// faults. Any dependency cycle would deadlock here; the watchdog would
+	// catch it.
+	h := topo.MustHyperX(4, 4)
+	seq := topo.RandomFaultSequence(h, 31)
+	nw := topo.NewNetwork(h, topo.NewFaultSet(seq[:10]...))
+	if !nw.Graph().Connected() {
+		t.Skip("fault draw disconnected the network")
+	}
+	sv := traffic.Servers{H: h, Per: 4}
+	pat, err := traffic.NewRegularPermutationToNeighbour(sv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.InputBufPkts = 1
+	cfg.OutputBufPkts = 1
+	cfg.WatchdogCycles = 20000
+	for _, name := range []string{"OmniSP", "PolSP"} {
+		res, err := Run(RunOptions{
+			Net: nw, ServersPerSwitch: 4, Mechanism: buildMech(t, name, nw),
+			Pattern: pat, Load: 1.0, WarmupCycles: 1000, MeasureCycles: 3000,
+			Seed: 13, Config: cfg,
+		})
+		if err != nil {
+			t.Fatalf("%s deadlocked with tiny buffers: %v", name, err)
+		}
+		if res.AcceptedLoad <= 0 {
+			t.Errorf("%s moved no traffic", name)
+		}
+	}
+}
+
+func TestBurstModeCompletes(t *testing.T) {
+	h := topo.MustHyperX(3, 3)
+	nw := topo.NewNetwork(h, nil)
+	sv := traffic.Servers{H: h, Per: 3}
+	pat, err := traffic.NewRandomServerPermutation(sv.Count(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(RunOptions{
+		Net: nw, ServersPerSwitch: 3, Mechanism: buildMech(t, "PolSP", nw),
+		Pattern: pat, BurstPackets: 20, SeriesBucket: 500, Seed: 17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPkts := int64(20 * sv.Count())
+	if res.DeliveredPackets != wantPkts {
+		t.Errorf("delivered %d, want %d", res.DeliveredPackets, wantPkts)
+	}
+	if res.CompletionTime <= 0 || res.CompletionTime > 100000 {
+		t.Errorf("completion time %d", res.CompletionTime)
+	}
+	if len(res.Series) == 0 {
+		t.Error("no throughput series recorded")
+	}
+	// The series integrates to the total delivered phits.
+	var phits float64
+	for _, p := range res.Series {
+		phits += p.Accepted * 500 * float64(sv.Count())
+	}
+	if math.Abs(phits-float64(wantPkts*16)) > 1 {
+		t.Errorf("series integrates to %.0f phits, want %d", phits, wantPkts*16)
+	}
+}
+
+func TestBurstExceedingQueueGrowsQueue(t *testing.T) {
+	// Burst mode sizes injection queues to the burst, regardless of
+	// InjQueuePkts.
+	h := topo.MustHyperX(3, 3)
+	nw := topo.NewNetwork(h, nil)
+	pat, _ := traffic.NewRandomServerPermutation(27, 5)
+	cfg := DefaultConfig()
+	cfg.InjQueuePkts = 2
+	res, err := Run(RunOptions{
+		Net: nw, ServersPerSwitch: 3, Mechanism: buildMech(t, "Minimal", nw),
+		Pattern: pat, BurstPackets: 10, Seed: 19, Config: cfg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeliveredPackets != 270 {
+		t.Errorf("delivered %d, want 270", res.DeliveredPackets)
+	}
+}
+
+func TestWatchdogFiresOnStuckRouting(t *testing.T) {
+	// A K2 network whose only link is cut: every cross packet is stuck with
+	// DOR (which ignores connectivity), so after the injection buffers
+	// fill, nothing moves and the watchdog must fire rather than hang.
+	h := topo.MustHyperX(2)
+	nw := topo.NewNetwork(h, topo.NewFaultSet(topo.Edge{U: 0, V: 1}))
+	alg, err := routing.NewDOR(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mech, err := routing.NewLadder(alg, 2, 1, "DOR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pat, err := traffic.NewPermutation("cross", []int32{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.WatchdogCycles = 2000
+	_, err = Run(RunOptions{
+		Net: nw, ServersPerSwitch: 1, Mechanism: mech, Pattern: pat,
+		Load: 0.5, WarmupCycles: 1000, MeasureCycles: 100000, Seed: 23, Config: cfg,
+	})
+	if err == nil {
+		t.Fatal("expected the watchdog to fire for DOR with a cut route")
+	}
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("error %v is not ErrDeadlock", err)
+	}
+}
+
+func TestJainDropsUnderAsymmetricStarvation(t *testing.T) {
+	// A permutation whose pairs have very unequal path quality under heavy
+	// faults yields Jain visibly below 1 (the effect behind the paper's
+	// Jain panels). Compare low-load (fair) vs saturated (unfair).
+	h := topo.MustHyperX(4, 4)
+	star, err := topo.CrossFaults(h, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw := topo.NewNetwork(h, topo.NewFaultSet(star...))
+	if !nw.Graph().Connected() {
+		t.Fatal("cross disconnected test network")
+	}
+	sv := traffic.Servers{H: h, Per: 4}
+	pat, err := traffic.NewRandomServerPermutation(sv.Count(), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(load float64) *Result {
+		res, err := Run(RunOptions{
+			Net: nw, ServersPerSwitch: 4, Mechanism: buildMech(t, "PolSP", nw),
+			Pattern: pat, Load: load, WarmupCycles: 2000, MeasureCycles: 6000, Seed: 29,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	low, high := run(0.1), run(1.0)
+	t.Logf("jain: low=%.4f high=%.4f", low.JainIndex, high.JainIndex)
+	// Bernoulli generation over a finite window carries sampling noise of
+	// roughly 1/(1 + 1/packetsPerServer), so "near 1" means > 0.95 here.
+	if low.JainIndex < 0.95 {
+		t.Errorf("low-load Jain %.4f, want near 1", low.JainIndex)
+	}
+	if high.JainIndex > low.JainIndex {
+		t.Errorf("saturated Jain %.4f above low-load %.4f", high.JainIndex, low.JainIndex)
+	}
+}
+
+func TestLatencyGrowsWithLoad(t *testing.T) {
+	h := topo.MustHyperX(4, 4)
+	nw := topo.NewNetwork(h, nil)
+	pat := uniformOn(t, h, 4)
+	mech := buildMech(t, "Minimal", nw)
+	lat := func(load float64) float64 {
+		res, err := Run(RunOptions{
+			Net: nw, ServersPerSwitch: 4, Mechanism: mech, Pattern: pat,
+			Load: load, WarmupCycles: 1000, MeasureCycles: 2000, Seed: 31,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.AvgLatency
+	}
+	l2, l8 := lat(0.2), lat(0.8)
+	t.Logf("latency: 0.2->%.1f 0.8->%.1f", l2, l8)
+	if l8 <= l2 {
+		t.Errorf("latency did not grow with load: %.1f vs %.1f", l2, l8)
+	}
+}
+
+func TestZeroWatchdogDisablesDetection(t *testing.T) {
+	// With watchdog disabled, a short doomed run must still terminate by
+	// cycle budget (packets simply stay undelivered).
+	h := topo.MustHyperX(3, 3)
+	src := h.ID([]int{0, 0})
+	mid := h.ID([]int{2, 0})
+	nw := topo.NewNetwork(h, topo.NewFaultSet(topo.NewEdge(src, mid)))
+	alg, _ := routing.NewDOR(nw)
+	mech, _ := routing.NewLadder(alg, 4, 1, "DOR")
+	dst := make([]int32, 9)
+	for i := range dst {
+		dst[i] = int32(i)
+	}
+	dst[src], dst[mid] = mid, src
+	pat, _ := traffic.NewPermutation("cut-pair", dst)
+	cfg := DefaultConfig()
+	cfg.WatchdogCycles = 0
+	res, err := Run(RunOptions{
+		Net: nw, ServersPerSwitch: 1, Mechanism: mech, Pattern: pat,
+		Load: 0.2, WarmupCycles: 100, MeasureCycles: 2000, Seed: 37, Config: cfg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles != 2100 {
+		t.Errorf("ran %d cycles, want 2100", res.Cycles)
+	}
+}
+
+func TestRingPanicsOnOverflow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ring overflow did not panic")
+		}
+	}()
+	var r ring
+	r.init(1)
+	r.push(1)
+	r.push(2)
+}
+
+// hx unwraps the test network's HyperX for coordinate helpers.
+func hx(nw *topo.Network) *topo.HyperX { return nw.H.(*topo.HyperX) }

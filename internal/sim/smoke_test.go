@@ -1,0 +1,86 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/routing"
+	"repro/internal/topo"
+	"repro/internal/traffic"
+)
+
+// smokeRun wires a small 4x4 HyperX with the given mechanism name.
+func smokeRun(t *testing.T, mechName string, load float64, warm, meas int64) *Result {
+	t.Helper()
+	h := topo.MustHyperX(4, 4)
+	nw := topo.NewNetwork(h, nil)
+	var mech routing.Mechanism
+	switch mechName {
+	case "Minimal":
+		alg, err := routing.NewMinimal(nw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mech, err = routing.NewLadder(alg, 4, 2, "Minimal")
+		if err != nil {
+			t.Fatal(err)
+		}
+	case "PolSP":
+		sp, err := core.New(nw, core.PolarizedRoutes, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mech = sp
+	}
+	u, err := traffic.NewUniform(h.Switches() * 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(RunOptions{
+		Net:              nw,
+		ServersPerSwitch: 4,
+		Mechanism:        mech,
+		Pattern:          u,
+		Load:             load,
+		WarmupCycles:     warm,
+		MeasureCycles:    meas,
+		Seed:             1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestSmokeLowLoad(t *testing.T) {
+	res := smokeRun(t, "Minimal", 0.2, 1000, 2000)
+	t.Logf("low load: accepted=%.3f latency=%.1f hops=%.2f jain=%.3f delivered=%d",
+		res.AcceptedLoad, res.AvgLatency, res.AvgHops, res.JainIndex, res.DeliveredPackets)
+	if res.AcceptedLoad < 0.17 || res.AcceptedLoad > 0.23 {
+		t.Errorf("accepted %.3f at offered 0.2", res.AcceptedLoad)
+	}
+	if res.JainIndex < 0.9 {
+		t.Errorf("jain %.3f at low load", res.JainIndex)
+	}
+	if res.AvgHops < 1.0 || res.AvgHops > 2.2 {
+		t.Errorf("avg hops %.2f, want ~1.9", res.AvgHops)
+	}
+}
+
+func TestSmokeSaturation(t *testing.T) {
+	res := smokeRun(t, "Minimal", 1.0, 1500, 2500)
+	t.Logf("saturation: accepted=%.3f latency=%.1f stalled=%d",
+		res.AcceptedLoad, res.AvgLatency, res.StalledGenerations)
+	if res.AcceptedLoad < 0.4 || res.AcceptedLoad > 1.0 {
+		t.Errorf("saturation accepted %.3f out of sane range", res.AcceptedLoad)
+	}
+}
+
+func TestSmokeSurePath(t *testing.T) {
+	res := smokeRun(t, "PolSP", 0.5, 1000, 2000)
+	t.Logf("PolSP: accepted=%.3f latency=%.1f escape=%.4f",
+		res.AcceptedLoad, res.AvgLatency, res.EscapeFraction)
+	if res.AcceptedLoad < 0.45 {
+		t.Errorf("PolSP accepted %.3f at offered 0.5", res.AcceptedLoad)
+	}
+}

@@ -1,0 +1,143 @@
+package topo
+
+// Path-diversity analysis supporting the paper's resilience discussion
+// (Section 2, citing LaForge et al. on worst-case faults and Rottenstreich
+// on HyperX path diversity): the number of edge-disjoint paths between
+// switches bounds how many link failures any pair can survive.
+
+// EdgeDisjointPaths returns the maximum number of edge-disjoint paths
+// between s and t, computed as a unit-capacity max-flow with BFS
+// augmentation (Edmonds-Karp). For s == t it returns 0.
+//
+// In a fault-free HyperX the result equals the switch radix for every pair
+// (Hamming graphs are maximally edge-connected), which is what makes the
+// topology so fault-tolerant; the property tests assert it.
+func (g *Graph) EdgeDisjointPaths(s, t int32) int {
+	if s == t {
+		return 0
+	}
+	n := g.N()
+	// Residual capacities per directed edge. Each undirected edge (u,v)
+	// yields directed arcs u->v and v->u with capacity 1 each; pushing
+	// flow on one consumes it and adds residual on the reverse. We index
+	// arcs by position in the CSR value array and locate reverses by
+	// binary search once, upfront.
+	arcCap := make([]int8, len(g.val))
+	for i := range arcCap {
+		arcCap[i] = 1
+	}
+	rev := make([]int32, len(g.val))
+	for u := int32(0); u < int32(n); u++ {
+		for i := g.off[u]; i < g.off[u+1]; i++ {
+			v := g.val[i]
+			// Find the arc v->u.
+			lo, hi := g.off[v], g.off[v+1]
+			for lo < hi {
+				mid := (lo + hi) / 2
+				if g.val[mid] < u {
+					lo = mid + 1
+				} else {
+					hi = mid
+				}
+			}
+			rev[i] = lo
+		}
+	}
+	parentArc := make([]int32, n)
+	visited := make([]bool, n)
+	queue := make([]int32, 0, n)
+	flow := 0
+	for {
+		for i := range visited {
+			visited[i] = false
+		}
+		queue = append(queue[:0], s)
+		visited[s] = true
+		found := false
+	bfs:
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			for i := g.off[u]; i < g.off[u+1]; i++ {
+				if arcCap[i] == 0 {
+					continue
+				}
+				v := g.val[i]
+				if visited[v] {
+					continue
+				}
+				visited[v] = true
+				parentArc[v] = i
+				if v == t {
+					found = true
+					break bfs
+				}
+				queue = append(queue, v)
+			}
+		}
+		if !found {
+			return flow
+		}
+		// Augment along the path.
+		for v := t; v != s; {
+			arc := parentArc[v]
+			arcCap[arc]--
+			arcCap[rev[arc]]++
+			// The arc tail is the vertex whose CSR range contains arc.
+			v = g.arcTail(arc)
+		}
+		flow++
+	}
+}
+
+// arcTail returns the tail vertex of CSR arc index i by binary search over
+// the offset table.
+func (g *Graph) arcTail(i int32) int32 {
+	lo, hi := int32(0), int32(g.N())
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if g.off[mid+1] <= i {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// EdgeConnectivity returns the minimum over a vertex sample of the
+// edge-disjoint path count from vertex 0, which for vertex-transitive
+// graphs (such as fault-free HyperX) equals the global edge connectivity.
+// For general graphs it is an upper-bound estimate; pass sample <= 0 to
+// check against every other vertex (exact for vertex 0's side).
+func (g *Graph) EdgeConnectivity(sample int) int {
+	n := g.N()
+	if n < 2 {
+		return 0
+	}
+	stride := 1
+	if sample > 0 && n-1 > sample {
+		stride = (n - 1) / sample
+	}
+	best := -1
+	for v := int32(1); v < int32(n); v += int32(stride) {
+		k := g.EdgeDisjointPaths(0, v)
+		if best < 0 || k < best {
+			best = k
+		}
+	}
+	return best
+}
+
+// SurvivablePairs reports how many ordered pairs remain connected after
+// removing the given edges: the resilience summary behind Figure 1's
+// "almost nothing disconnects" message.
+func (g *Graph) SurvivablePairs(remove []Edge) (connected, total int64) {
+	sub := g.RemoveEdges(remove)
+	sizes := sub.ComponentSizes()
+	n := int64(sub.N())
+	total = n * (n - 1)
+	for _, s := range sizes {
+		connected += int64(s) * int64(s-1)
+	}
+	return connected, total
+}

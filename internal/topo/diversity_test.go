@@ -1,0 +1,112 @@
+package topo
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestEdgeDisjointPathsComplete(t *testing.T) {
+	// In K_k there are k-1 edge-disjoint paths between any pair: the
+	// direct edge plus k-2 two-hop paths.
+	for k := 3; k <= 7; k++ {
+		g := Complete(k)
+		if got := g.EdgeDisjointPaths(0, 1); got != k-1 {
+			t.Errorf("K%d disjoint paths = %d, want %d", k, got, k-1)
+		}
+	}
+}
+
+func TestEdgeDisjointPathsPath(t *testing.T) {
+	g := MustGraph(4, []Edge{{0, 1}, {1, 2}, {2, 3}})
+	if got := g.EdgeDisjointPaths(0, 3); got != 1 {
+		t.Errorf("path graph disjoint paths = %d, want 1", got)
+	}
+	if got := g.EdgeDisjointPaths(2, 2); got != 0 {
+		t.Errorf("self pair = %d, want 0", got)
+	}
+}
+
+func TestEdgeDisjointPathsDisconnected(t *testing.T) {
+	g := MustGraph(4, []Edge{{0, 1}, {2, 3}})
+	if got := g.EdgeDisjointPaths(0, 3); got != 0 {
+		t.Errorf("cross-component paths = %d, want 0", got)
+	}
+}
+
+// TestHyperXMaxEdgeConnectivity asserts the resilience property the paper
+// leans on: fault-free Hamming graphs are maximally edge-connected — the
+// number of edge-disjoint paths between any pair equals the switch radix.
+func TestHyperXMaxEdgeConnectivity(t *testing.T) {
+	for _, dims := range [][]int{{4}, {3, 3}, {4, 4}, {2, 2, 2}, {3, 3, 3}} {
+		h := MustHyperX(dims...)
+		g := h.Graph()
+		radix := h.SwitchRadix()
+		r := rng.New(7)
+		for trial := 0; trial < 15; trial++ {
+			a := int32(r.Intn(g.N()))
+			b := int32(r.Intn(g.N()))
+			if a == b {
+				continue
+			}
+			if got := g.EdgeDisjointPaths(a, b); got != radix {
+				t.Errorf("%s: disjoint paths(%d,%d) = %d, want radix %d", h, a, b, got, radix)
+			}
+		}
+		if got := g.EdgeConnectivity(8); got != radix {
+			t.Errorf("%s: edge connectivity %d, want %d", h, got, radix)
+		}
+	}
+}
+
+// Property: removing f random edges can reduce the disjoint-path count by
+// at most f, and never below 1 while the pair stays connected.
+func TestDiversityDegradationProperty(t *testing.T) {
+	h := MustHyperX(3, 3)
+	g := h.Graph()
+	radix := h.SwitchRadix()
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		f := r.Intn(6)
+		seq := RandomFaultSequence(h, seed)
+		sub := g.RemoveEdges(seq[:f])
+		a := int32(r.Intn(9))
+		b := int32(r.Intn(9))
+		if a == b {
+			return true
+		}
+		got := sub.EdgeDisjointPaths(a, b)
+		if got > radix || got < radix-f {
+			return false
+		}
+		dist := make([]int32, sub.N())
+		sub.BFS(a, dist)
+		connected := dist[b] != Unreachable
+		return (got > 0) == connected
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSurvivablePairs(t *testing.T) {
+	h := MustHyperX(4, 4)
+	g := h.Graph()
+	conn, total := g.SurvivablePairs(nil)
+	if conn != total || total != 16*15 {
+		t.Errorf("healthy survivable pairs %d/%d", conn, total)
+	}
+	// Isolate switch 0: it loses its 15 ordered pairs in each direction.
+	var cut []Edge
+	for p := 0; p < h.SwitchRadix(); p++ {
+		cut = append(cut, NewEdge(0, h.PortNeighbor(0, p)))
+	}
+	conn, total = g.SurvivablePairs(cut)
+	if want := int64(15*14 + 0); conn != want {
+		t.Errorf("survivable pairs after isolating a switch = %d, want %d", conn, want)
+	}
+	if total != 16*15 {
+		t.Errorf("total pairs %d", total)
+	}
+}

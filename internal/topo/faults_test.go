@@ -1,0 +1,272 @@
+package topo
+
+import (
+	"testing"
+)
+
+func TestFaultSetBasics(t *testing.T) {
+	var f FaultSet // zero value usable
+	if f.Has(0, 1) || f.Len() != 0 {
+		t.Fatal("zero FaultSet not empty")
+	}
+	f.Add(3, 1)
+	if !f.Has(1, 3) || !f.Has(3, 1) {
+		t.Error("fault not symmetric")
+	}
+	f.Add(1, 3) // duplicate
+	if f.Len() != 1 {
+		t.Errorf("Len=%d after duplicate add", f.Len())
+	}
+	f.AddAll([]Edge{{0, 2}, {5, 4}})
+	if f.Len() != 3 {
+		t.Errorf("Len=%d", f.Len())
+	}
+	edges := f.Edges()
+	if len(edges) != 3 || edges[0] != (Edge{0, 2}) || edges[1] != (Edge{1, 3}) || edges[2] != (Edge{4, 5}) {
+		t.Errorf("Edges() = %v", edges)
+	}
+	clone := f.Clone()
+	clone.Add(7, 8)
+	if f.Has(7, 8) {
+		t.Error("Clone shares state")
+	}
+}
+
+func TestNilFaultSet(t *testing.T) {
+	var f *FaultSet
+	if f.Has(0, 1) || f.Len() != 0 || f.Edges() != nil {
+		t.Error("nil FaultSet should behave as empty")
+	}
+	if f.Clone().Len() != 0 {
+		t.Error("nil Clone not empty")
+	}
+}
+
+func TestRandomFaultSequence(t *testing.T) {
+	h := MustHyperX(4, 4)
+	seq := RandomFaultSequence(h, 1)
+	if len(seq) != h.Links() {
+		t.Fatalf("sequence length %d, want %d", len(seq), h.Links())
+	}
+	seen := make(map[Edge]bool)
+	for _, e := range seq {
+		if seen[e] {
+			t.Fatalf("duplicate edge %v in fault sequence", e)
+		}
+		seen[e] = true
+		if h.PortTo(e.U, e.V) < 0 {
+			t.Fatalf("fault %v is not a link", e)
+		}
+	}
+	// Determinism and seed sensitivity.
+	seq2 := RandomFaultSequence(h, 1)
+	for i := range seq {
+		if seq[i] != seq2[i] {
+			t.Fatal("same seed produced different sequences")
+		}
+	}
+	seq3 := RandomFaultSequence(h, 2)
+	same := 0
+	for i := range seq {
+		if seq[i] == seq3[i] {
+			same++
+		}
+	}
+	if same == len(seq) {
+		t.Fatal("different seeds produced identical sequences")
+	}
+}
+
+func TestNetworkPortLiveness(t *testing.T) {
+	h := MustHyperX(4, 4)
+	faults := NewFaultSet(NewEdge(h.ID([]int{0, 0}), h.ID([]int{1, 0})))
+	nw := NewNetwork(h, faults)
+	x := h.ID([]int{0, 0})
+	y := h.ID([]int{1, 0})
+	if nw.PortAlive(x, h.PortTo(x, y)) {
+		t.Error("failed link reported alive")
+	}
+	if nw.PortAlive(y, h.PortTo(y, x)) {
+		t.Error("failed link alive from other side")
+	}
+	z := h.ID([]int{2, 0})
+	if !nw.PortAlive(x, h.PortTo(x, z)) {
+		t.Error("healthy link reported dead")
+	}
+	if nw.AliveDegree(x) != h.SwitchRadix()-1 {
+		t.Errorf("alive degree %d, want %d", nw.AliveDegree(x), h.SwitchRadix()-1)
+	}
+	g := nw.Graph()
+	if g.M() != h.Links()-1 {
+		t.Errorf("network graph has %d links, want %d", g.M(), h.Links()-1)
+	}
+	if err := nw.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestNetworkValidateRejectsNonLink(t *testing.T) {
+	h := MustHyperX(4, 4)
+	nw := NewNetwork(h, NewFaultSet(Edge{0, 5})) // (0,0)-(1,1): diagonal, not a link
+	if h.PortTo(0, 5) >= 0 {
+		t.Skip("test premise wrong: 0-5 is a link")
+	}
+	if err := nw.Validate(); err == nil {
+		t.Error("Validate accepted a non-link fault")
+	}
+}
+
+func TestNilFaultsNetwork(t *testing.T) {
+	h := MustHyperX(3, 3)
+	nw := NewNetwork(h, nil)
+	if nw.Faults == nil || nw.Faults.Len() != 0 {
+		t.Fatal("nil faults not normalized")
+	}
+	if nw.Graph().M() != h.Links() {
+		t.Error("fault-free network graph missing links")
+	}
+}
+
+// TestFigure1DiameterGrowth reproduces the qualitative content of Figure 1
+// on a smaller 4x4x4 HyperX: the diameter starts at 3, grows as random links
+// fail, and the network eventually disconnects only after a large fraction
+// of links has failed.
+func TestFigure1DiameterGrowth(t *testing.T) {
+	h := MustHyperX(4, 4, 4)
+	seq := RandomFaultSequence(h, 7)
+	g := h.Graph()
+	if d, _ := g.Diameter(); d != 3 {
+		t.Fatalf("healthy diameter %d", d)
+	}
+	// With 10% of links failed the diameter should still be small and the
+	// network connected (HyperX resilience).
+	tenPct := len(seq) / 10
+	g10 := g.RemoveEdges(seq[:tenPct])
+	d10, conn := g10.Diameter()
+	if !conn {
+		t.Fatalf("disconnected at 10%% faults")
+	}
+	if d10 > 5 {
+		t.Errorf("diameter %d at 10%% faults, expected <= 5", d10)
+	}
+	// Diameter is monotone nondecreasing along the fault sequence.
+	prev := int32(0)
+	for _, frac := range []int{0, 10, 20, 30} {
+		cut := len(seq) * frac / 100
+		d, c := g.RemoveEdges(seq[:cut]).Diameter()
+		if !c {
+			break
+		}
+		if d < prev {
+			t.Errorf("diameter decreased from %d to %d at %d%% faults", prev, d, frac)
+		}
+		prev = d
+	}
+}
+
+func TestShapesLinkCounts(t *testing.T) {
+	// Paper's 2D 16x16 network.
+	h2 := MustHyperX(16, 16)
+	root2 := h2.ID([]int{7, 7})
+	row2, err := PaperShape(h2, root2, ShapeRow)
+	if err != nil || len(row2) != 120 {
+		t.Errorf("2D Row: %d links (err %v), want 120", len(row2), err)
+	}
+	sub2, err := PaperShape(h2, root2, ShapeSubBlock)
+	if err != nil || len(sub2) != 100 {
+		t.Errorf("2D Subplane: %d links (err %v), want 100", len(sub2), err)
+	}
+	cross2, err := PaperShape(h2, root2, ShapeCross)
+	if err != nil || len(cross2) != 110 {
+		t.Errorf("2D Cross: %d links (err %v), want 110", len(cross2), err)
+	}
+	// Paper's 3D 8x8x8 network.
+	h3 := MustHyperX(8, 8, 8)
+	root3 := h3.ID([]int{3, 3, 3})
+	row3, err := PaperShape(h3, root3, ShapeRow)
+	if err != nil || len(row3) != 28 {
+		t.Errorf("3D Row: %d links (err %v), want 28", len(row3), err)
+	}
+	sub3, err := PaperShape(h3, root3, ShapeSubBlock)
+	if err != nil || len(sub3) != 81 {
+		t.Errorf("3D Subcube: %d links (err %v), want 81", len(sub3), err)
+	}
+	star3, err := PaperShape(h3, root3, ShapeCross)
+	if err != nil || len(star3) != 63 {
+		t.Errorf("3D Star: %d links (err %v), want 63", len(star3), err)
+	}
+	// The Star leaves the root exactly 3 live links (paper Section 6).
+	nw := NewNetwork(h3, NewFaultSet(star3...))
+	if got := nw.AliveDegree(root3); got != 3 {
+		t.Errorf("Star leaves root %d live links, want 3", got)
+	}
+	// The 2D Cross removes 2/3 of the root's links (paper Section 6).
+	nwc := NewNetwork(h2, NewFaultSet(cross2...))
+	if got := nwc.AliveDegree(root2); got != 10 {
+		t.Errorf("Cross leaves root %d live links, want 10", got)
+	}
+}
+
+func TestShapesContainRoot(t *testing.T) {
+	// Every shape must include links incident to the root (the paper designs
+	// them to stress the escape subnetwork).
+	for _, dims := range [][]int{{16, 16}, {8, 8, 8}} {
+		h := MustHyperX(dims...)
+		root := h.ID(make([]int, len(dims))) // corner root
+		for _, kind := range []ShapeKind{ShapeRow, ShapeSubBlock, ShapeCross} {
+			edges, err := PaperShape(h, root, kind)
+			if err != nil {
+				t.Fatalf("%s %v: %v", h, kind, err)
+			}
+			touches := false
+			for _, e := range edges {
+				if e.U == root || e.V == root {
+					touches = true
+					break
+				}
+			}
+			if !touches {
+				t.Errorf("%s %v does not touch the root", h, kind)
+			}
+			// Shapes must never disconnect the network.
+			g := NewNetwork(h, NewFaultSet(edges...)).Graph()
+			if !g.Connected() {
+				t.Errorf("%s %v disconnects the network", h, kind)
+			}
+		}
+	}
+}
+
+func TestShapeErrors(t *testing.T) {
+	h := MustHyperX(4, 4)
+	if _, err := RowFaults(h, 0, 5); err == nil {
+		t.Error("bad dimension accepted")
+	}
+	if _, err := SubBlockFaults(h, []int{0}, 2); err == nil {
+		t.Error("wrong corner arity accepted")
+	}
+	if _, err := SubBlockFaults(h, []int{0, 0}, 1); err == nil {
+		t.Error("size-1 block accepted")
+	}
+	if _, err := SubBlockFaults(h, []int{3, 0}, 3); err == nil {
+		t.Error("out-of-bounds block accepted")
+	}
+	if _, err := CrossFaults(h, 0, 9); err == nil {
+		t.Error("oversized cross accepted")
+	}
+	if _, err := PaperShape(h, 0, ShapeKind(99)); err == nil {
+		t.Error("unknown shape accepted")
+	}
+}
+
+func TestShapeNames(t *testing.T) {
+	if ShapeSubBlock.PaperName(2) != "Subplane" || ShapeSubBlock.PaperName(3) != "Subcube" {
+		t.Error("SubBlock paper names wrong")
+	}
+	if ShapeCross.PaperName(2) != "Cross" || ShapeCross.PaperName(3) != "Star" {
+		t.Error("Cross paper names wrong")
+	}
+	if ShapeRow.PaperName(3) != "Row" || ShapeRow.String() != "Row" {
+		t.Error("Row name wrong")
+	}
+}

@@ -1,0 +1,284 @@
+// Package topo provides the topology substrate of the simulator: generic
+// immutable graphs with BFS-based metrics, the HyperX (Hamming graph) family
+// the paper studies, and the fault models of its evaluation (random link
+// failures and the structured Row / Subplane / Cross / Subcube / Star
+// shapes).
+package topo
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Unreachable marks pairs with no path in distance tables.
+const Unreachable = int32(1) << 30
+
+// Edge is an undirected link between two switches, stored normalized with
+// U < V so edges compare and hash consistently.
+type Edge struct {
+	U, V int32
+}
+
+// NewEdge returns the normalized edge between a and b.
+func NewEdge(a, b int32) Edge {
+	if a > b {
+		a, b = b, a
+	}
+	return Edge{a, b}
+}
+
+// Graph is an immutable undirected graph in compressed sparse row form.
+// Vertices are 0..N()-1. Build instances with NewGraph or the topology
+// constructors; the zero value is an empty graph.
+type Graph struct {
+	off []int32 // len n+1, CSR offsets into val
+	val []int32 // concatenated sorted neighbor lists
+}
+
+// NewGraph builds a graph on n vertices from the given undirected edges.
+// Self-loops and duplicate edges are rejected.
+func NewGraph(n int, edges []Edge) (*Graph, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("topo: negative vertex count %d", n)
+	}
+	deg := make([]int32, n)
+	for _, e := range edges {
+		if e.U == e.V {
+			return nil, fmt.Errorf("topo: self-loop at vertex %d", e.U)
+		}
+		if e.U < 0 || e.V < 0 || int(e.U) >= n || int(e.V) >= n {
+			return nil, fmt.Errorf("topo: edge (%d,%d) out of range [0,%d)", e.U, e.V, n)
+		}
+		deg[e.U]++
+		deg[e.V]++
+	}
+	g := &Graph{
+		off: make([]int32, n+1),
+		val: make([]int32, 2*len(edges)),
+	}
+	for i := 0; i < n; i++ {
+		g.off[i+1] = g.off[i] + deg[i]
+	}
+	fill := make([]int32, n)
+	copy(fill, g.off[:n])
+	for _, e := range edges {
+		g.val[fill[e.U]] = e.V
+		fill[e.U]++
+		g.val[fill[e.V]] = e.U
+		fill[e.V]++
+	}
+	for v := 0; v < n; v++ {
+		nb := g.val[g.off[v]:g.off[v+1]]
+		sort.Slice(nb, func(i, j int) bool { return nb[i] < nb[j] })
+		for i := 1; i < len(nb); i++ {
+			if nb[i] == nb[i-1] {
+				return nil, fmt.Errorf("topo: duplicate edge (%d,%d)", v, nb[i])
+			}
+		}
+	}
+	return g, nil
+}
+
+// MustGraph is NewGraph that panics on invalid input; intended for
+// constructors whose inputs are correct by construction.
+func MustGraph(n int, edges []Edge) *Graph {
+	g, err := NewGraph(n, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Complete returns the complete graph K_k.
+func Complete(k int) *Graph {
+	edges := make([]Edge, 0, k*(k-1)/2)
+	for i := int32(0); i < int32(k); i++ {
+		for j := i + 1; j < int32(k); j++ {
+			edges = append(edges, Edge{i, j})
+		}
+	}
+	return MustGraph(k, edges)
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return len(g.off) - 1 }
+
+// M returns the number of undirected edges.
+func (g *Graph) M() int { return len(g.val) / 2 }
+
+// Degree returns the degree of vertex v.
+func (g *Graph) Degree(v int32) int { return int(g.off[v+1] - g.off[v]) }
+
+// Neighbors returns the sorted neighbor list of v as a shared slice; callers
+// must not modify it.
+func (g *Graph) Neighbors(v int32) []int32 { return g.val[g.off[v]:g.off[v+1]] }
+
+// HasEdge reports whether u and v are adjacent.
+func (g *Graph) HasEdge(u, v int32) bool {
+	nb := g.Neighbors(u)
+	i := sort.Search(len(nb), func(i int) bool { return nb[i] >= v })
+	return i < len(nb) && nb[i] == v
+}
+
+// Edges returns all undirected edges, normalized and sorted.
+func (g *Graph) Edges() []Edge {
+	edges := make([]Edge, 0, g.M())
+	for v := int32(0); v < int32(g.N()); v++ {
+		for _, w := range g.Neighbors(v) {
+			if v < w {
+				edges = append(edges, Edge{v, w})
+			}
+		}
+	}
+	return edges
+}
+
+// BFS fills dist with hop distances from src, using Unreachable for vertices
+// in other components. dist must have length N(). It returns the number of
+// reached vertices (including src).
+func (g *Graph) BFS(src int32, dist []int32) int {
+	if len(dist) != g.N() {
+		panic("topo: BFS dist slice has wrong length")
+	}
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	queue := make([]int32, 0, g.N())
+	dist[src] = 0
+	queue = append(queue, src)
+	reached := 1
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		dv := dist[v]
+		for _, w := range g.Neighbors(v) {
+			if dist[w] == Unreachable {
+				dist[w] = dv + 1
+				queue = append(queue, w)
+				reached++
+			}
+		}
+	}
+	return reached
+}
+
+// Distances returns the full all-pairs distance table, row-major n*n, with
+// Unreachable for disconnected pairs.
+func (g *Graph) Distances() []int32 {
+	n := g.N()
+	d := make([]int32, n*n)
+	for v := 0; v < n; v++ {
+		g.BFS(int32(v), d[v*n:(v+1)*n])
+	}
+	return d
+}
+
+// Connected reports whether the graph has a single connected component
+// (vacuously true for empty and single-vertex graphs).
+func (g *Graph) Connected() bool {
+	if g.N() <= 1 {
+		return true
+	}
+	dist := make([]int32, g.N())
+	return g.BFS(0, dist) == g.N()
+}
+
+// Eccentricity returns the greatest distance from v to any reachable vertex,
+// and whether all vertices were reachable.
+func (g *Graph) Eccentricity(v int32) (ecc int32, connected bool) {
+	dist := make([]int32, g.N())
+	reached := g.BFS(v, dist)
+	for _, d := range dist {
+		if d != Unreachable && d > ecc {
+			ecc = d
+		}
+	}
+	return ecc, reached == g.N()
+}
+
+// Diameter returns the largest finite distance between any pair. The second
+// result is false when the graph is disconnected, in which case the diameter
+// of the reachable pairs is returned.
+func (g *Graph) Diameter() (int32, bool) {
+	var diam int32
+	connected := true
+	dist := make([]int32, g.N())
+	for v := 0; v < g.N(); v++ {
+		if g.BFS(int32(v), dist) != g.N() {
+			connected = false
+		}
+		for _, d := range dist {
+			if d != Unreachable && d > diam {
+				diam = d
+			}
+		}
+	}
+	return diam, connected
+}
+
+// AvgDistance returns the mean distance over ordered distinct pairs. When
+// inclSelf is true the n self-pairs of distance 0 are included in the mean,
+// matching how the paper's Table 3 reports 2.625 for the 8x8x8 HyperX.
+// Disconnected pairs are excluded from both numerator and denominator.
+func (g *Graph) AvgDistance(inclSelf bool) float64 {
+	n := g.N()
+	if n == 0 {
+		return 0
+	}
+	var sum, pairs int64
+	dist := make([]int32, n)
+	for v := 0; v < n; v++ {
+		g.BFS(int32(v), dist)
+		for w, d := range dist {
+			if d == Unreachable || (w == v && !inclSelf) {
+				continue
+			}
+			sum += int64(d)
+			pairs++
+		}
+	}
+	if pairs == 0 {
+		return 0
+	}
+	return float64(sum) / float64(pairs)
+}
+
+// RemoveEdges returns a copy of g with the given undirected edges deleted.
+// Edges absent from g are ignored.
+func (g *Graph) RemoveEdges(remove []Edge) *Graph {
+	dead := make(map[Edge]struct{}, len(remove))
+	for _, e := range remove {
+		dead[NewEdge(e.U, e.V)] = struct{}{}
+	}
+	keep := make([]Edge, 0, g.M())
+	for _, e := range g.Edges() {
+		if _, gone := dead[e]; !gone {
+			keep = append(keep, e)
+		}
+	}
+	return MustGraph(g.N(), keep)
+}
+
+// ComponentSizes returns the sizes of the connected components in
+// descending order.
+func (g *Graph) ComponentSizes() []int {
+	n := g.N()
+	seen := make([]bool, n)
+	dist := make([]int32, n)
+	var sizes []int
+	for v := 0; v < n; v++ {
+		if seen[v] {
+			continue
+		}
+		g.BFS(int32(v), dist)
+		size := 0
+		for w, d := range dist {
+			if d != Unreachable {
+				seen[w] = true
+				size++
+			}
+		}
+		sizes = append(sizes, size)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(sizes)))
+	return sizes
+}

@@ -1,0 +1,175 @@
+package topo
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestNewGraphRejectsBadEdges(t *testing.T) {
+	if _, err := NewGraph(3, []Edge{{0, 0}}); err == nil {
+		t.Error("self-loop accepted")
+	}
+	if _, err := NewGraph(3, []Edge{{0, 3}}); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+	if _, err := NewGraph(3, []Edge{{0, 1}, {1, 0}}); err == nil {
+		t.Error("duplicate edge accepted")
+	}
+	if _, err := NewGraph(-1, nil); err == nil {
+		t.Error("negative vertex count accepted")
+	}
+}
+
+func TestCompleteGraph(t *testing.T) {
+	for k := 2; k <= 8; k++ {
+		g := Complete(k)
+		if g.N() != k {
+			t.Fatalf("K%d has %d vertices", k, g.N())
+		}
+		if g.M() != k*(k-1)/2 {
+			t.Fatalf("K%d has %d edges, want %d", k, g.M(), k*(k-1)/2)
+		}
+		diam, conn := g.Diameter()
+		if diam != 1 || !conn {
+			t.Fatalf("K%d diameter=%d connected=%v", k, diam, conn)
+		}
+	}
+}
+
+func TestBFSPath(t *testing.T) {
+	// Path graph 0-1-2-3-4.
+	g := MustGraph(5, []Edge{{0, 1}, {1, 2}, {2, 3}, {3, 4}})
+	dist := make([]int32, 5)
+	g.BFS(0, dist)
+	for i, want := range []int32{0, 1, 2, 3, 4} {
+		if dist[i] != want {
+			t.Errorf("dist[%d] = %d, want %d", i, dist[i], want)
+		}
+	}
+	diam, conn := g.Diameter()
+	if diam != 4 || !conn {
+		t.Errorf("path diameter=%d connected=%v", diam, conn)
+	}
+}
+
+func TestDisconnected(t *testing.T) {
+	g := MustGraph(4, []Edge{{0, 1}, {2, 3}})
+	if g.Connected() {
+		t.Error("two components reported connected")
+	}
+	dist := make([]int32, 4)
+	if got := g.BFS(0, dist); got != 2 {
+		t.Errorf("BFS reached %d vertices, want 2", got)
+	}
+	if dist[2] != Unreachable {
+		t.Errorf("dist to other component = %d, want Unreachable", dist[2])
+	}
+	sizes := g.ComponentSizes()
+	if len(sizes) != 2 || sizes[0] != 2 || sizes[1] != 2 {
+		t.Errorf("component sizes = %v", sizes)
+	}
+}
+
+func TestRemoveEdges(t *testing.T) {
+	g := Complete(4)
+	g2 := g.RemoveEdges([]Edge{{0, 1}, {1, 0}, {2, 3}})
+	if g2.M() != 4 {
+		t.Fatalf("after removal M=%d, want 4", g2.M())
+	}
+	if g2.HasEdge(0, 1) || g2.HasEdge(2, 3) {
+		t.Error("removed edge still present")
+	}
+	if !g2.HasEdge(0, 2) {
+		t.Error("surviving edge missing")
+	}
+	// Original untouched.
+	if g.M() != 6 {
+		t.Error("RemoveEdges mutated the receiver")
+	}
+}
+
+func TestAvgDistanceComplete(t *testing.T) {
+	g := Complete(5)
+	if got := g.AvgDistance(false); got != 1.0 {
+		t.Errorf("K5 avg distance excl self = %v, want 1", got)
+	}
+	// Including self: 20 pairs at 1, 5 at 0 => 20/25.
+	if got := g.AvgDistance(true); got != 0.8 {
+		t.Errorf("K5 avg distance incl self = %v, want 0.8", got)
+	}
+}
+
+func TestEccentricity(t *testing.T) {
+	g := MustGraph(4, []Edge{{0, 1}, {1, 2}, {2, 3}})
+	ecc, conn := g.Eccentricity(0)
+	if ecc != 3 || !conn {
+		t.Errorf("ecc(0)=%d connected=%v", ecc, conn)
+	}
+	ecc, _ = g.Eccentricity(1)
+	if ecc != 2 {
+		t.Errorf("ecc(1)=%d, want 2", ecc)
+	}
+}
+
+func TestDistancesSymmetric(t *testing.T) {
+	h := MustHyperX(4, 4)
+	g := h.Graph()
+	n := g.N()
+	d := g.Distances()
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if d[u*n+v] != d[v*n+u] {
+				t.Fatalf("distance not symmetric at (%d,%d)", u, v)
+			}
+		}
+	}
+}
+
+// Property: in any connected graph built from a random spanning structure,
+// BFS distances satisfy the triangle inequality over edges: |d(u)-d(v)| <= 1
+// for adjacent u,v.
+func TestBFSLipschitzProperty(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 2 + r.Intn(30)
+		// Random connected graph: spanning tree + extra random edges.
+		var edges []Edge
+		for v := 1; v < n; v++ {
+			edges = append(edges, NewEdge(int32(v), int32(r.Intn(v))))
+		}
+		seen := make(map[Edge]bool)
+		for _, e := range edges {
+			seen[e] = true
+		}
+		extra := r.Intn(2 * n)
+		for i := 0; i < extra; i++ {
+			a, b := int32(r.Intn(n)), int32(r.Intn(n))
+			if a == b {
+				continue
+			}
+			e := NewEdge(a, b)
+			if !seen[e] {
+				seen[e] = true
+				edges = append(edges, e)
+			}
+		}
+		g := MustGraph(n, edges)
+		dist := make([]int32, n)
+		src := int32(r.Intn(n))
+		g.BFS(src, dist)
+		for v := int32(0); v < int32(n); v++ {
+			for _, w := range g.Neighbors(v) {
+				diff := dist[v] - dist[w]
+				if diff < -1 || diff > 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

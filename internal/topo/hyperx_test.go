@@ -1,0 +1,202 @@
+package topo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestHyperXValidation(t *testing.T) {
+	if _, err := NewHyperX(); err == nil {
+		t.Error("no dimensions accepted")
+	}
+	if _, err := NewHyperX(1); err == nil {
+		t.Error("side 1 accepted")
+	}
+	if _, err := NewHyperX(4, 0); err == nil {
+		t.Error("side 0 accepted")
+	}
+}
+
+// TestTable3TopologicalParameters reproduces Table 3 of the paper exactly.
+func TestTable3TopologicalParameters(t *testing.T) {
+	cases := []struct {
+		dims     []int
+		switches int
+		radix    int // including server ports (= side for paper's k^n + k servers)
+		servers  int
+		links    int
+		diameter int32
+		avgDist  float64 // incl-self convention, see Graph.AvgDistance
+	}{
+		{[]int{16, 16}, 256, 46, 4096, 3840, 2, 1.875},
+		{[]int{8, 8, 8}, 512, 29, 4096, 5376, 3, 2.625},
+	}
+	for _, c := range cases {
+		h := MustHyperX(c.dims...)
+		if h.Switches() != c.switches {
+			t.Errorf("%s: switches %d, want %d", h, h.Switches(), c.switches)
+		}
+		servers := h.Switches() * c.dims[0]
+		if servers != c.servers {
+			t.Errorf("%s: servers %d, want %d", h, servers, c.servers)
+		}
+		radix := h.SwitchRadix() + c.dims[0]
+		if radix != c.radix {
+			t.Errorf("%s: radix %d, want %d", h, radix, c.radix)
+		}
+		if h.Links() != c.links {
+			t.Errorf("%s: links %d, want %d", h, h.Links(), c.links)
+		}
+		g := h.Graph()
+		if g.M() != c.links {
+			t.Errorf("%s: graph links %d, want %d", h, g.M(), c.links)
+		}
+		diam, conn := g.Diameter()
+		if diam != c.diameter || !conn {
+			t.Errorf("%s: diameter %d connected=%v, want %d", h, diam, conn, c.diameter)
+		}
+		if got := g.AvgDistance(true); math.Abs(got-c.avgDist) > 1e-9 {
+			t.Errorf("%s: avg distance %v, want %v", h, got, c.avgDist)
+		}
+	}
+}
+
+func TestCoordRoundTrip(t *testing.T) {
+	h := MustHyperX(3, 4, 5)
+	var coord []int
+	for id := int32(0); id < int32(h.Switches()); id++ {
+		coord = h.Coord(id, coord)
+		if got := h.ID(coord); got != id {
+			t.Fatalf("ID(Coord(%d)) = %d", id, got)
+		}
+		for d := range coord {
+			if h.CoordAt(id, d) != coord[d] {
+				t.Fatalf("CoordAt(%d,%d) = %d, want %d", id, d, h.CoordAt(id, d), coord[d])
+			}
+		}
+	}
+}
+
+func TestPortNumbering(t *testing.T) {
+	h := MustHyperX(4, 3)
+	if h.SwitchRadix() != 3+2 {
+		t.Fatalf("radix = %d", h.SwitchRadix())
+	}
+	for x := int32(0); x < int32(h.Switches()); x++ {
+		seen := make(map[int32]bool)
+		for p := 0; p < h.SwitchRadix(); p++ {
+			y := h.PortNeighbor(x, p)
+			if y == x {
+				t.Fatalf("port %d of %d leads to itself", p, x)
+			}
+			if seen[y] {
+				t.Fatalf("two ports of %d lead to %d", x, y)
+			}
+			seen[y] = true
+			if h.HammingDistance(x, y) != 1 {
+				t.Fatalf("port neighbor %d of %d not at Hamming distance 1", y, x)
+			}
+			// PortTo must invert PortNeighbor.
+			if got := h.PortTo(x, y); got != p {
+				t.Fatalf("PortTo(%d,%d) = %d, want %d", x, y, got, p)
+			}
+			// Port dimension must match the differing coordinate.
+			if h.CoordAt(x, h.PortDim(p)) == h.CoordAt(y, h.PortDim(p)) {
+				t.Fatalf("port %d dim %d does not differ", p, h.PortDim(p))
+			}
+		}
+	}
+}
+
+func TestPortToNonAdjacent(t *testing.T) {
+	h := MustHyperX(4, 4)
+	if got := h.PortTo(0, 0); got != -1 {
+		t.Errorf("PortTo(x,x) = %d", got)
+	}
+	// (0,0) and (1,1) differ in two dims.
+	a := h.ID([]int{0, 0})
+	b := h.ID([]int{1, 1})
+	if got := h.PortTo(a, b); got != -1 {
+		t.Errorf("PortTo over diagonal = %d", got)
+	}
+}
+
+func TestDimPorts(t *testing.T) {
+	h := MustHyperX(5, 3, 4)
+	wantCounts := []int{4, 2, 3}
+	total := 0
+	for d, want := range wantCounts {
+		lo, hi := h.DimPorts(d)
+		if hi-lo != want {
+			t.Errorf("dim %d has %d ports, want %d", d, hi-lo, want)
+		}
+		for p := lo; p < hi; p++ {
+			if h.PortDim(p) != d {
+				t.Errorf("port %d reports dim %d, want %d", p, h.PortDim(p), d)
+			}
+		}
+		total += hi - lo
+	}
+	if total != h.SwitchRadix() {
+		t.Errorf("dim port ranges cover %d ports, want %d", total, h.SwitchRadix())
+	}
+}
+
+func TestHammingDistanceMatchesGraph(t *testing.T) {
+	h := MustHyperX(3, 3, 3)
+	g := h.Graph()
+	dist := make([]int32, g.N())
+	for src := int32(0); src < int32(g.N()); src += 5 {
+		g.BFS(src, dist)
+		for v := int32(0); v < int32(g.N()); v++ {
+			if dist[v] != h.HammingDistance(src, v) {
+				t.Fatalf("graph dist(%d,%d)=%d, Hamming=%d", src, v, dist[v], h.HammingDistance(src, v))
+			}
+		}
+	}
+}
+
+func TestLineSwitches(t *testing.T) {
+	h := MustHyperX(4, 4)
+	line := h.LineSwitches(h.ID([]int{2, 1}), 0)
+	if len(line) != 4 {
+		t.Fatalf("line has %d switches", len(line))
+	}
+	for i, id := range line {
+		if h.CoordAt(id, 0) != i || h.CoordAt(id, 1) != 1 {
+			t.Errorf("line switch %d = %d has coords (%d,%d)", i, id, h.CoordAt(id, 0), h.CoordAt(id, 1))
+		}
+	}
+}
+
+func TestWithCoordProperty(t *testing.T) {
+	h := MustHyperX(4, 5, 3)
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		id := int32(r.Intn(h.Switches()))
+		dim := r.Intn(3)
+		val := r.Intn(h.Dims()[dim])
+		y := h.WithCoord(id, dim, val)
+		if h.CoordAt(y, dim) != val {
+			return false
+		}
+		for d := 0; d < 3; d++ {
+			if d != dim && h.CoordAt(y, d) != h.CoordAt(id, d) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHyperXString(t *testing.T) {
+	if got := MustHyperX(8, 8, 8).String(); got != "HyperX 8x8x8" {
+		t.Errorf("String() = %q", got)
+	}
+}

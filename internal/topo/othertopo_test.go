@@ -1,0 +1,167 @@
+package topo
+
+import "testing"
+
+func TestTorusValidation(t *testing.T) {
+	if _, err := NewTorus(); err == nil {
+		t.Error("no dims accepted")
+	}
+	if _, err := NewTorus(2, 4); err == nil {
+		t.Error("side 2 accepted (parallel links)")
+	}
+}
+
+func TestTorusPortSymmetry(t *testing.T) {
+	tr := MustTorus(4, 5, 3)
+	n := int32(tr.Switches())
+	if n != 60 {
+		t.Fatalf("switches %d", n)
+	}
+	if tr.SwitchRadix() != 6 {
+		t.Fatalf("radix %d", tr.SwitchRadix())
+	}
+	for x := int32(0); x < n; x++ {
+		seen := map[int32]bool{}
+		for p := 0; p < tr.SwitchRadix(); p++ {
+			y := tr.PortNeighbor(x, p)
+			if y == x {
+				t.Fatalf("self link at %d port %d", x, p)
+			}
+			if seen[y] {
+				t.Fatalf("parallel link %d->%d", x, y)
+			}
+			seen[y] = true
+			if got := tr.PortTo(x, y); got != p {
+				t.Fatalf("PortTo(%d,%d)=%d, want %d", x, y, got, p)
+			}
+			back := tr.PortTo(y, x)
+			if back < 0 || tr.PortNeighbor(y, back) != x {
+				t.Fatalf("asymmetric link %d<->%d", x, y)
+			}
+		}
+	}
+}
+
+func TestTorusRingDistances(t *testing.T) {
+	tr := MustTorus(6)
+	g := GraphOf(tr)
+	if g.M() != 6 {
+		t.Fatalf("ring links %d", g.M())
+	}
+	diam, conn := g.Diameter()
+	if diam != 3 || !conn {
+		t.Fatalf("ring of 6 diameter %d", diam)
+	}
+	tr2 := MustTorus(4, 4)
+	g2 := GraphOf(tr2)
+	if g2.M() != 32 {
+		t.Fatalf("4x4 torus links %d, want 32", g2.M())
+	}
+	if d, _ := g2.Diameter(); d != 4 {
+		t.Fatalf("4x4 torus diameter %d, want 4", d)
+	}
+}
+
+func TestDragonflyValidation(t *testing.T) {
+	if _, err := NewDragonfly(1, 1); err == nil {
+		t.Error("a=1 accepted")
+	}
+	if _, err := NewDragonfly(4, 0); err == nil {
+		t.Error("h=0 accepted")
+	}
+}
+
+func TestDragonflyStructure(t *testing.T) {
+	d := MustDragonfly(4, 2) // 9 groups of 4 = 36 switches
+	if d.Switches() != 36 || d.Groups() != 9 || d.GroupSize() != 4 {
+		t.Fatalf("structure: %d switches, %d groups", d.Switches(), d.Groups())
+	}
+	if d.SwitchRadix() != 3+2 {
+		t.Fatalf("radix %d", d.SwitchRadix())
+	}
+	// Every port symmetric, no parallels, no self links.
+	for x := int32(0); x < 36; x++ {
+		seen := map[int32]bool{}
+		for p := 0; p < d.SwitchRadix(); p++ {
+			y := d.PortNeighbor(x, p)
+			if y == x || seen[y] {
+				t.Fatalf("bad link %d->%d (port %d)", x, y, p)
+			}
+			seen[y] = true
+			if d.PortTo(x, y) != p {
+				t.Fatalf("PortTo(%d,%d) != %d", x, y, p)
+			}
+			back := d.PortTo(y, x)
+			if back < 0 || d.PortNeighbor(y, back) != x {
+				t.Fatalf("asymmetric link %d<->%d", x, y)
+			}
+		}
+	}
+	// Exactly one global link between every pair of groups (balanced
+	// canonical dragonfly with h*a = groups-1).
+	globalCount := map[[2]int]int{}
+	for _, e := range d.Edges() {
+		g1, g2 := int(e.U)/4, int(e.V)/4
+		if g1 != g2 {
+			key := [2]int{g1, g2}
+			if g1 > g2 {
+				key = [2]int{g2, g1}
+			}
+			globalCount[key]++
+		}
+	}
+	if len(globalCount) != 9*8/2 {
+		t.Fatalf("global pairs %d, want 36", len(globalCount))
+	}
+	for pair, c := range globalCount {
+		if c != 1 {
+			t.Fatalf("groups %v joined by %d links", pair, c)
+		}
+	}
+	// Diameter 3 (local, global, local).
+	g := GraphOf(d)
+	diam, conn := g.Diameter()
+	if !conn || diam != 3 {
+		t.Fatalf("dragonfly diameter %d connected %v", diam, conn)
+	}
+}
+
+func TestSwitchedNetworkOnTorus(t *testing.T) {
+	tr := MustTorus(4, 4)
+	nw := NewNetwork(tr, nil)
+	if nw.Graph().M() != 32 {
+		t.Fatal("network graph wrong")
+	}
+	seq := RandomFaultSequence(tr, 5)
+	if len(seq) != 32 {
+		t.Fatalf("fault sequence %d edges", len(seq))
+	}
+	nw2 := NewNetwork(tr, NewFaultSet(seq[:3]...))
+	if nw2.Graph().M() != 29 {
+		t.Fatal("fault removal wrong on torus")
+	}
+	if err := nw2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	alive := 0
+	for p := 0; p < tr.SwitchRadix(); p++ {
+		if nw2.PortAlive(0, p) {
+			alive++
+		}
+	}
+	if alive > tr.SwitchRadix() {
+		t.Fatal("impossible alive count")
+	}
+}
+
+func TestRandomFaultSequenceDeterministicAcrossTopologies(t *testing.T) {
+	// The sequence must be stable per seed for any Switched implementation.
+	d := MustDragonfly(3, 1)
+	a := RandomFaultSequence(d, 7)
+	b := RandomFaultSequence(d, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("dragonfly fault sequence not deterministic")
+		}
+	}
+}

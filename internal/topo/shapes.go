@@ -1,0 +1,196 @@
+package topo
+
+import "fmt"
+
+// Structured fault shapes of Section 6 / Figure 7 of the paper. All shapes
+// are cliques (or unions of cliques) of switches whose internal links fail,
+// and the paper centres them on the root of the escape subnetwork to stress
+// SurePath as hard as possible.
+//
+// Link counts on the paper's topologies, asserted by unit tests:
+//
+//	2D 16x16: Row 120, Subplane (5x5) 100, Cross (m=11) 110
+//	3D 8x8x8: Row 28, Subcube (3x3x3) 81, Star (m=7) 63
+
+// cliqueEdges returns all links among the given switches that exist in h.
+// Switch sets from a single HyperX line are complete, so every pair yields a
+// link; general sets (sub-blocks) only contribute existing links.
+func cliqueEdges(h *HyperX, ids []int32) []Edge {
+	var edges []Edge
+	for i := 0; i < len(ids); i++ {
+		for j := i + 1; j < len(ids); j++ {
+			if h.PortTo(ids[i], ids[j]) >= 0 {
+				edges = append(edges, NewEdge(ids[i], ids[j]))
+			}
+		}
+	}
+	return edges
+}
+
+// RowFaults fails every link of the line (K_k row) through anchor in the
+// given dimension: k(k-1)/2 links.
+func RowFaults(h *HyperX, anchor int32, dim int) ([]Edge, error) {
+	if dim < 0 || dim >= h.NDims() {
+		return nil, fmt.Errorf("topo: row dimension %d out of range for %s", dim, h)
+	}
+	return cliqueEdges(h, h.LineSwitches(anchor, dim)), nil
+}
+
+// SubBlockFaults fails every link internal to the axis-aligned sub-block of
+// the given size per dimension whose lowest corner is lo. For size s in an
+// n-D HyperX this removes the links of an embedded K_s^n Hamming subgraph:
+// the paper's Subplane (2D, s=5, 100 links) and Subcube (3D, s=3, 81 links).
+func SubBlockFaults(h *HyperX, lo []int, size int) ([]Edge, error) {
+	if len(lo) != h.NDims() {
+		return nil, fmt.Errorf("topo: sub-block corner has %d coords, want %d", len(lo), h.NDims())
+	}
+	if size < 2 {
+		return nil, fmt.Errorf("topo: sub-block size %d must be >= 2", size)
+	}
+	for i, k := range h.Dims() {
+		if lo[i] < 0 || lo[i]+size > k {
+			return nil, fmt.Errorf("topo: sub-block [%d,%d) exceeds side %d in dimension %d",
+				lo[i], lo[i]+size, k, i)
+		}
+	}
+	// Enumerate block switches by counting in mixed radix over the block.
+	count := 1
+	for range lo {
+		count *= size
+	}
+	ids := make([]int32, 0, count)
+	coord := make([]int, len(lo))
+	for idx := 0; idx < count; idx++ {
+		rem := idx
+		for i := range coord {
+			coord[i] = lo[i] + rem%size
+			rem /= size
+		}
+		ids = append(ids, h.ID(coord))
+	}
+	return cliqueEdges(h, ids), nil
+}
+
+// CrossFaults fails, for every dimension, the links among m switches of the
+// line through center (the center plus the m-1 switches with the lowest
+// other coordinate values, wrapping as needed), leaving k-m "margin"
+// switches per line so the center stays connected. With m=11 on a 16x16
+// HyperX this is the paper's Cross (two K11, 110 links); with m=7 on an
+// 8x8x8 HyperX it is the Star (three K7, 63 links, leaving the center
+// exactly 3 live links).
+func CrossFaults(h *HyperX, center int32, m int) ([]Edge, error) {
+	set := make(map[Edge]struct{})
+	for dim, k := range h.Dims() {
+		if m < 2 || m > k {
+			return nil, fmt.Errorf("topo: cross arm size %d out of range [2,%d] in dimension %d", m, k, dim)
+		}
+		own := h.CoordAt(center, dim)
+		ids := make([]int32, 0, m)
+		ids = append(ids, center)
+		for v := 0; len(ids) < m; v++ {
+			if v%k != own {
+				ids = append(ids, h.WithCoord(center, dim, v%k))
+			}
+		}
+		for _, e := range cliqueEdges(h, ids) {
+			set[e] = struct{}{}
+		}
+	}
+	edges := make([]Edge, 0, len(set))
+	for e := range set {
+		edges = append(edges, e)
+	}
+	return edges, nil
+}
+
+// ShapeKind names a structured fault configuration.
+type ShapeKind int
+
+// The structured shapes of the paper's Section 6.
+const (
+	ShapeRow ShapeKind = iota
+	ShapeSubBlock
+	ShapeCross
+)
+
+// String returns the paper's name for the shape, using the 2D terms; callers
+// presenting 3D results may prefer PaperName.
+func (s ShapeKind) String() string {
+	switch s {
+	case ShapeRow:
+		return "Row"
+	case ShapeSubBlock:
+		return "SubBlock"
+	case ShapeCross:
+		return "Cross"
+	}
+	return fmt.Sprintf("ShapeKind(%d)", int(s))
+}
+
+// PaperName returns the name the paper uses for the shape in an n-D network:
+// Subplane/Cross in 2D, Subcube/Star in 3D.
+func (s ShapeKind) PaperName(ndims int) string {
+	switch {
+	case s == ShapeSubBlock && ndims == 2:
+		return "Subplane"
+	case s == ShapeSubBlock && ndims == 3:
+		return "Subcube"
+	case s == ShapeCross && ndims == 3:
+		return "Star"
+	default:
+		return s.String()
+	}
+}
+
+// scaleRound scales the paper's parameter (defined on side paperK) to side
+// k, rounding to nearest and clamping to [lo, k].
+func scaleRound(paperVal, paperK, k, lo int) int {
+	v := (paperVal*k + paperK/2) / paperK
+	if v < lo {
+		v = lo
+	}
+	if v > k {
+		v = k
+	}
+	return v
+}
+
+// PaperShape builds the shape with the paper's parameters for the given
+// topology, centred on root: Row through the root in dimension 0; Subplane
+// 5x5 / Subcube 3x3x3 containing the root; Cross m=11 / Star m=7. On
+// networks smaller than the paper's (16x16 / 8x8x8) the Subplane size and
+// Cross arm scale proportionally, preserving the shapes' character (the
+// Star still strips the root down to very few live links).
+func PaperShape(h *HyperX, root int32, kind ShapeKind) ([]Edge, error) {
+	k := h.Dims()[0]
+	switch kind {
+	case ShapeRow:
+		return RowFaults(h, root, 0)
+	case ShapeSubBlock:
+		size := scaleRound(5, 16, k, 2)
+		if h.NDims() == 3 {
+			size = scaleRound(3, 8, k, 2)
+		}
+		lo := make([]int, h.NDims())
+		for i, side := range h.Dims() {
+			c := h.CoordAt(root, i)
+			lo[i] = c
+			if lo[i]+size > side {
+				lo[i] = side - size
+			}
+		}
+		return SubBlockFaults(h, lo, size)
+	case ShapeCross:
+		m := scaleRound(11, 16, k, 2)
+		if h.NDims() == 3 {
+			m = scaleRound(7, 8, k, 2)
+		}
+		// A full-line cross (m == k) would disconnect the root entirely;
+		// keep at least one margin switch per line, as the paper does.
+		if m > k-1 {
+			m = k - 1
+		}
+		return CrossFaults(h, root, m)
+	}
+	return nil, fmt.Errorf("topo: unknown shape %v", kind)
+}

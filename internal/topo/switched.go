@@ -1,0 +1,40 @@
+package topo
+
+// Switched is the abstract switch-level topology the routing stack runs
+// on: a set of switches with numbered ports. HyperX is the paper's
+// subject; Torus and Dragonfly exist to reproduce the Section 7 discussion
+// of SurePath beyond HyperX (the escape subnetwork "apparently could be
+// used in any topology", but only HyperX gives it shortest paths).
+//
+// Distance-table-driven algorithms (Minimal, Valiant, Polarized), the
+// escape subnetwork, SurePath and the simulator work on any Switched;
+// coordinate-driven algorithms (DOR, Omnidimensional, DAL) require a
+// *HyperX and say so at construction.
+type Switched interface {
+	// Switches returns the number of switches.
+	Switches() int
+	// SwitchRadix returns the number of switch-to-switch ports per switch.
+	SwitchRadix() int
+	// PortNeighbor returns the switch reached through port p of x. Every
+	// port in [0, SwitchRadix()) must lead somewhere; parallel ports are
+	// not allowed.
+	PortNeighbor(x int32, p int) int32
+	// PortTo returns the port on x leading to y, or -1 when not adjacent.
+	PortTo(x, y int32) int
+	// Edges returns all switch-to-switch links, normalized.
+	Edges() []Edge
+	// String names the topology.
+	String() string
+}
+
+// Compile-time interface checks for the provided topologies.
+var (
+	_ Switched = (*HyperX)(nil)
+	_ Switched = (*Torus)(nil)
+	_ Switched = (*Dragonfly)(nil)
+)
+
+// GraphOf builds the fault-free graph of any switched topology.
+func GraphOf(t Switched) *Graph {
+	return MustGraph(t.Switches(), t.Edges())
+}

@@ -1,0 +1,96 @@
+package traffic
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// Coordinated describes grid-like topologies (HyperX, Torus) whose
+// switches carry coordinate vectors; the classic adversarial patterns
+// below are defined on coordinates. Both *topo.HyperX and *topo.Torus
+// satisfy it.
+type Coordinated interface {
+	Switches() int
+	NDims() int
+	Dims() []int
+	CoordAt(id int32, dim int) int
+	ID(coord []int) int32
+}
+
+// NewTornado builds the classic Tornado pattern: in every dimension the
+// destination coordinate is offset by ceil(k/2)-1, the worst case for
+// dimension-ordered and minimal routing on rings (every flow leans the
+// same way around each ring). Server w maps to server w.
+func NewTornado(t Coordinated, serversPerSwitch int) (*Permutation, error) {
+	n := t.Switches() * serversPerSwitch
+	dst := make([]int32, n)
+	coord := make([]int, t.NDims())
+	for s := 0; s < n; s++ {
+		sw := int32(s / serversPerSwitch)
+		for d := 0; d < t.NDims(); d++ {
+			k := t.Dims()[d]
+			coord[d] = (t.CoordAt(sw, d) + (k+1)/2 - 1) % k
+		}
+		dst[s] = t.ID(coord)*int32(serversPerSwitch) + int32(s%serversPerSwitch)
+	}
+	return NewPermutation("Tornado", dst)
+}
+
+// NewTranspose builds the matrix-transpose pattern on a square 2D
+// topology: switch (x, y) sends to switch (y, x); server w maps to server
+// w. Diagonal switches send to themselves (local traffic). Transpose is
+// the classic adversarial pattern for dimension-ordered routing.
+func NewTranspose(t Coordinated, serversPerSwitch int) (*Permutation, error) {
+	if t.NDims() != 2 || t.Dims()[0] != t.Dims()[1] {
+		return nil, fmt.Errorf("traffic: Transpose needs a square 2D topology, got %v", t.Dims())
+	}
+	n := t.Switches() * serversPerSwitch
+	dst := make([]int32, n)
+	for s := 0; s < n; s++ {
+		sw := int32(s / serversPerSwitch)
+		target := t.ID([]int{t.CoordAt(sw, 1), t.CoordAt(sw, 0)})
+		dst[s] = target*int32(serversPerSwitch) + int32(s%serversPerSwitch)
+	}
+	return NewPermutation("Transpose", dst)
+}
+
+// NewBitComplement builds the bit/coordinate complement pattern: every
+// coordinate maps to k-1-c (the paper's Dimension Complement without the
+// reversal). Server w maps to server w.
+func NewBitComplement(t Coordinated, serversPerSwitch int) (*Permutation, error) {
+	n := t.Switches() * serversPerSwitch
+	dst := make([]int32, n)
+	coord := make([]int, t.NDims())
+	for s := 0; s < n; s++ {
+		sw := int32(s / serversPerSwitch)
+		for d := 0; d < t.NDims(); d++ {
+			coord[d] = t.Dims()[d] - 1 - t.CoordAt(sw, d)
+		}
+		dst[s] = t.ID(coord)*int32(serversPerSwitch) + int32(s%serversPerSwitch)
+	}
+	return NewPermutation("Bit Complement", dst)
+}
+
+// Compose returns a pattern drawing from a with probability frac and from
+// b otherwise: background-plus-adversarial mixes for stress studies.
+func Compose(name string, a, b Pattern, frac float64) Pattern {
+	return &mixed{name: name, a: a, b: b, frac: frac}
+}
+
+type mixed struct {
+	name string
+	a, b Pattern
+	frac float64
+}
+
+// Name implements Pattern.
+func (m *mixed) Name() string { return m.name }
+
+// Dest implements Pattern.
+func (m *mixed) Dest(src int32, r *rng.Rand) int32 {
+	if r.Float64() < m.frac {
+		return m.a.Dest(src, r)
+	}
+	return m.b.Dest(src, r)
+}

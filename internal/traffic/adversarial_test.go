@@ -1,0 +1,102 @@
+package traffic
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/topo"
+)
+
+func TestTornadoHyperX(t *testing.T) {
+	h := topo.MustHyperX(4, 4)
+	p, err := NewTornado(h, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (x,y) -> (x+1 mod 4, y+1 mod 4) since ceil(4/2)-1 = 1.
+	src := int32(h.ID([]int{1, 2}))*4 + 3
+	want := int32(h.ID([]int{2, 3}))*4 + 3
+	if got := p.Dest(src, nil); got != want {
+		t.Errorf("tornado dest %d, want %d", got, want)
+	}
+}
+
+func TestTornadoTorus(t *testing.T) {
+	tr := topo.MustTorus(8, 8)
+	p, err := NewTornado(tr, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Offset ceil(8/2)-1 = 3 per dimension.
+	src := tr.ID([]int{0, 0}) * 2
+	want := tr.ID([]int{3, 3}) * 2
+	if got := p.Dest(src, nil); got != want {
+		t.Errorf("torus tornado dest %d, want %d", got, want)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	h := topo.MustHyperX(4, 4)
+	p, err := NewTranspose(h, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := int32(h.ID([]int{1, 3}))*4 + 2
+	want := int32(h.ID([]int{3, 1}))*4 + 2
+	if got := p.Dest(src, nil); got != want {
+		t.Errorf("transpose dest %d, want %d", got, want)
+	}
+	// Diagonal maps to itself.
+	diag := int32(h.ID([]int{2, 2})) * 4
+	if got := p.Dest(diag, nil); got != diag {
+		t.Errorf("diagonal dest %d, want self %d", got, diag)
+	}
+	// Validation.
+	if _, err := NewTranspose(topo.MustHyperX(4, 4, 4), 4); err == nil {
+		t.Error("3D transpose accepted")
+	}
+	if _, err := NewTranspose(topo.MustHyperX(4, 6), 4); err == nil {
+		t.Error("non-square transpose accepted")
+	}
+}
+
+func TestBitComplement(t *testing.T) {
+	h := topo.MustHyperX(4, 4, 4)
+	p, err := NewBitComplement(h, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := int32(h.ID([]int{0, 1, 2}))*4 + 1
+	want := int32(h.ID([]int{3, 2, 1}))*4 + 1
+	if got := p.Dest(src, nil); got != want {
+		t.Errorf("complement dest %d, want %d", got, want)
+	}
+}
+
+func TestComposeMix(t *testing.T) {
+	h := topo.MustHyperX(4, 4)
+	a, _ := NewTornado(h, 1)
+	b, _ := NewBitComplement(h, 1)
+	mix := Compose("mix", a, b, 0.25)
+	if mix.Name() != "mix" {
+		t.Errorf("name %q", mix.Name())
+	}
+	r := rng.New(5)
+	fromA, fromB := 0, 0
+	src := int32(3)
+	for i := 0; i < 10000; i++ {
+		d := mix.Dest(src, r)
+		switch d {
+		case a.Dest(src, nil):
+			fromA++
+		case b.Dest(src, nil):
+			fromB++
+		default:
+			t.Fatalf("mix produced foreign destination %d", d)
+		}
+	}
+	got := float64(fromA) / 10000
+	if got < 0.2 || got > 0.3 {
+		t.Errorf("mix fraction %.3f, want ~0.25", got)
+	}
+}

@@ -1,0 +1,284 @@
+package traffic
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+	"repro/internal/topo"
+)
+
+func servers(t *testing.T, dims []int, per int) Servers {
+	t.Helper()
+	return Servers{H: topo.MustHyperX(dims...), Per: per}
+}
+
+func TestServersNumbering(t *testing.T) {
+	sv := servers(t, []int{4, 4}, 4)
+	if sv.Count() != 64 {
+		t.Fatalf("Count=%d", sv.Count())
+	}
+	for s := int32(0); s < 64; s++ {
+		sw, w := sv.Switch(s), sv.Local(s)
+		if sv.ServerAt(sw, w) != s {
+			t.Fatalf("ServerAt(Switch,Local) != id for %d", s)
+		}
+		if w < 0 || w >= 4 {
+			t.Fatalf("local index %d out of range", w)
+		}
+	}
+}
+
+func TestUniform(t *testing.T) {
+	if _, err := NewUniform(1); err == nil {
+		t.Error("1-server uniform accepted")
+	}
+	u, err := NewUniform(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Name() != "Uniform" {
+		t.Errorf("name %q", u.Name())
+	}
+	r := rng.New(1)
+	counts := make([]int, 64)
+	const draws = 64000
+	for i := 0; i < draws; i++ {
+		d := u.Dest(7, r)
+		if d == 7 {
+			t.Fatal("uniform chose self")
+		}
+		if d < 0 || d >= 64 {
+			t.Fatalf("destination %d out of range", d)
+		}
+		counts[d]++
+	}
+	for s, c := range counts {
+		if s == 7 {
+			continue
+		}
+		want := float64(draws) / 63
+		if float64(c) < want*0.8 || float64(c) > want*1.2 {
+			t.Fatalf("destination %d drawn %d times, want ~%v", s, c, want)
+		}
+	}
+}
+
+func TestRandomServerPermutation(t *testing.T) {
+	p, err := NewRandomServerPermutation(100, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make([]bool, 100)
+	for s := int32(0); s < 100; s++ {
+		d := p.Dest(s, nil)
+		if seen[d] {
+			t.Fatal("not a permutation")
+		}
+		seen[d] = true
+	}
+	// Determinism per seed.
+	p2, _ := NewRandomServerPermutation(100, 42)
+	for s := int32(0); s < 100; s++ {
+		if p.Dest(s, nil) != p2.Dest(s, nil) {
+			t.Fatal("same seed gave different permutations")
+		}
+	}
+	p3, _ := NewRandomServerPermutation(100, 43)
+	same := 0
+	for s := int32(0); s < 100; s++ {
+		if p.Dest(s, nil) == p3.Dest(s, nil) {
+			same++
+		}
+	}
+	if same == 100 {
+		t.Fatal("different seeds gave identical permutations")
+	}
+	if _, err := NewRandomServerPermutation(0, 1); err == nil {
+		t.Error("0 servers accepted")
+	}
+}
+
+func TestNewPermutationRejectsNonBijections(t *testing.T) {
+	if _, err := NewPermutation("bad", []int32{0, 0, 2}); err == nil {
+		t.Error("duplicate accepted")
+	}
+	if _, err := NewPermutation("bad", []int32{0, 3, 1}); err == nil {
+		t.Error("out of range accepted")
+	}
+	if _, err := NewPermutation("bad", []int32{0, -1, 1}); err == nil {
+		t.Error("negative accepted")
+	}
+}
+
+func TestDCR3D(t *testing.T) {
+	sv := servers(t, []int{4, 4, 4}, 4)
+	p, err := NewDimensionComplementReverse(sv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := sv.H
+	// Server 0 at switch (0,0,0) -> same local index at (3,3,3).
+	src := sv.ServerAt(h.ID([]int{0, 0, 0}), 2)
+	want := sv.ServerAt(h.ID([]int{3, 3, 3}), 2)
+	if got := p.Dest(src, nil); got != want {
+		t.Errorf("DCR(0,0,0) server 2 -> %d, want %d", got, want)
+	}
+	// (x,y,z) -> (k-1-z, k-1-y, k-1-x): check a generic switch.
+	src = sv.ServerAt(h.ID([]int{1, 2, 3}), 0)
+	want = sv.ServerAt(h.ID([]int{0, 1, 2}), 0)
+	if got := p.Dest(src, nil); got != want {
+		t.Errorf("DCR(1,2,3) -> switch %d, want %d", sv.Switch(p.Dest(src, nil)), sv.Switch(want))
+	}
+	_ = want
+}
+
+func TestDCR2D(t *testing.T) {
+	sv := servers(t, []int{4, 4}, 4)
+	p, err := NewDimensionComplementReverse(sv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := sv.H
+	// Server (w,x,y) -> (k-1-y, k-1-x, k-1-w): local k-1-y at switch
+	// (k-1-x, k-1-w).
+	src := sv.ServerAt(h.ID([]int{1, 2}), 3) // w=3, x=1, y=2
+	want := sv.ServerAt(h.ID([]int{2, 0}), 1)
+	if got := p.Dest(src, nil); got != want {
+		t.Errorf("2D DCR -> %d, want %d", got, want)
+	}
+	// Validation paths.
+	if _, err := NewDimensionComplementReverse(servers(t, []int{4, 4}, 2)); err == nil {
+		t.Error("2D DCR with wrong servers-per-switch accepted")
+	}
+	if _, err := NewDimensionComplementReverse(servers(t, []int{4, 6}, 4)); err == nil {
+		t.Error("unequal sides accepted")
+	}
+	if _, err := NewDimensionComplementReverse(servers(t, []int{4}, 4)); err == nil {
+		t.Error("1D DCR accepted")
+	}
+}
+
+func TestRPNStructure(t *testing.T) {
+	sv := servers(t, []int{4, 4, 4}, 4)
+	p, err := NewRegularPermutationToNeighbour(sv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := sv.H
+	// Switch-level permutation: every destination switch is at Hamming
+	// distance exactly 1, in the same K2^3 block, and the switch map is a
+	// bijection with cycles of length 8 (the Hamiltonian cycle).
+	swDest := make(map[int32]int32)
+	for s := int32(0); s < int32(sv.Count()); s++ {
+		srcSw, dstSw := sv.Switch(s), sv.Switch(p.Dest(s, nil))
+		if prev, ok := swDest[srcSw]; ok {
+			if prev != dstSw {
+				t.Fatal("servers of one switch disagree on destination switch")
+			}
+			continue
+		}
+		swDest[srcSw] = dstSw
+		if h.HammingDistance(srcSw, dstSw) != 1 {
+			t.Fatalf("switch %d sends at distance %d", srcSw, h.HammingDistance(srcSw, dstSw))
+		}
+		for d := 0; d < 3; d++ {
+			if h.CoordAt(srcSw, d)/2 != h.CoordAt(dstSw, d)/2 {
+				t.Fatalf("pair %d->%d leaves its K2 block", srcSw, dstSw)
+			}
+		}
+		if sv.Local(s) != sv.Local(p.Dest(s, nil)) {
+			t.Fatal("local server index not preserved")
+		}
+	}
+	// Cycle length 8 through each block.
+	for start := range swDest {
+		cur, steps := swDest[start], 1
+		for cur != start {
+			cur = swDest[cur]
+			steps++
+			if steps > 8 {
+				t.Fatal("cycle longer than 8")
+			}
+		}
+		if steps != 8 {
+			t.Fatalf("cycle length %d, want 8", steps)
+		}
+	}
+}
+
+func TestRPNRowOccupancy(t *testing.T) {
+	// Section 4: every K_k row has either 0 confined pairs or k/2 disjoint
+	// pairs.
+	sv := servers(t, []int{4, 4, 4}, 4)
+	p, err := NewRegularPermutationToNeighbour(sv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := sv.H
+	k := 4
+	for dim := 0; dim < 3; dim++ {
+		// Enumerate rows as (anchor with coord[dim]=0).
+		for anchor := int32(0); anchor < int32(h.Switches()); anchor++ {
+			if h.CoordAt(anchor, dim) != 0 {
+				continue
+			}
+			pairs := 0
+			for _, sw := range h.LineSwitches(anchor, dim) {
+				dstSw := sv.Switch(p.Dest(sv.ServerAt(sw, 0), nil))
+				if dstSw != sw && h.CoordAt(dstSw, dim) != h.CoordAt(sw, dim) {
+					// Pair confined to this row.
+					same := true
+					for d := 0; d < 3; d++ {
+						if d != dim && h.CoordAt(dstSw, d) != h.CoordAt(sw, d) {
+							same = false
+						}
+					}
+					if same {
+						pairs++
+					}
+				}
+			}
+			if pairs != 0 && pairs != k/2 {
+				t.Fatalf("row dim=%d anchor=%d carries %d pairs, want 0 or %d", dim, anchor, pairs, k/2)
+			}
+		}
+	}
+}
+
+func TestRPNValidation(t *testing.T) {
+	if _, err := NewRegularPermutationToNeighbour(servers(t, []int{3, 4}, 3)); err == nil {
+		t.Error("odd side accepted")
+	}
+	if _, err := NewRegularPermutationToNeighbour(servers(t, []int{4}, 4)); err == nil {
+		t.Error("1D accepted")
+	}
+	// 2D variant works (even sides).
+	if _, err := NewRegularPermutationToNeighbour(servers(t, []int{4, 4}, 4)); err != nil {
+		t.Errorf("2D RPN rejected: %v", err)
+	}
+}
+
+func TestGrayCycleProperty(t *testing.T) {
+	check := func(n uint8) bool {
+		ndims := 2 + int(n%3) // 2..4 dims
+		size := 1 << ndims
+		visited := make(map[int]bool)
+		cur := 0
+		for i := 0; i < size; i++ {
+			next := grayNext(cur, ndims)
+			// One bit flip per step.
+			diff := cur ^ next
+			if diff == 0 || diff&(diff-1) != 0 {
+				return false
+			}
+			visited[cur] = true
+			cur = next
+		}
+		// Hamiltonian: all corners visited, back at start.
+		return len(visited) == size && cur == 0
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
