@@ -48,7 +48,7 @@ func BenchmarkTable3_TopologicalParameters(b *testing.B) {
 func BenchmarkFig1_DiameterUnderFaults(b *testing.B) {
 	h := bench3D()
 	for i := 0; i < b.N; i++ {
-		points := experiments.Fig1(h, []uint64{1}, 32)
+		points := experiments.Fig1(h, []uint64{1}, 32, 0)
 		if len(points) == 0 {
 			b.Fatal("no points")
 		}
@@ -311,7 +311,7 @@ func BenchmarkExtensionSection7(b *testing.B) {
 	var rows []experiments.Section7Row
 	for i := 0; i < b.N; i++ {
 		var err error
-		rows, err = experiments.Section7(1, experiments.Budget{Warmup: 600, Measure: 1200})
+		rows, err = experiments.Section7(1, experiments.Budget{Warmup: 600, Measure: 1200}, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -436,3 +436,36 @@ func BenchmarkSimulatorCycleRate(b *testing.B) {
 	}
 	b.ReportMetric(float64(cycles)*float64(b.N)/b.Elapsed().Seconds(), "cycles/s")
 }
+
+// --- Sequential vs parallel experiment runner. ---
+
+// benchSweep regenerates a Figure-4-sized grid (6 mechanisms x 3 patterns x
+// the full 10-point load sweep) on the given worker count. Comparing the
+// Sequential and Parallel variants measures the runner's wall-clock speedup;
+// the rows themselves are bit-identical by construction.
+func benchSweep(b *testing.B, workers int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.LoadSweep(experiments.SweepConfig{
+			H:       bench2D(),
+			Budget:  benchBudget(),
+			Seed:    1,
+			Workers: workers,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 6*3*10 {
+			b.Fatalf("grid produced %d rows, want 180", len(rows))
+		}
+	}
+	b.ReportMetric(float64(180*b.N)/b.Elapsed().Seconds(), "points/s")
+}
+
+// BenchmarkSweepSequential runs the grid on a single worker: the baseline.
+func BenchmarkSweepSequential(b *testing.B) { benchSweep(b, 1) }
+
+// BenchmarkSweepParallel runs the same grid on one worker per CPU; on a
+// >= 4-core machine it completes the grid at least ~2x faster than
+// BenchmarkSweepSequential while producing byte-identical rows.
+func BenchmarkSweepParallel(b *testing.B) { benchSweep(b, 0) }

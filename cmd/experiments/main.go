@@ -25,6 +25,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/cliutil"
 	"repro/internal/experiments"
 	"repro/internal/topo"
 )
@@ -39,7 +40,14 @@ func main() {
 	flag.Var(&exps, "exp", "experiment to run: table2|table3|table4|fig1|fig4|fig5|fig6|fig7|fig8|fig9|fig10|recovery|cost|section7|all (repeatable)")
 	full := flag.Bool("full", false, "use the paper's full-size networks and long windows")
 	seed := flag.Uint64("seed", 1, "random seed")
+	workersFlag := flag.Int("workers", 0, "parallel simulation workers (0 = one per CPU); results are identical for any value")
 	flag.Parse()
+
+	workers, err := cliutil.ResolveWorkers(*workersFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(2)
+	}
 
 	if len(exps) == 0 {
 		exps = multiFlag{"all"}
@@ -85,7 +93,7 @@ func main() {
 		return nil
 	})
 	run("table3", func() error {
-		fmt.Print(experiments.RenderTable3(experiments.Topology2D(experiments.ScaleFull),
+		fmt.Print(experiments.RenderTable3(workers, experiments.Topology2D(experiments.ScaleFull),
 			experiments.Topology3D(experiments.ScaleFull)))
 		return nil
 	})
@@ -100,12 +108,12 @@ func main() {
 		if *full {
 			step = 64
 		}
-		points := experiments.Fig1(h, []uint64{*seed, *seed + 1, *seed + 2}, step)
+		points := experiments.Fig1(h, []uint64{*seed, *seed + 1, *seed + 2}, step, workers)
 		fmt.Print(experiments.RenderFig1(h, points))
 		return nil
 	})
 	run("fig4", func() error {
-		rows, err := experiments.Fig4(scale, budget, *seed)
+		rows, err := experiments.Fig4(scale, budget, *seed, workers)
 		if err != nil {
 			return err
 		}
@@ -113,7 +121,7 @@ func main() {
 		return nil
 	})
 	run("fig5", func() error {
-		rows, err := experiments.Fig5(scale, budget, *seed)
+		rows, err := experiments.Fig5(scale, budget, *seed, workers)
 		if err != nil {
 			return err
 		}
@@ -127,7 +135,7 @@ func main() {
 				max, step = 100, 10
 			}
 			rows, err := experiments.Fig6(experiments.Fig6Config{
-				H: h, MaxFaults: max, Step: step, Budget: budget, Seed: *seed,
+				H: h, MaxFaults: max, Step: step, Budget: budget, Seed: *seed, Workers: workers,
 			})
 			if err != nil {
 				return err
@@ -151,7 +159,7 @@ func main() {
 	})
 	run("fig8", func() error {
 		rows, err := experiments.Shapes(experiments.ShapesConfig{
-			H: h2, Budget: budget, Seed: *seed, Root: root2,
+			H: h2, Budget: budget, Seed: *seed, Root: root2, Workers: workers,
 		})
 		if err != nil {
 			return err
@@ -161,7 +169,7 @@ func main() {
 	})
 	run("fig9", func() error {
 		rows, err := experiments.Shapes(experiments.ShapesConfig{
-			H: h3, Budget: budget, Seed: *seed, Root: root3,
+			H: h3, Budget: budget, Seed: *seed, Root: root3, Workers: workers,
 		})
 		if err != nil {
 			return err
@@ -175,7 +183,7 @@ func main() {
 			burst = 8000 // the paper's 8000 phits per server
 		}
 		results, err := experiments.Fig10(experiments.Fig10Config{
-			H: h3, BurstPhits: burst, Seed: *seed, Root: root3,
+			H: h3, BurstPhits: burst, Seed: *seed, Root: root3, Workers: workers,
 		})
 		if err != nil {
 			return err
@@ -185,7 +193,7 @@ func main() {
 		return nil
 	})
 	run("section7", func() error {
-		rows, err := experiments.Section7(*seed, budget)
+		rows, err := experiments.Section7(*seed, budget, workers)
 		if err != nil {
 			return err
 		}
@@ -194,7 +202,7 @@ func main() {
 	})
 	run("recovery", func() error {
 		results, err := experiments.Recovery(experiments.RecoveryConfig{
-			H: h3, Seed: *seed, Root: root3,
+			H: h3, Seed: *seed, Root: root3, Workers: workers,
 		})
 		if err != nil {
 			return err

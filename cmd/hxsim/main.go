@@ -33,8 +33,12 @@ func main() {
 		burstFlag   = flag.Int("burst", 0, "burst packets per server (completion-time mode)")
 		seedFlag    = flag.Uint64("seed", 1, "random seed")
 		serversFlag = flag.Int("servers", 0, "servers per switch (0 = side k)")
+		workersFlag = flag.Int("workers", 0, "parallel workers for -loads sweeps (0 = one per CPU); results are identical for any value")
 	)
 	flag.Parse()
+
+	workers, err := cliutil.ResolveWorkers(*workersFlag)
+	check(err)
 
 	dims, err := cliutil.ParseDims(*dimsFlag)
 	check(err)
@@ -82,13 +86,28 @@ func main() {
 		loads, err = cliutil.ParseLoads(*loadsFlag)
 		check(err)
 	}
-	for _, load := range loads {
+	if *burstFlag > 0 {
+		loads = loads[:1] // burst mode ignores load: one completion-time run
+	}
+	// Each load point is an independent job: its own network, mechanism and
+	// pattern, so the sweep parallelizes and the printed rows are identical
+	// for any -workers value.
+	results, err := hyperx.RunJobs(workers, len(loads), func(i int) (*hyperx.Result, error) {
+		jobNet := hyperx.NewNetwork(h, faults.Clone())
+		jobMech, err := hyperx.NewMechanism(*mechFlag, jobNet, vcs, int32(*rootFlag))
+		if err != nil {
+			return nil, err
+		}
+		jobPat, err := hyperx.NewPattern(*patFlag, h, per, *seedFlag)
+		if err != nil {
+			return nil, err
+		}
 		opts := hyperx.RunOptions{
-			Net:              net,
+			Net:              jobNet,
 			ServersPerSwitch: per,
-			Mechanism:        mech,
-			Pattern:          pat,
-			Load:             load,
+			Mechanism:        jobMech,
+			Pattern:          jobPat,
+			Load:             loads[i],
 			WarmupCycles:     *warmFlag,
 			MeasureCycles:    *measFlag,
 			Seed:             *seedFlag,
@@ -97,9 +116,11 @@ func main() {
 			opts.BurstPackets = *burstFlag
 			opts.SeriesBucket = 2000
 		}
-		res, err := hyperx.Run(opts)
-		check(err)
-
+		return hyperx.Run(opts)
+	})
+	check(err)
+	for i, load := range loads {
+		res := results[i]
 		if *burstFlag > 0 {
 			fmt.Printf("completion time     %d cycles\n", res.CompletionTime)
 			for _, p := range res.Series {

@@ -193,6 +193,18 @@ func NewUniformPattern(servers int) (Pattern, error) {
 // Run simulates one configuration on the cycle-level engine.
 func Run(o RunOptions) (*Result, error) { return sim.Run(o) }
 
+// RunJobs executes n independent jobs on a bounded worker pool (workers < 1
+// means one per CPU) and returns their results in job order: the substrate
+// the experiment drivers parallelize on, exported for ad-hoc sweeps.
+func RunJobs[T any](workers, n int, job func(index int) (T, error)) ([]T, error) {
+	return experiments.RunJobs(workers, n, job)
+}
+
+// JobSeed derives the simulation seed of job index from a base seed; using
+// it per grid point keeps parallel sweeps bit-identical for any worker
+// count.
+func JobSeed(seed uint64, index int) uint64 { return experiments.JobSeed(seed, index) }
+
 // DefaultConfig returns the paper's Table 2 simulation parameters.
 func DefaultConfig() Config { return sim.DefaultConfig() }
 

@@ -44,6 +44,16 @@ func ParseShape(s string) (topo.ShapeKind, error) {
 	return 0, fmt.Errorf("unknown shape %q (row|subblock|cross)", s)
 }
 
+// ResolveWorkers validates a -workers flag value: negatives are rejected;
+// 0 (one worker per CPU) and positive counts pass through to the job
+// runner, which owns the resolution policy.
+func ResolveWorkers(n int) (int, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("workers must be >= 0, got %d", n)
+	}
+	return n, nil
+}
+
 // ParseLoads parses a comma-separated load list such as "0.1,0.5,1.0".
 func ParseLoads(s string) ([]float64, error) {
 	var loads []float64

@@ -74,3 +74,15 @@ func TestParseLoads(t *testing.T) {
 		t.Errorf("trailing comma: %v, %v", loads, err)
 	}
 }
+
+func TestResolveWorkers(t *testing.T) {
+	if _, err := ResolveWorkers(-1); err == nil {
+		t.Error("negative workers accepted")
+	}
+	if n, err := ResolveWorkers(0); err != nil || n != 0 {
+		t.Errorf("ResolveWorkers(0) = %d, %v; want 0 passed through to the runner", n, err)
+	}
+	if n, err := ResolveWorkers(7); err != nil || n != 7 {
+		t.Errorf("ResolveWorkers(7) = %d, %v", n, err)
+	}
+}

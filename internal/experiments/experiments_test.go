@@ -84,7 +84,7 @@ func TestTable3MatchesPaper(t *testing.T) {
 	if r3.AvgDistance != 2.625 {
 		t.Errorf("3D avg distance %v, want 2.625", r3.AvgDistance)
 	}
-	out := RenderTable3(Topology2D(ScaleFull), Topology3D(ScaleFull))
+	out := RenderTable3(0, Topology2D(ScaleFull), Topology3D(ScaleFull))
 	if !strings.Contains(out, "HyperX 16x16") || !strings.Contains(out, "5376") {
 		t.Error("RenderTable3 missing content")
 	}
@@ -110,7 +110,7 @@ func TestTable4AndTable2Render(t *testing.T) {
 
 func TestFig1SmallNetwork(t *testing.T) {
 	h := tiny3D()
-	points := Fig1(h, []uint64{1, 2}, 16)
+	points := Fig1(h, []uint64{1, 2}, 16, 0)
 	if len(points) == 0 {
 		t.Fatal("no points")
 	}
@@ -365,7 +365,7 @@ func TestRenderFig7(t *testing.T) {
 // must show the best escape stretch and by far the strongest escape-only
 // and SurePath throughput, reproducing the paper's Section 7 claim.
 func TestSection7Shape(t *testing.T) {
-	rows, err := Section7(1, Budget{Warmup: 600, Measure: 1200})
+	rows, err := Section7(1, Budget{Warmup: 600, Measure: 1200}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

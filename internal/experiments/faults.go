@@ -6,7 +6,6 @@ import (
 	"strings"
 
 	"repro/internal/topo"
-	"repro/internal/traffic"
 )
 
 // Fig6Row is one point of Figure 6: saturation throughput of a SurePath
@@ -33,6 +32,8 @@ type Fig6Config struct {
 	Seed     uint64
 	VCs      int // 0 means 4 (3 routing + 1 escape), the Section 6 setting
 	Root     int32
+	// Workers bounds the parallel job pool; 0 means one per CPU.
+	Workers int
 }
 
 // Fig6 reproduces Figure 6: OmniSP and PolSP throughput at full offered
@@ -57,37 +58,74 @@ func Fig6(cfg Fig6Config) ([]Fig6Row, error) {
 		cfg.VCs = 4
 	}
 	per := cfg.H.Dims()[0]
-	sv := traffic.Servers{H: cfg.H, Per: per}
 	seq := topo.RandomFaultSequence(cfg.H, cfg.Seed)
-	var rows []Fig6Row
+	var counts []int
 	for faults := 0; faults <= cfg.MaxFaults; faults += cfg.Step {
 		if faults > len(seq) {
 			break
 		}
-		nw := topo.NewNetwork(cfg.H, topo.NewFaultSet(seq[:faults]...))
-		g := nw.Graph()
-		diam, connected := g.Diameter()
-		if !connected {
-			return rows, fmt.Errorf("experiments: %d faults disconnected %s (seed %d)", faults, cfg.H, cfg.Seed)
+		counts = append(counts, faults)
+	}
+	// Characterize every fault prefix first (pure graph work, also parallel).
+	type prefix struct {
+		diameter  int32
+		connected bool
+	}
+	prefixes, err := RunJobs(cfg.Workers, len(counts), func(i int) (prefix, error) {
+		g := topo.NewNetwork(cfg.H, topo.NewFaultSet(seq[:counts[i]]...)).Graph()
+		// A single-BFS connectivity check first: disconnected prefixes are
+		// dropped anyway, so skip their all-pairs diameter BFS.
+		if !g.Connected() {
+			return prefix{}, nil
 		}
+		diam, connected := g.Diameter()
+		return prefix{diameter: diam, connected: connected}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Simulate only the connected prefixes; report the first disconnected
+	// one, with the rows gathered so far, as the sequential path did.
+	usable := len(counts)
+	var disconnected error
+	for i, p := range prefixes {
+		if !p.connected {
+			usable = i
+			disconnected = fmt.Errorf("experiments: %d faults disconnected %s (seed %d)", counts[i], cfg.H, cfg.Seed)
+			break
+		}
+	}
+	var jobs []Job
+	rows := make([]Fig6Row, 0, usable*len(cfg.Patterns)*len(SurePathNames()))
+	for ci := 0; ci < usable; ci++ {
 		for _, patName := range cfg.Patterns {
-			pat, err := BuildPattern(patName, sv, cfg.Seed)
-			if err != nil {
-				return nil, err
-			}
 			for _, mechName := range SurePathNames() {
-				res, err := runOne(nw, mechName, cfg.VCs, cfg.Root, pat, per, 1.0, cfg.Budget, cfg.Seed)
-				if err != nil {
-					return nil, fmt.Errorf("%s/%s with %d faults: %w", mechName, patName, faults, err)
-				}
+				jobs = append(jobs, Job{
+					Label:     fmt.Sprintf("%s/%s with %d faults", mechName, patName, counts[ci]),
+					H:         cfg.H,
+					Mechanism: mechName, Pattern: patName,
+					VCs: cfg.VCs, Root: cfg.Root, Per: per,
+					Load: 1.0, Budget: cfg.Budget,
+					Faults:      seq[:counts[ci]],
+					Seed:        JobSeed(cfg.Seed, len(jobs)),
+					PatternSeed: cfg.Seed,
+				})
 				rows = append(rows, Fig6Row{
-					Mechanism: mechName, Pattern: patName, Faults: faults,
-					Accepted: res.AcceptedLoad, Escape: res.EscapeFraction, Diameter: diam,
+					Mechanism: mechName, Pattern: patName,
+					Faults: counts[ci], Diameter: prefixes[ci].diameter,
 				})
 			}
 		}
 	}
-	return rows, nil
+	results, err := ExecuteJobs(cfg.Workers, jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, res := range results {
+		rows[i].Accepted = res.AcceptedLoad
+		rows[i].Escape = res.EscapeFraction
+	}
+	return rows, disconnected
 }
 
 // RenderFig6 formats the fault sweep grouped by pattern and mechanism.
@@ -138,6 +176,8 @@ type ShapesConfig struct {
 	Seed     uint64
 	VCs      int   // 0 means 4, the Section 6 setting
 	Root     int32 // the shapes are centred here, as in the paper
+	// Workers bounds the parallel job pool; 0 means one per CPU.
+	Workers int
 }
 
 // Shapes reproduces Figures 8 (2D) and 9 (3D): OmniSP and PolSP at full
@@ -155,37 +195,64 @@ func Shapes(cfg ShapesConfig) ([]ShapeRow, error) {
 		cfg.VCs = 4
 	}
 	per := cfg.H.Dims()[0]
-	sv := traffic.Servers{H: cfg.H, Per: per}
-	var rows []ShapeRow
-	healthyNet := topo.NewNetwork(cfg.H, nil)
-	for _, patName := range cfg.Patterns {
-		pat, err := BuildPattern(patName, sv, cfg.Seed)
+	kinds := []topo.ShapeKind{topo.ShapeRow, topo.ShapeSubBlock, topo.ShapeCross}
+	shapeEdges := make([][]topo.Edge, len(kinds))
+	for i, kind := range kinds {
+		edges, err := topo.PaperShape(cfg.H, cfg.Root, kind)
 		if err != nil {
 			return nil, err
 		}
+		shapeEdges[i] = edges
+	}
+	// One job per (pattern, mechanism, healthy-reference + shape): the
+	// healthy run is a job like any other and its result feeds every shape
+	// row of its (pattern, mechanism) group.
+	var jobs []Job
+	type rowRef struct {
+		row     ShapeRow
+		job     int // job carrying the shape result
+		healthy int // job carrying the fault-free reference
+	}
+	var refs []rowRef
+	for _, patName := range cfg.Patterns {
 		for _, mechName := range SurePathNames() {
-			healthy, err := runOne(healthyNet, mechName, cfg.VCs, cfg.Root, pat, per, 1.0, cfg.Budget, cfg.Seed)
-			if err != nil {
-				return nil, fmt.Errorf("healthy %s/%s: %w", mechName, patName, err)
+			base := Job{
+				H: cfg.H, Mechanism: mechName, Pattern: patName,
+				VCs: cfg.VCs, Root: cfg.Root, Per: per,
+				Load: 1.0, Budget: cfg.Budget, PatternSeed: cfg.Seed,
 			}
-			for _, kind := range []topo.ShapeKind{topo.ShapeRow, topo.ShapeSubBlock, topo.ShapeCross} {
-				edges, err := topo.PaperShape(cfg.H, cfg.Root, kind)
-				if err != nil {
-					return nil, err
-				}
-				nw := topo.NewNetwork(cfg.H, topo.NewFaultSet(edges...))
-				res, err := runOne(nw, mechName, cfg.VCs, cfg.Root, pat, per, 1.0, cfg.Budget, cfg.Seed)
-				if err != nil {
-					return nil, fmt.Errorf("%s/%s under %s: %w", mechName, patName, kind.PaperName(cfg.H.NDims()), err)
-				}
-				rows = append(rows, ShapeRow{
-					Mechanism: mechName, Pattern: patName,
-					Shape: kind.PaperName(cfg.H.NDims()), Faults: len(edges),
-					Accepted: res.AcceptedLoad, Healthy: healthy.AcceptedLoad,
-					Escape: res.EscapeFraction,
+			healthy := base
+			healthy.Label = fmt.Sprintf("healthy %s/%s", mechName, patName)
+			healthy.Seed = JobSeed(cfg.Seed, len(jobs))
+			healthyJob := len(jobs)
+			jobs = append(jobs, healthy)
+			for ki, kind := range kinds {
+				shaped := base
+				shaped.Label = fmt.Sprintf("%s/%s under %s", mechName, patName, kind.PaperName(cfg.H.NDims()))
+				shaped.Faults = shapeEdges[ki]
+				shaped.Seed = JobSeed(cfg.Seed, len(jobs))
+				refs = append(refs, rowRef{
+					row: ShapeRow{
+						Mechanism: mechName, Pattern: patName,
+						Shape: kind.PaperName(cfg.H.NDims()), Faults: len(shapeEdges[ki]),
+					},
+					job:     len(jobs),
+					healthy: healthyJob,
 				})
+				jobs = append(jobs, shaped)
 			}
 		}
+	}
+	results, err := ExecuteJobs(cfg.Workers, jobs)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]ShapeRow, len(refs))
+	for i, ref := range refs {
+		rows[i] = ref.row
+		rows[i].Accepted = results[ref.job].AcceptedLoad
+		rows[i].Escape = results[ref.job].EscapeFraction
+		rows[i].Healthy = results[ref.healthy].AcceptedLoad
 	}
 	return rows, nil
 }

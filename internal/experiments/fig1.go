@@ -20,15 +20,18 @@ type Fig1Point struct {
 // Fig1 reproduces Figure 1: the evolution of the diameter of a HyperX under
 // an increasing number of uniform random link failures, one fault sequence
 // per seed, sampled every step failures until disconnection. The paper uses
-// an 8x8x8 network; any topology works.
-func Fig1(h *topo.HyperX, seeds []uint64, step int) []Fig1Point {
+// an 8x8x8 network; any topology works. Seeds run as parallel jobs
+// (workers 0 means one per CPU); the result order is independent of the
+// worker count.
+func Fig1(h *topo.HyperX, seeds []uint64, step, workers int) []Fig1Point {
 	if step < 1 {
 		step = 1
 	}
-	var points []Fig1Point
 	g := h.Graph()
-	for _, seed := range seeds {
+	perSeed, _ := RunJobs(workers, len(seeds), func(i int) ([]Fig1Point, error) {
+		seed := seeds[i]
 		seq := topo.RandomFaultSequence(h, seed)
+		var points []Fig1Point
 		for cut := 0; cut <= len(seq); cut += step {
 			cur := g.RemoveEdges(seq[:cut])
 			diam, connected := cur.Diameter()
@@ -37,6 +40,11 @@ func Fig1(h *topo.HyperX, seeds []uint64, step int) []Fig1Point {
 				break
 			}
 		}
+		return points, nil
+	})
+	var points []Fig1Point
+	for _, ps := range perSeed {
+		points = append(points, ps...)
 	}
 	return points
 }

@@ -31,6 +31,8 @@ type Fig10Config struct {
 	Seed         uint64
 	VCs          int // 0 means 4
 	Root         int32
+	// Workers bounds the parallel job pool; 0 means one per CPU.
+	Workers int
 }
 
 // Fig10 reproduces Figure 10: each server generates a fixed burst of
@@ -52,22 +54,24 @@ func Fig10(cfg Fig10Config) ([]Fig10Result, error) {
 	}
 	per := cfg.H.Dims()[0]
 	sv := traffic.Servers{H: cfg.H, Per: per}
-	pat, err := BuildPattern("Regular Permutation to Neighbour", sv, cfg.Seed)
-	if err != nil {
-		return nil, err
-	}
 	edges, err := topo.PaperShape(cfg.H, cfg.Root, topo.ShapeCross) // Star in 3D
 	if err != nil {
 		return nil, err
 	}
-	nw := topo.NewNetwork(cfg.H, topo.NewFaultSet(edges...))
 	cfgSim := sim.DefaultConfig()
 	burstPkts := cfg.BurstPhits / cfgSim.PacketPhits
-	var out []Fig10Result
-	for _, mechName := range SurePathNames() {
+	mechs := SurePathNames()
+	return RunJobs(cfg.Workers, len(mechs), func(i int) (Fig10Result, error) {
+		mechName := mechs[i]
+		// Private network, pattern and mechanism per job.
+		pat, err := BuildPattern("Regular Permutation to Neighbour", sv, cfg.Seed)
+		if err != nil {
+			return Fig10Result{}, err
+		}
+		nw := topo.NewNetwork(cfg.H, topo.NewFaultSet(edges...))
 		mech, err := BuildMechanism(mechName, nw, cfg.VCs, cfg.Root)
 		if err != nil {
-			return nil, err
+			return Fig10Result{}, err
 		}
 		res, err := sim.Run(sim.RunOptions{
 			Net:              nw,
@@ -76,11 +80,11 @@ func Fig10(cfg Fig10Config) ([]Fig10Result, error) {
 			Pattern:          pat,
 			BurstPackets:     burstPkts,
 			SeriesBucket:     cfg.SeriesBucket,
-			Seed:             cfg.Seed,
+			Seed:             JobSeed(cfg.Seed, i),
 			Config:           cfgSim,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("%s burst: %w", mechName, err)
+			return Fig10Result{}, fmt.Errorf("%s burst: %w", mechName, err)
 		}
 		peak := 0.0
 		for _, p := range res.Series {
@@ -88,14 +92,13 @@ func Fig10(cfg Fig10Config) ([]Fig10Result, error) {
 				peak = p.Accepted
 			}
 		}
-		out = append(out, Fig10Result{
+		return Fig10Result{
 			Mechanism:      mechName,
 			CompletionTime: res.CompletionTime,
 			PeakAccepted:   peak,
 			Series:         res.Series,
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // RenderFig10 formats the completion-time curves.

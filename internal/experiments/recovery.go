@@ -39,6 +39,8 @@ type RecoveryConfig struct {
 	Seed   uint64
 	VCs    int // 0 means 4
 	Root   int32
+	// Workers bounds the parallel job pool; 0 means one per CPU.
+	Workers int
 }
 
 // Recovery runs the live-failure experiment for OmniSP and PolSP.
@@ -57,10 +59,6 @@ func Recovery(cfg RecoveryConfig) ([]RecoveryResult, error) {
 	}
 	per := cfg.H.Dims()[0]
 	sv := traffic.Servers{H: cfg.H, Per: per}
-	pat, err := BuildPattern("Uniform", sv, cfg.Seed)
-	if err != nil {
-		return nil, err
-	}
 	seq := topo.RandomFaultSequence(cfg.H, cfg.Seed)
 	if cfg.Faults > len(seq) {
 		return nil, fmt.Errorf("experiments: %d faults exceed %d links", cfg.Faults, len(seq))
@@ -78,14 +76,19 @@ func Recovery(cfg RecoveryConfig) ([]RecoveryResult, error) {
 	if bucket < 1 {
 		bucket = 1
 	}
-	var out []RecoveryResult
-	for _, mechName := range SurePathNames() {
-		// Fresh network per mechanism: the engine mutates the fault set as
-		// events fire.
+	mechs := SurePathNames()
+	return RunJobs(cfg.Workers, len(mechs), func(i int) (RecoveryResult, error) {
+		mechName := mechs[i]
+		// Fresh network, pattern and schedule copy per job: the engine
+		// mutates the fault set as events fire.
+		pat, err := BuildPattern("Uniform", sv, cfg.Seed)
+		if err != nil {
+			return RecoveryResult{}, err
+		}
 		nw := topo.NewNetwork(cfg.H, nil)
 		mech, err := BuildMechanism(mechName, nw, cfg.VCs, cfg.Root)
 		if err != nil {
-			return nil, err
+			return RecoveryResult{}, err
 		}
 		res, err := sim.Run(sim.RunOptions{
 			Net:              nw,
@@ -96,11 +99,11 @@ func Recovery(cfg RecoveryConfig) ([]RecoveryResult, error) {
 			WarmupCycles:     0,
 			MeasureCycles:    cfg.Cycles,
 			SeriesBucket:     bucket,
-			Seed:             cfg.Seed,
+			Seed:             JobSeed(cfg.Seed, i),
 			FaultSchedule:    schedule,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("%s recovery: %w", mechName, err)
+			return RecoveryResult{}, fmt.Errorf("%s recovery: %w", mechName, err)
 		}
 		rr := RecoveryResult{
 			Mechanism:   mechName,
@@ -121,9 +124,8 @@ func Recovery(cfg RecoveryConfig) ([]RecoveryResult, error) {
 		}
 		rr.PreFaultAvg = metrics.Mean(pre)
 		rr.PostFaultAvg = metrics.Mean(post)
-		out = append(out, rr)
-	}
-	return out, nil
+		return rr, nil
+	})
 }
 
 // RenderRecovery formats the live-failure timelines.

@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/traffic"
+)
+
+// This file is the parallel experiment runner every Fig*/Table*/sweep driver
+// executes on. An experiment grid is enumerated into a flat list of jobs, the
+// jobs run on a bounded worker pool, and results are reassembled in
+// enumeration order. Determinism is by construction: each job derives its
+// seed from (base seed, job index) alone and builds its own network, pattern
+// and mechanism, so rows are bit-identical for any worker count.
+
+// DefaultWorkers resolves a worker-count setting: any value below 1 selects
+// one worker per available CPU.
+func DefaultWorkers(workers int) int {
+	if workers < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
+
+// JobSeed derives the simulation seed of job index from an experiment's base
+// seed. The seed depends only on (seed, index) — never on worker count or
+// scheduling — which is what keeps parallel grids bit-identical to
+// sequential ones.
+func JobSeed(seed uint64, index int) uint64 {
+	return rng.StreamSeed(seed, uint64(index))
+}
+
+// RunJobs executes n independent jobs on a worker pool of the given size
+// (DefaultWorkers resolves values below 1) and returns their results in job
+// order. On failure it returns the error of the lowest-indexed failed job;
+// jobs not yet started when a failure is observed are skipped.
+func RunJobs[T any](workers, n int, job func(index int) (T, error)) ([]T, error) {
+	results := make([]T, n)
+	if n == 0 {
+		return results, nil
+	}
+	workers = DefaultWorkers(workers)
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	var failed atomic.Bool
+	indices := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range indices {
+				if failed.Load() {
+					continue
+				}
+				res, err := job(i)
+				if err != nil {
+					errs[i] = err
+					failed.Store(true)
+					continue
+				}
+				results[i] = res
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		indices <- i
+	}
+	close(indices)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// Job is one fully specified point of an experiment grid: topology,
+// mechanism, VC budget, escape root, traffic pattern, offered load, fault
+// set and derived seed — everything needed to run the point independently of
+// every other point.
+type Job struct {
+	// Label names the job in error messages; empty derives one from the
+	// mechanism, pattern and load.
+	Label     string
+	H         *topo.HyperX
+	Mechanism string
+	Pattern   string
+	VCs       int
+	Root      int32
+	Per       int // servers per switch
+	Load      float64
+	Budget    Budget
+	// Faults is the job's fault-set snapshot; nil means fault-free. The
+	// slice is read-only and may be shared between jobs.
+	Faults []topo.Edge
+	// Seed is the job's derived simulation seed (JobSeed of the grid's base
+	// seed and the job index).
+	Seed uint64
+	// PatternSeed builds the traffic pattern. It is shared across the grid
+	// so that every mechanism and load faces the same pattern instance, as
+	// in the paper's methodology.
+	PatternSeed uint64
+}
+
+func (j *Job) label() string {
+	if j.Label != "" {
+		return j.Label
+	}
+	return fmt.Sprintf("%s/%s at load %.2f", j.Mechanism, j.Pattern, j.Load)
+}
+
+// Run executes the job on a private network, pattern and mechanism, which is
+// what makes jobs safe to run concurrently.
+func (j *Job) Run() (*sim.Result, error) {
+	nw := topo.NewNetwork(j.H, topo.NewFaultSet(j.Faults...))
+	pat, err := BuildPattern(j.Pattern, traffic.Servers{H: j.H, Per: j.Per}, j.PatternSeed)
+	if err != nil {
+		return nil, fmt.Errorf("pattern %q: %w", j.Pattern, err)
+	}
+	return runOne(nw, j.Mechanism, j.VCs, j.Root, pat, j.Per, j.Load, j.Budget, j.Seed)
+}
+
+// ExecuteJobs runs an enumerated grid on the worker pool and returns one
+// result per job, in job order.
+func ExecuteJobs(workers int, jobs []Job) ([]*sim.Result, error) {
+	return RunJobs(workers, len(jobs), func(i int) (*sim.Result, error) {
+		res, err := jobs[i].Run()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", jobs[i].label(), err)
+		}
+		return res, nil
+	})
+}

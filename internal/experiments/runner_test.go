@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"errors"
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunJobsOrderAndBounds(t *testing.T) {
+	var inFlight, peak atomic.Int32
+	results, err := RunJobs(3, 20, func(i int) (int, error) {
+		cur := inFlight.Add(1)
+		defer inFlight.Add(-1)
+		for {
+			old := peak.Load()
+			if cur <= old || peak.CompareAndSwap(old, cur) {
+				break
+			}
+		}
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r != i*i {
+			t.Fatalf("result %d = %d, want %d (order not preserved)", i, r, i*i)
+		}
+	}
+	if p := peak.Load(); p > 3 {
+		t.Errorf("pool ran %d jobs concurrently, bound is 3", p)
+	}
+	if _, err := RunJobs[int](4, 0, nil); err != nil {
+		t.Errorf("empty job list: %v", err)
+	}
+}
+
+func TestRunJobsErrorPropagation(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := RunJobs(2, 10, func(i int) (int, error) {
+		if i%2 == 1 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("error not propagated: %v", err)
+	}
+}
+
+func TestJobSeedIndependentStable(t *testing.T) {
+	if JobSeed(1, 0) == JobSeed(1, 1) {
+		t.Error("adjacent job seeds collide")
+	}
+	if JobSeed(1, 3) != JobSeed(1, 3) {
+		t.Error("job seed not stable")
+	}
+	if JobSeed(1, 3) == JobSeed(2, 3) {
+		t.Error("base seed ignored")
+	}
+}
+
+// TestLoadSweepDeterministicAcrossWorkers is the regression test for the
+// runner's core guarantee: LoadSweep rows are byte-identical whether the
+// grid runs on one worker or many.
+func TestLoadSweepDeterministicAcrossWorkers(t *testing.T) {
+	cfg := SweepConfig{
+		H:          tiny2D(),
+		Mechanisms: []string{"Minimal", "PolSP"},
+		Patterns:   []string{"Uniform", "Dimension Complement Reverse"},
+		Loads:      []float64{0.3, 0.9},
+		Budget:     Budget{Warmup: 300, Measure: 600},
+		Seed:       21,
+	}
+	seq := cfg
+	seq.Workers = 1
+	par := cfg
+	par.Workers = 8
+	rowsSeq, err := LoadSweep(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowsPar, err := LoadSweep(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rowsSeq, rowsPar) {
+		t.Fatalf("rows differ between workers=1 and workers=8:\n%v\nvs\n%v", rowsSeq, rowsPar)
+	}
+	if a, b := RenderSweep("t", rowsSeq), RenderSweep("t", rowsPar); a != b {
+		t.Fatal("rendered sweeps are not byte-identical")
+	}
+}
+
+// TestFig6DeterministicAcrossWorkers extends the determinism guarantee to a
+// fault experiment, whose jobs additionally carry fault-set prefixes.
+func TestFig6DeterministicAcrossWorkers(t *testing.T) {
+	cfg := Fig6Config{
+		H:         tiny3D(),
+		MaxFaults: 10,
+		Step:      5,
+		Patterns:  []string{"Uniform"},
+		Budget:    Budget{Warmup: 300, Measure: 600},
+		Seed:      2,
+	}
+	seq := cfg
+	seq.Workers = 1
+	par := cfg
+	par.Workers = 8
+	rowsSeq, err := Fig6(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowsPar, err := Fig6(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rowsSeq, rowsPar) {
+		t.Fatalf("fault rows differ between workers=1 and workers=8:\n%v\nvs\n%v", rowsSeq, rowsPar)
+	}
+	if a, b := RenderFig6("t", rowsSeq), RenderFig6("t", rowsPar); a != b {
+		t.Fatal("rendered fault sweeps are not byte-identical")
+	}
+}
+
+// TestShapesDeterministicAcrossWorkers covers the healthy-reference
+// cross-linking of the shape driver.
+func TestShapesDeterministicAcrossWorkers(t *testing.T) {
+	cfg := ShapesConfig{
+		H:        tiny2D(),
+		Patterns: []string{"Uniform"},
+		Budget:   Budget{Warmup: 300, Measure: 600},
+		Seed:     3,
+	}
+	seq := cfg
+	seq.Workers = 1
+	par := cfg
+	par.Workers = 8
+	rowsSeq, err := Shapes(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowsPar, err := Shapes(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rowsSeq, rowsPar) {
+		t.Fatalf("shape rows differ between workers=1 and workers=8:\n%v\nvs\n%v", rowsSeq, rowsPar)
+	}
+}

@@ -31,8 +31,10 @@ type Section7Row struct {
 // Section7 measures the escape-quality comparison across HyperX, Torus and
 // Dragonfly networks of comparable size: the paper's closing claim is that
 // the mechanism ports anywhere, but only HyperX gives the escape
-// subnetwork (near-)minimal routes.
-func Section7(seed uint64, budget Budget) ([]Section7Row, error) {
+// subnetwork (near-)minimal routes. Each topology runs as one job of the
+// parallel runner (workers 0 means one per CPU); rows are independent of
+// the worker count.
+func Section7(seed uint64, budget Budget, workers int) ([]Section7Row, error) {
 	if budget == (Budget{}) {
 		budget = DefaultBudget()
 	}
@@ -44,12 +46,12 @@ func Section7(seed uint64, budget Budget) ([]Section7Row, error) {
 		{topo.MustTorus(8, 8), 4},     // diameter 8: up/down detours visible
 		{topo.MustDragonfly(6, 2), 4}, // 13 groups of 6 = 78 switches
 	}
-	var rows []Section7Row
-	for _, c := range cases {
+	return RunJobs(workers, len(cases), func(ci int) (Section7Row, error) {
+		c := cases[ci]
 		nw := topo.NewNetwork(c.t, nil)
 		sub, err := escape.Build(nw, 0)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", c.t, err)
+			return Section7Row{}, fmt.Errorf("%s: %w", c.t, err)
 		}
 		g := nw.Graph()
 		dist := g.Distances()
@@ -84,18 +86,18 @@ func Section7(seed uint64, budget Budget) ([]Section7Row, error) {
 		// Escape-only throughput.
 		pat, err := traffic.NewUniform(n * c.per)
 		if err != nil {
-			return nil, err
+			return Section7Row{}, err
 		}
 		escOnly, err := core.NewEscapeOnly(nw, 0, escape.RulePhased, 1)
 		if err != nil {
-			return nil, err
+			return Section7Row{}, err
 		}
 		res, err := sim.Run(sim.RunOptions{
 			Net: nw, ServersPerSwitch: c.per, Mechanism: escOnly, Pattern: pat,
 			Load: 1.0, WarmupCycles: budget.Warmup, MeasureCycles: budget.Measure, Seed: seed,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("%s escape-only: %w", c.t, err)
+			return Section7Row{}, fmt.Errorf("%s escape-only: %w", c.t, err)
 		}
 		row.EscOnlyAccepted = res.AcceptedLoad
 		// Full SurePath with Polarized routes (table-driven, topology
@@ -106,22 +108,21 @@ func Section7(seed uint64, budget Budget) ([]Section7Row, error) {
 		for _, load := range []float64{0.1, 0.2, 0.3, 0.5, 0.7, 1.0} {
 			sp, err := core.New(nw, core.PolarizedRoutes, 4)
 			if err != nil {
-				return nil, err
+				return Section7Row{}, err
 			}
 			res, err = sim.Run(sim.RunOptions{
 				Net: nw, ServersPerSwitch: c.per, Mechanism: sp, Pattern: pat,
 				Load: load, WarmupCycles: budget.Warmup, MeasureCycles: budget.Measure, Seed: seed,
 			})
 			if err != nil {
-				return nil, fmt.Errorf("%s PolSP at %.1f: %w", c.t, load, err)
+				return Section7Row{}, fmt.Errorf("%s PolSP at %.1f: %w", c.t, load, err)
 			}
 			if res.AcceptedLoad > row.PolSPAccepted {
 				row.PolSPAccepted = res.AcceptedLoad
 			}
 		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return row, nil
+	})
 }
 
 // RenderSection7 formats the cross-topology escape comparison.

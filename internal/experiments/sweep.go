@@ -5,7 +5,6 @@ import (
 	"strings"
 
 	"repro/internal/topo"
-	"repro/internal/traffic"
 )
 
 // SweepRow is one point of a load sweep: one (mechanism, pattern, load)
@@ -41,6 +40,9 @@ type SweepConfig struct {
 	VCs int
 	// Root of the escape subnetwork for SurePath mechanisms.
 	Root int32
+	// Workers bounds the parallel job pool; 0 means one per CPU. Rows are
+	// bit-identical for any worker count.
+	Workers int
 }
 
 func (c *SweepConfig) fill() {
@@ -74,48 +76,60 @@ func paperPatterns(h *topo.HyperX) []string {
 }
 
 // LoadSweep runs the sweep and returns one row per (mechanism, pattern,
-// load), in a deterministic order.
+// load), in a deterministic order. The grid executes on the parallel job
+// runner; rows are bit-identical for any SweepConfig.Workers value.
 func LoadSweep(cfg SweepConfig) ([]SweepRow, error) {
 	cfg.fill()
 	per := cfg.H.Dims()[0]
-	nw := topo.NewNetwork(cfg.H, cfg.Faults)
-	sv := traffic.Servers{H: cfg.H, Per: per}
-	var rows []SweepRow
+	faults := cfg.Faults.Edges()
+	var jobs []Job
 	for _, patName := range cfg.Patterns {
-		pat, err := BuildPattern(patName, sv, cfg.Seed)
-		if err != nil {
-			return nil, fmt.Errorf("pattern %q: %w", patName, err)
-		}
 		for _, mechName := range cfg.Mechanisms {
 			for _, load := range cfg.Loads {
-				res, err := runOne(nw, mechName, cfg.VCs, cfg.Root, pat, per, load, cfg.Budget, cfg.Seed)
-				if err != nil {
-					return nil, fmt.Errorf("%s/%s at load %.2f: %w", mechName, patName, load, err)
-				}
-				rows = append(rows, SweepRow{
-					Mechanism: mechName,
-					Pattern:   patName,
-					Offered:   load,
-					Accepted:  res.AcceptedLoad,
-					Latency:   res.AvgLatency,
-					Jain:      res.JainIndex,
-					Escape:    res.EscapeFraction,
+				jobs = append(jobs, Job{
+					H:           cfg.H,
+					Mechanism:   mechName,
+					Pattern:     patName,
+					VCs:         cfg.VCs,
+					Root:        cfg.Root,
+					Per:         per,
+					Load:        load,
+					Budget:      cfg.Budget,
+					Faults:      faults,
+					Seed:        JobSeed(cfg.Seed, len(jobs)),
+					PatternSeed: cfg.Seed,
 				})
 			}
+		}
+	}
+	results, err := ExecuteJobs(cfg.Workers, jobs)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]SweepRow, len(jobs))
+	for i, res := range results {
+		rows[i] = SweepRow{
+			Mechanism: jobs[i].Mechanism,
+			Pattern:   jobs[i].Pattern,
+			Offered:   jobs[i].Load,
+			Accepted:  res.AcceptedLoad,
+			Latency:   res.AvgLatency,
+			Jain:      res.JainIndex,
+			Escape:    res.EscapeFraction,
 		}
 	}
 	return rows, nil
 }
 
 // Fig4 reproduces Figure 4: the 2D HyperX fault-free sweep.
-func Fig4(scale Scale, budget Budget, seed uint64) ([]SweepRow, error) {
-	return LoadSweep(SweepConfig{H: Topology2D(scale), Budget: budget, Seed: seed})
+func Fig4(scale Scale, budget Budget, seed uint64, workers int) ([]SweepRow, error) {
+	return LoadSweep(SweepConfig{H: Topology2D(scale), Budget: budget, Seed: seed, Workers: workers})
 }
 
 // Fig5 reproduces Figure 5: the 3D HyperX fault-free sweep, including the
 // paper's new Regular Permutation to Neighbour pattern.
-func Fig5(scale Scale, budget Budget, seed uint64) ([]SweepRow, error) {
-	return LoadSweep(SweepConfig{H: Topology3D(scale), Budget: budget, Seed: seed})
+func Fig5(scale Scale, budget Budget, seed uint64, workers int) ([]SweepRow, error) {
+	return LoadSweep(SweepConfig{H: Topology3D(scale), Budget: budget, Seed: seed, Workers: workers})
 }
 
 // SaturationThroughput extracts, per (mechanism, pattern), the accepted

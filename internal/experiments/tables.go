@@ -39,14 +39,24 @@ func Table3(h *topo.HyperX) Table3Row {
 	}
 }
 
-// RenderTable3 formats Table 3 for the given topologies.
-func RenderTable3(hs ...*topo.HyperX) string {
+// Table3Rows computes Table 3 rows for the given topologies, one parallel
+// job per topology (the all-pairs BFS dominates; workers 0 means one per
+// CPU). Rows come back in argument order.
+func Table3Rows(workers int, hs ...*topo.HyperX) []Table3Row {
+	rows, _ := RunJobs(workers, len(hs), func(i int) (Table3Row, error) {
+		return Table3(hs[i]), nil
+	})
+	return rows
+}
+
+// RenderTable3 formats Table 3 for the given topologies; workers bounds the
+// parallel row computation (0 means one per CPU).
+func RenderTable3(workers int, hs ...*topo.HyperX) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Table 3: topological parameters\n")
 	fmt.Fprintf(&b, "  %-14s %-9s %-6s %-9s %-8s %-6s %-9s %s\n",
 		"topology", "switches", "radix", "srv/sw", "servers", "links", "diameter", "avg dist")
-	for _, h := range hs {
-		r := Table3(h)
+	for _, r := range Table3Rows(workers, hs...) {
 		fmt.Fprintf(&b, "  %-14s %-9d %-6d %-9d %-8d %-6d %-9d %.3f\n",
 			r.Topology, r.Switches, r.Radix, r.ServersPer, r.Servers, r.Links, r.Diameter, r.AvgDistance)
 	}

@@ -42,11 +42,19 @@ func New(seed uint64) *Rand {
 	return &r
 }
 
+// StreamSeed derives the seed of substream id of the given base seed.
+// Distinct ids yield statistically independent seeds; it is the pure-value
+// form of NewStream, used when a seed must be recorded or passed on (for
+// example one seed per job of a parallel experiment grid).
+func StreamSeed(seed, id uint64) uint64 {
+	return seed ^ Mix64(id+0x517cc1b727220a95)
+}
+
 // NewStream returns a generator for substream id of the given seed. Distinct
 // ids yield statistically independent sequences; use one stream per
 // stochastic component.
 func NewStream(seed, id uint64) *Rand {
-	return New(seed ^ Mix64(id+0x517cc1b727220a95))
+	return New(StreamSeed(seed, id))
 }
 
 // Seed resets the generator state from seed via SplitMix64.

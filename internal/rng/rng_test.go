@@ -161,3 +161,18 @@ func TestMix64Spreads(t *testing.T) {
 		seen[v] = true
 	}
 }
+
+func TestStreamSeedMatchesNewStream(t *testing.T) {
+	for _, seed := range []uint64{0, 1, 42, math.MaxUint64} {
+		for id := uint64(0); id < 8; id++ {
+			want := NewStream(seed, id).Uint64()
+			got := New(StreamSeed(seed, id)).Uint64()
+			if got != want {
+				t.Fatalf("StreamSeed(%d,%d) diverges from NewStream", seed, id)
+			}
+		}
+	}
+	if StreamSeed(1, 2) == StreamSeed(1, 3) || StreamSeed(1, 2) == StreamSeed(2, 2) {
+		t.Error("StreamSeed collides on adjacent inputs")
+	}
+}

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"errors"
+	"fmt"
 	"sort"
 
 	"repro/internal/metrics"
@@ -78,11 +79,11 @@ type engine struct {
 	inInflight  []int8  // per global port: outgoing crossbar transfers
 
 	// Output side.
-	outQ        []ring  // per global port: entries pkt<<3|vc
-	outReserved []int16 // granted transfers not yet in outQ
-	outVCCount  []int16 // per gport*V+vc: queued+reserved packets for that VC
-	outBusy     []int64 // link serialization busy-until
-	outInflight []int8  // incoming crossbar transfers
+	outQ        []pvring // per global port: (packet, VC) pairs
+	outReserved []int16  // granted transfers not yet in outQ
+	outVCCount  []int16  // per gport*V+vc: queued+reserved packets for that VC
+	outBusy     []int64  // link serialization busy-until
+	outInflight []int8   // incoming crossbar transfers
 
 	// Servers.
 	injQ    []ring
@@ -128,8 +129,16 @@ type engine struct {
 	lastDeliveryCycle  int64
 }
 
+// maxVCs is the engine's virtual-channel ceiling: VC indices travel through
+// int8 fields (events, requests, output-buffer entries).
+const maxVCs = 127
+
 func newEngine(o RunOptions) (*engine, error) {
 	h := o.Net.H
+	if v := o.Mechanism.VCs(); v < 1 || v > maxVCs {
+		return nil, fmt.Errorf("sim: mechanism %s needs %d VCs; the engine supports 1..%d",
+			o.Mechanism.Name(), v, maxVCs)
+	}
 	e := &engine{
 		cfg:  o.Config,
 		nw:   o.Net,
@@ -176,7 +185,7 @@ func newEngine(o RunOptions) (*engine, error) {
 		e.credSum[i] = int32(e.V * e.cfg.InputBufPkts)
 	}
 	e.inInflight = make([]int8, SP)
-	e.outQ = make([]ring, SP)
+	e.outQ = make([]pvring, SP)
 	for i := range e.outQ {
 		e.outQ[i].init(e.cfg.OutputBufPkts)
 	}
@@ -267,7 +276,7 @@ func (e *engine) processEvents() {
 				e.losePacket(ev.pkt)
 				continue
 			}
-			e.outQ[ev.a].push(ev.pkt<<3 | int32(ev.vc))
+			e.outQ[ev.a].push(ev.pkt, ev.vc)
 			// The input-port inflight counter was decremented when the
 			// input released the packet (evCredit below shares the timing),
 			// so only the output side is handled here.
@@ -517,11 +526,9 @@ func (e *engine) transmitStep() {
 		if q.len() == 0 || e.outBusy[gport] > e.now {
 			continue
 		}
-		entry := q.pop()
-		id := entry >> 3
-		vc := entry & 7
+		id, vc := q.pop()
 		e.outBusy[gport] = e.now + serial
-		e.outVCCount[gport*V+vc]--
+		e.outVCCount[gport*V+int32(vc)]--
 		e.lastProgress = e.now
 		p := int(gport % int32(e.P))
 		if p >= e.R {
@@ -532,6 +539,6 @@ func (e *engine) transmitStep() {
 		if e.now >= e.warmStart && e.now < e.warmEnd {
 			e.linkBusyCycles += serial
 		}
-		e.schedule(arriveDelay, event{kind: evArrive, a: e.dnInVC[gport] + vc, pkt: id})
+		e.schedule(arriveDelay, event{kind: evArrive, a: e.dnInVC[gport] + int32(vc), pkt: id})
 	}
 }

@@ -76,9 +76,9 @@ func (e *engine) failLink(edge topo.Edge) error {
 		// Packets already committed to this output are lost with the link.
 		q := &e.outQ[gp]
 		for q.len() > 0 {
-			entry := q.pop()
-			e.outVCCount[gp*int32(e.V)+entry&7]--
-			e.losePacket(entry >> 3)
+			id, vc := q.pop()
+			e.outVCCount[gp*int32(e.V)+int32(vc)]--
+			e.losePacket(id)
 		}
 		// In-flight crossbar transfers toward the port are dropped on
 		// completion (see evXferDone handling).

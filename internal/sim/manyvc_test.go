@@ -1,0 +1,131 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/routing"
+	"repro/internal/topo"
+	"repro/internal/traffic"
+)
+
+// TestManyVCsEndToEnd runs a 5D HyperX with OmniWAR's 2n = 10 virtual
+// channels end-to-end. The former output-queue packing (pkt<<3|vc) silently
+// corrupted packet ids for any VC index above 7, so a clean run with
+// invariant auditing on locks in the widened encoding.
+func TestManyVCsEndToEnd(t *testing.T) {
+	h := topo.MustHyperX(2, 2, 2, 2, 2)
+	nw := topo.NewNetwork(h, nil)
+	mech, err := routing.NewOmniWAR(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mech.VCs() != 10 {
+		t.Fatalf("OmniWAR on 5D reports %d VCs, want 10", mech.VCs())
+	}
+	pat, err := traffic.NewUniform(h.Switches() * 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.CheckInvariants = true
+	res, err := Run(RunOptions{
+		Net:              nw,
+		ServersPerSwitch: 2,
+		Mechanism:        mech,
+		Pattern:          pat,
+		Load:             0.4,
+		WarmupCycles:     1000,
+		MeasureCycles:    2000,
+		Seed:             1,
+		Config:           cfg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeliveredPackets == 0 {
+		t.Fatal("no packets delivered with 10 VCs")
+	}
+	if res.AcceptedLoad < 0.3 {
+		t.Errorf("accepted %.3f at offered 0.4; high-VC run degraded", res.AcceptedLoad)
+	}
+	t.Logf("10-VC run: accepted=%.3f latency=%.1f delivered=%d",
+		res.AcceptedLoad, res.AvgLatency, res.DeliveredPackets)
+}
+
+// TestManyVCsFaultDrain exercises the other former packing site: draining a
+// dead port's output queue while VCs above 7 are in flight.
+func TestManyVCsFaultDrain(t *testing.T) {
+	h := topo.MustHyperX(2, 2, 2, 2, 2)
+	nw := topo.NewNetwork(h, nil)
+	mech, err := routing.NewOmniWAR(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pat, err := traffic.NewUniform(h.Switches() * 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := topo.RandomFaultSequence(h, 3)
+	cfg := DefaultConfig()
+	cfg.CheckInvariants = true
+	res, err := Run(RunOptions{
+		Net:              nw,
+		ServersPerSwitch: 2,
+		Mechanism:        mech,
+		Pattern:          pat,
+		Load:             0.5,
+		WarmupCycles:     0,
+		MeasureCycles:    4000,
+		Seed:             2,
+		Config:           cfg,
+		FaultSchedule: []FaultEvent{
+			{Cycle: 1000, Edge: seq[0]},
+			{Cycle: 2000, Edge: seq[1]},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeliveredPackets == 0 {
+		t.Fatal("no packets delivered across mid-run faults")
+	}
+}
+
+// vcHog is a stub mechanism demanding more VCs than the engine's int8-backed
+// encoding can address.
+type vcHog struct{ routing.Mechanism }
+
+func (vcHog) Name() string { return "VCHog" }
+func (vcHog) VCs() int     { return maxVCs + 1 }
+func (vcHog) Init(st *routing.PacketState, src, dst int32, r *rng.Rand) {
+	st.Src, st.Dst = src, dst
+}
+
+// TestTooManyVCsRejected locks in the validated cap: configurations that
+// would overflow the engine's VC fields are rejected with a clear error
+// instead of corrupting state.
+func TestTooManyVCsRejected(t *testing.T) {
+	h := topo.MustHyperX(2, 2)
+	nw := topo.NewNetwork(h, nil)
+	pat, err := traffic.NewUniform(h.Switches() * 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Run(RunOptions{
+		Net:              nw,
+		ServersPerSwitch: 2,
+		Mechanism:        vcHog{},
+		Pattern:          pat,
+		Load:             0.5,
+		MeasureCycles:    100,
+		Seed:             1,
+	})
+	if err == nil {
+		t.Fatal("engine accepted a mechanism with more VCs than it can encode")
+	}
+	if !strings.Contains(err.Error(), "VCs") {
+		t.Errorf("unhelpful error: %v", err)
+	}
+}

@@ -38,3 +38,43 @@ func (r *ring) pop() int32 {
 	r.n--
 	return v
 }
+
+// pvring is a fixed-capacity FIFO of (packet id, VC) pairs, used for output
+// buffers. Packet ids and VCs live in parallel slices rather than a packed
+// word, so neither field constrains the other's range (an earlier pkt<<3|vc
+// encoding silently corrupted packet ids once a mechanism used more than 8
+// VCs). The zero value is unusable; call init first.
+type pvring struct {
+	pkt  []int32
+	vc   []int8
+	head int
+	n    int
+}
+
+func (r *pvring) init(capacity int) {
+	r.pkt = make([]int32, capacity)
+	r.vc = make([]int8, capacity)
+	r.head, r.n = 0, 0
+}
+
+func (r *pvring) len() int { return r.n }
+
+// push appends a (packet, VC) pair; it panics on overflow, which would
+// indicate a flow-control accounting bug rather than a recoverable condition.
+func (r *pvring) push(pkt int32, vc int8) {
+	if r.n == len(r.pkt) {
+		panic("sim: pvring overflow (flow-control accounting bug)")
+	}
+	i := (r.head + r.n) % len(r.pkt)
+	r.pkt[i] = pkt
+	r.vc[i] = vc
+	r.n++
+}
+
+// pop removes and returns the head pair; the ring must be non-empty.
+func (r *pvring) pop() (int32, int8) {
+	pkt, vc := r.pkt[r.head], r.vc[r.head]
+	r.head = (r.head + 1) % len(r.pkt)
+	r.n--
+	return pkt, vc
+}
