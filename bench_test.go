@@ -11,6 +11,7 @@ package hyperx
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/core"
@@ -435,6 +436,50 @@ func BenchmarkSimulatorCycleRate(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(cycles)*float64(b.N)/b.Elapsed().Seconds(), "cycles/s")
+}
+
+// --- Sequential vs sharded single-run engine. ---
+
+// benchSingleRun8x8x8 measures one paper-scale simulation point (the unit
+// behind the -full figures) at the given intra-run worker count. The
+// microbenchmark of the allocation hot path itself (bucketed arbiter vs the
+// former global sort) lives next to the engine in
+// internal/sim/bench_test.go as BenchmarkAllocationStep.
+func benchSingleRun8x8x8(b *testing.B, workers int) {
+	b.Helper()
+	h := topo.MustHyperX(8, 8, 8)
+	nw := topo.NewNetwork(h, nil)
+	mech, err := core.New(nw, core.PolarizedRoutes, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pat, err := traffic.NewUniform(h.Switches() * 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const cycles = 300
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(sim.RunOptions{
+			Net: nw, ServersPerSwitch: 8, Mechanism: mech, Pattern: pat,
+			Load: 0.7, WarmupCycles: 0, MeasureCycles: cycles, Seed: 9,
+			Workers: workers,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(cycles)*float64(b.N)/b.Elapsed().Seconds(), "cycles/s")
+}
+
+// BenchmarkSingleRunSequential8x8x8 is the one-core baseline: how PR 1 ran
+// every -full simulation point.
+func BenchmarkSingleRunSequential8x8x8(b *testing.B) { benchSingleRun8x8x8(b, 1) }
+
+// BenchmarkSingleRunSharded8x8x8 runs the same point with the switch array
+// domain-decomposed over one worker per CPU; the Result is bit-identical to
+// the sequential run (see internal/sim/sharded_test.go).
+func BenchmarkSingleRunSharded8x8x8(b *testing.B) {
+	benchSingleRun8x8x8(b, runtime.GOMAXPROCS(0))
 }
 
 // --- Sequential vs parallel experiment runner. ---

@@ -24,6 +24,8 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"sync"
+	"time"
 
 	"repro/internal/cliutil"
 	"repro/internal/experiments"
@@ -35,18 +37,75 @@ type multiFlag []string
 func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
 func (m *multiFlag) Set(v string) error { *m = append(*m, strings.ToLower(v)); return nil }
 
+// progressPrinter turns the runner's (done, total) callbacks into throttled
+// "progress: done/total (ETA mm:ss)" lines on stderr. The runner calls it
+// from worker goroutines and counts may arrive out of order; one mutex
+// serializes the state and the output, and the monotone maxDone discards
+// stragglers. A done == 0 call marks the start of a new grid (each figure
+// runs one or more grids).
+type progressPrinter struct {
+	mu      sync.Mutex
+	total   int
+	maxDone int
+	start   time.Time
+	lastAt  time.Time
+}
+
+func (p *progressPrinter) report(done, total int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	now := time.Now()
+	if done == 0 || total != p.total {
+		p.total, p.maxDone, p.start, p.lastAt = total, 0, now, time.Time{}
+		if done == 0 {
+			return // grid-start signal; nothing to report yet
+		}
+	}
+	if done <= p.maxDone {
+		return // out-of-order report of an already-passed count
+	}
+	p.maxDone = done
+	if done < total && now.Sub(p.lastAt) < time.Second {
+		return
+	}
+	p.lastAt = now
+	elapsed := now.Sub(p.start)
+	if done == total {
+		fmt.Fprintf(os.Stderr, "progress: %d/%d (grid done in %s)\n", done, total, elapsed.Round(time.Millisecond))
+		return
+	}
+	line := fmt.Sprintf("progress: %d/%d", done, total)
+	if elapsed > 0 {
+		eta := time.Duration(float64(elapsed) / float64(done) * float64(total-done))
+		line += fmt.Sprintf(" (ETA %02d:%02d)", int(eta.Minutes()), int(eta.Seconds())%60)
+	}
+	fmt.Fprintln(os.Stderr, line)
+}
+
 func main() {
 	var exps multiFlag
 	flag.Var(&exps, "exp", "experiment to run: table2|table3|table4|fig1|fig4|fig5|fig6|fig7|fig8|fig9|fig10|recovery|cost|section7|all (repeatable)")
 	full := flag.Bool("full", false, "use the paper's full-size networks and long windows")
 	seed := flag.Uint64("seed", 1, "random seed")
 	workersFlag := flag.Int("workers", 0, "parallel simulation workers (0 = one per CPU); results are identical for any value")
+	runWorkersFlag := flag.Int("run-workers", 1, "intra-run workers per simulation point (0 = one per CPU); results are identical for any value. Multiplies with -workers: raise it (and drop -workers to 1) for huge single points like -full fig5")
+	progressFlag := flag.Bool("progress", true, "report done/total (ETA) progress lines on stderr")
 	flag.Parse()
 
 	workers, err := cliutil.ResolveWorkers(*workersFlag)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 		os.Exit(2)
+	}
+	runWorkers, err := cliutil.ResolveWorkers(*runWorkersFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(2)
+	}
+	experiments.SetDefaultRunWorkers(experiments.DefaultWorkers(runWorkers))
+	if *progressFlag {
+		p := &progressPrinter{}
+		experiments.SetProgress(p.report)
 	}
 
 	if len(exps) == 0 {

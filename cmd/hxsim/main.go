@@ -19,26 +19,32 @@ import (
 
 func main() {
 	var (
-		dimsFlag    = flag.String("dims", "8x8", "topology sides, e.g. 16x16 or 8x8x8")
-		mechFlag    = flag.String("mech", "PolSP", "mechanism: Minimal|Valiant|OmniWAR|Polarized|DOR|OmniSP|PolSP")
-		patFlag     = flag.String("pattern", "Uniform", "pattern: Uniform|RSP|DCR|RPN")
-		loadFlag    = flag.Float64("load", 0.5, "offered load in phits/server/cycle (0,1]")
-		loadsFlag   = flag.String("loads", "", "comma-separated load sweep, e.g. 0.1,0.5,1.0 (overrides -load)")
-		vcsFlag     = flag.Int("vcs", 0, "virtual channels per port (0 = paper's 2n)")
-		warmFlag    = flag.Int64("warmup", 3000, "warmup cycles")
-		measFlag    = flag.Int64("measure", 6000, "measurement cycles")
-		faultsFlag  = flag.Int("faults", 0, "random link failures to inject")
-		shapeFlag   = flag.String("shape", "", "structured fault shape: row|subblock|cross (overrides -faults)")
-		rootFlag    = flag.Int("root", 0, "escape subnetwork root switch (SurePath)")
-		burstFlag   = flag.Int("burst", 0, "burst packets per server (completion-time mode)")
-		seedFlag    = flag.Uint64("seed", 1, "random seed")
-		serversFlag = flag.Int("servers", 0, "servers per switch (0 = side k)")
-		workersFlag = flag.Int("workers", 0, "parallel workers for -loads sweeps (0 = one per CPU); results are identical for any value")
+		dimsFlag       = flag.String("dims", "8x8", "topology sides, e.g. 16x16 or 8x8x8")
+		mechFlag       = flag.String("mech", "PolSP", "mechanism: Minimal|Valiant|OmniWAR|Polarized|DOR|OmniSP|PolSP")
+		patFlag        = flag.String("pattern", "Uniform", "pattern: Uniform|RSP|DCR|RPN")
+		loadFlag       = flag.Float64("load", 0.5, "offered load in phits/server/cycle (0,1]")
+		loadsFlag      = flag.String("loads", "", "comma-separated load sweep, e.g. 0.1,0.5,1.0 (overrides -load)")
+		vcsFlag        = flag.Int("vcs", 0, "virtual channels per port (0 = paper's 2n)")
+		warmFlag       = flag.Int64("warmup", 3000, "warmup cycles")
+		measFlag       = flag.Int64("measure", 6000, "measurement cycles")
+		faultsFlag     = flag.Int("faults", 0, "random link failures to inject")
+		shapeFlag      = flag.String("shape", "", "structured fault shape: row|subblock|cross (overrides -faults)")
+		rootFlag       = flag.Int("root", 0, "escape subnetwork root switch (SurePath)")
+		burstFlag      = flag.Int("burst", 0, "burst packets per server (completion-time mode)")
+		seedFlag       = flag.Uint64("seed", 1, "random seed")
+		serversFlag    = flag.Int("servers", 0, "servers per switch (0 = side k)")
+		workersFlag    = flag.Int("workers", 0, "parallel workers for -loads sweeps (0 = one per CPU); results are identical for any value")
+		runWorkersFlag = flag.Int("run-workers", 1, "intra-run workers per simulation (0 = one per CPU); results are identical for any value. Raise it for one huge point (e.g. -dims 8x8x8), keep it at 1 for -loads sweeps that already fill the CPUs")
 	)
 	flag.Parse()
 
 	workers, err := cliutil.ResolveWorkers(*workersFlag)
 	check(err)
+	runWorkers, err := cliutil.ResolveWorkers(*runWorkersFlag)
+	check(err)
+	if runWorkers == 0 {
+		runWorkers = hyperx.DefaultWorkers(0)
+	}
 
 	dims, err := cliutil.ParseDims(*dimsFlag)
 	check(err)
@@ -111,6 +117,7 @@ func main() {
 			WarmupCycles:     *warmFlag,
 			MeasureCycles:    *measFlag,
 			Seed:             *seedFlag,
+			Workers:          runWorkers,
 		}
 		if *burstFlag > 0 {
 			opts.BurstPackets = *burstFlag

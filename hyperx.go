@@ -205,6 +205,10 @@ func RunJobs[T any](workers, n int, job func(index int) (T, error)) ([]T, error)
 // count.
 func JobSeed(seed uint64, index int) uint64 { return experiments.JobSeed(seed, index) }
 
+// DefaultWorkers resolves a worker-count setting: any value below 1 selects
+// one worker per available CPU.
+func DefaultWorkers(workers int) int { return experiments.DefaultWorkers(workers) }
+
 // DefaultConfig returns the paper's Table 2 simulation parameters.
 func DefaultConfig() Config { return sim.DefaultConfig() }
 

@@ -56,8 +56,9 @@ func (e *EscapeOnly) InjectVCs(_ *routing.PacketState, buf []int) []int {
 // Candidates implements routing.Mechanism: escape hops on VC 0. Additional
 // VCs, if configured, stay as spare bandwidth for the allocator (entries
 // are duplicated across them so deep switches can spread load).
-func (e *EscapeOnly) Candidates(cur int32, st *routing.PacketState, _ int, buf []Candidate) []Candidate {
-	ports := e.esc.Candidates(cur, st.Dst, st.EscPhase, nil)
+func (e *EscapeOnly) Candidates(cur int32, st *routing.PacketState, _ int, scr *routing.Scratch, buf []Candidate) []Candidate {
+	ports := e.esc.Candidates(cur, st.Dst, st.EscPhase, scr.Ports())
+	scr.KeepPorts(ports)
 	for _, pc := range ports {
 		for vc := 0; vc < e.vcs; vc++ {
 			buf = append(buf, Candidate{Port: pc.Port, VC: vc, Penalty: pc.Penalty})

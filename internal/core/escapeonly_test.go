@@ -54,7 +54,7 @@ func TestEscapeOnlyWalksAndMultiVC(t *testing.T) {
 			if hops > 32 {
 				t.Fatalf("escape-only walk %d->%d too long", src, dst)
 			}
-			buf = eo.Candidates(cur, &st, 0, buf[:0])
+			buf = eo.Candidates(cur, &st, 0, nil, buf[:0])
 			if len(buf) == 0 {
 				t.Fatalf("escape-only stuck at %d toward %d", cur, dst)
 			}
@@ -101,7 +101,7 @@ func TestEscapeOnlyRebuild(t *testing.T) {
 			continue
 		}
 		eo.Init(&st, src, dst, r)
-		for _, c := range eo.Candidates(src, &st, 0, nil) {
+		for _, c := range eo.Candidates(src, &st, 0, nil, nil) {
 			if !nw2.PortAlive(src, c.Port) {
 				t.Fatal("dead port offered after rebuild")
 			}

@@ -46,7 +46,6 @@ type SurePath struct {
 	rule       escape.Rule
 	routingVCs int // |CRout|; the escape VC is routingVCs (the last one)
 	name       string
-	scratch    []routing.PortCandidate
 }
 
 // Option customizes SurePath construction.
@@ -150,19 +149,21 @@ func (s *SurePath) InjectVCs(_ *routing.PacketState, buf []int) []int {
 // Section 3: packets in CRout see the base algorithm's candidates on a
 // capped hop ladder plus all escape candidates; packets in CEsc see escape
 // candidates only.
-func (s *SurePath) Candidates(cur int32, st *routing.PacketState, _ int, buf []Candidate) []Candidate {
+func (s *SurePath) Candidates(cur int32, st *routing.PacketState, _ int, scr *routing.Scratch, buf []Candidate) []Candidate {
 	if !st.InEscape {
-		s.scratch = s.alg.PortCandidates(cur, st, s.scratch[:0])
+		ports := s.alg.PortCandidates(cur, st, scr.Ports())
+		scr.KeepPorts(ports)
 		vc := int(st.Hops)
 		if vc >= s.routingVCs {
 			vc = s.routingVCs - 1
 		}
-		for _, pc := range s.scratch {
+		for _, pc := range ports {
 			buf = append(buf, Candidate{Port: pc.Port, VC: vc, Penalty: pc.Penalty})
 		}
 	}
-	s.scratch = s.esc.Candidates(cur, st.Dst, st.EscPhase, s.scratch[:0])
-	for _, pc := range s.scratch {
+	ports := s.esc.Candidates(cur, st.Dst, st.EscPhase, scr.Ports())
+	scr.KeepPorts(ports)
+	for _, pc := range ports {
 		buf = append(buf, Candidate{Port: pc.Port, VC: s.routingVCs, Penalty: pc.Penalty})
 	}
 	return buf

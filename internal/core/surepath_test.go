@@ -62,7 +62,7 @@ func TestCandidatesIncludeBothSubnetworks(t *testing.T) {
 	src := hx(nw).ID([]int{0, 0})
 	dst := hx(nw).ID([]int{3, 3})
 	sp.Init(&st, src, dst, r)
-	cands := sp.Candidates(src, &st, 0, nil)
+	cands := sp.Candidates(src, &st, 0, nil, nil)
 	routingCands, escapeCands := 0, 0
 	for _, c := range cands {
 		if c.VC == sp.EscapeVC() {
@@ -89,7 +89,7 @@ func TestEscapeCommitment(t *testing.T) {
 	src := hx(nw).ID([]int{1, 1})
 	dst := hx(nw).ID([]int{3, 2})
 	sp.Init(&st, src, dst, r)
-	cands := sp.Candidates(src, &st, 0, nil)
+	cands := sp.Candidates(src, &st, 0, nil, nil)
 	var esc *Candidate
 	for i := range cands {
 		if cands[i].VC == sp.EscapeVC() {
@@ -105,7 +105,7 @@ func TestEscapeCommitment(t *testing.T) {
 		t.Fatal("InEscape not set after escape hop")
 	}
 	cur := nw.H.PortNeighbor(src, esc.Port)
-	cands = sp.Candidates(cur, &st, sp.EscapeVC(), cands[:0])
+	cands = sp.Candidates(cur, &st, sp.EscapeVC(), nil, cands[:0])
 	for _, c := range cands {
 		if c.VC != sp.EscapeVC() {
 			t.Fatalf("escaped packet offered routing VC %d", c.VC)
@@ -122,7 +122,7 @@ func TestRoutingVCLadderCapped(t *testing.T) {
 	dst := hx(nw).ID([]int{3, 3})
 	sp.Init(&st, src, dst, r)
 	st.Hops = 7 // beyond the CRout ladder
-	cands := sp.Candidates(src, &st, 0, nil)
+	cands := sp.Candidates(src, &st, 0, nil, nil)
 	for _, c := range cands {
 		if c.VC != sp.EscapeVC() && c.VC != 2 {
 			t.Errorf("capped routing VC %d, want 2", c.VC)
@@ -143,7 +143,7 @@ func spWalk(sp *SurePath, nw *topo.Network, src, dst int32, r *rng.Rand, maxHops
 		if hops > maxHops {
 			return nil
 		}
-		buf = sp.Candidates(cur, &st, vc, buf[:0])
+		buf = sp.Candidates(cur, &st, vc, nil, buf[:0])
 		if len(buf) == 0 {
 			return nil
 		}
@@ -210,7 +210,7 @@ func TestForcedHopsWhenOmniStuck(t *testing.T) {
 	var st routing.PacketState
 	sp.Init(&st, src, dst, rng.New(6))
 	st.Deroutes = 2 // budget exhausted; direct link dead: Omni is stuck
-	cands := sp.Candidates(src, &st, 0, nil)
+	cands := sp.Candidates(src, &st, 0, nil, nil)
 	if len(cands) == 0 {
 		t.Fatal("no candidates at all: forced hop impossible")
 	}
@@ -229,7 +229,7 @@ func TestEscapePenaltiesDisfavored(t *testing.T) {
 	var st routing.PacketState
 	sp.Init(&st, 0, 15, rng.New(7))
 	minRouting, minEscape := int32(1<<30), int32(1<<30)
-	for _, c := range sp.Candidates(0, &st, 0, nil) {
+	for _, c := range sp.Candidates(0, &st, 0, nil, nil) {
 		if c.VC == sp.EscapeVC() {
 			if c.Penalty < minEscape {
 				minEscape = c.Penalty

@@ -8,6 +8,7 @@ package experiments
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/routing"
@@ -15,6 +16,28 @@ import (
 	"repro/internal/topo"
 	"repro/internal/traffic"
 )
+
+// defaultRunWorkers is the package-wide intra-run worker count every
+// experiment simulation runs with (sim.RunOptions.Workers). It defaults to
+// 0 (sequential). Because the sharded engine is bit-identical for any
+// worker count, changing it never changes experiment output — only
+// wall-clock time.
+var defaultRunWorkers atomic.Int32
+
+// SetDefaultRunWorkers sets the intra-run worker count used by every
+// experiment job (the cmd/experiments -run-workers flag lands here).
+// Sensible combinations: many grid workers with run-workers 1 for wide
+// grids, or grid workers 1 with run-workers = NumCPU for huge single
+// points; the two multiply, so raising both oversubscribes the CPUs.
+func SetDefaultRunWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	defaultRunWorkers.Store(int32(n))
+}
+
+// RunWorkers reports the current intra-run worker default.
+func RunWorkers() int { return int(defaultRunWorkers.Load()) }
 
 // Scale selects between laptop-size and paper-size topologies.
 type Scale int
@@ -164,5 +187,6 @@ func runOne(nw *topo.Network, mechName string, vcs int, root int32, pat traffic.
 		WarmupCycles:     b.Warmup,
 		MeasureCycles:    b.Measure,
 		Seed:             seed,
+		Workers:          RunWorkers(),
 	})
 }

@@ -28,6 +28,28 @@ func DefaultWorkers(workers int) int {
 	return workers
 }
 
+// progressHook receives (done, total) after every completed job of a
+// RunJobs grid; see SetProgress.
+var progressHook atomic.Pointer[func(done, total int)]
+
+// SetProgress installs a process-wide progress observer: every RunJobs
+// grid calls fn once with done == 0 when the grid starts (from the
+// enumerating goroutine, before any job runs) and then once per executed
+// job — successful or failed — with the running completion count and the
+// grid's total. The runner knows both, so callers can derive an ETA
+// without instrumenting any driver. When a job fails the grid aborts
+// early, so the count may never reach total. The per-job calls arrive
+// concurrently from worker goroutines, and may arrive out of order; fn
+// must tolerate both. nil uninstalls the observer. Progress reporting
+// never affects results — jobs stay bit-identical for any worker count.
+func SetProgress(fn func(done, total int)) {
+	if fn == nil {
+		progressHook.Store(nil)
+		return
+	}
+	progressHook.Store(&fn)
+}
+
 // JobSeed derives the simulation seed of job index from an experiment's base
 // seed. The seed depends only on (seed, index) — never on worker count or
 // scheduling — which is what keeps parallel grids bit-identical to
@@ -51,6 +73,16 @@ func RunJobs[T any](workers, n int, job func(index int) (T, error)) ([]T, error)
 	}
 	errs := make([]error, n)
 	var failed atomic.Bool
+	var done atomic.Int64
+	progress := progressHook.Load()
+	note := func() {
+		if progress != nil {
+			(*progress)(int(done.Add(1)), n)
+		}
+	}
+	if progress != nil {
+		(*progress)(0, n) // grid start, before any worker reports
+	}
 	indices := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -65,9 +97,11 @@ func RunJobs[T any](workers, n int, job func(index int) (T, error)) ([]T, error)
 				if err != nil {
 					errs[i] = err
 					failed.Store(true)
+					note()
 					continue
 				}
 				results[i] = res
+				note()
 			}
 		}()
 	}

@@ -16,11 +16,10 @@ import (
 // step * Algorithm.MaxHops, which is exactly the sizing the paper criticises
 // under failures.
 type Ladder struct {
-	alg     Algorithm
-	vcs     int
-	step    int
-	name    string
-	scratch []PortCandidate // reused across Candidates calls; not safe for concurrent use
+	alg  Algorithm
+	vcs  int
+	step int
+	name string
 }
 
 // NewLadder wraps alg with a step-1 or step-2 ladder over vcs virtual
@@ -68,9 +67,9 @@ func (l *Ladder) vcBase(hops int32) int {
 }
 
 // Candidates implements Mechanism.
-func (l *Ladder) Candidates(cur int32, st *PacketState, _ int, buf []Candidate) []Candidate {
-	l.scratch = l.alg.PortCandidates(cur, st, l.scratch[:0])
-	ports := l.scratch
+func (l *Ladder) Candidates(cur int32, st *PacketState, _ int, scr *Scratch, buf []Candidate) []Candidate {
+	ports := l.alg.PortCandidates(cur, st, scr.Ports())
+	scr.KeepPorts(ports)
 	base := l.vcBase(st.Hops)
 	for _, pc := range ports {
 		buf = append(buf, Candidate{Port: pc.Port, VC: base, Penalty: pc.Penalty})
@@ -93,9 +92,8 @@ func (l *Ladder) Rebuild(nw *topo.Network) error { return l.alg.Rebuild(nw) }
 // hops climb the first n VCs and deroutes climb the last n, tracking the
 // packet's minimal-hop and deroute counts separately.
 type OmniLadder struct {
-	alg     *OmniAlg
-	ndims   int
-	scratch []PortCandidate // reused across Candidates calls; not safe for concurrent use
+	alg   *OmniAlg
+	ndims int
 }
 
 // NewOmniWAR builds the OmniWAR mechanism (Omnidimensional routes with the
@@ -125,9 +123,9 @@ func (o *OmniLadder) InjectVCs(_ *PacketState, buf []int) []int {
 }
 
 // Candidates implements Mechanism.
-func (o *OmniLadder) Candidates(cur int32, st *PacketState, _ int, buf []Candidate) []Candidate {
-	o.scratch = o.alg.PortCandidates(cur, st, o.scratch[:0])
-	ports := o.scratch
+func (o *OmniLadder) Candidates(cur int32, st *PacketState, _ int, scr *Scratch, buf []Candidate) []Candidate {
+	ports := o.alg.PortCandidates(cur, st, scr.Ports())
+	scr.KeepPorts(ports)
 	minVC := clampInt(int(st.MinHops), o.ndims-1)
 	derVC := o.ndims + clampInt(int(st.Deroutes), o.ndims-1)
 	for _, pc := range ports {

@@ -62,6 +62,33 @@ type Candidate struct {
 	Penalty int32
 }
 
+// Scratch holds the reusable buffers a Mechanism may need while computing
+// Candidates. Mechanisms are immutable during a run (tables only change
+// through Rebuild, which the engine serializes), so concurrent Candidates
+// calls are safe as long as every goroutine passes its own Scratch — this is
+// what lets the sharded engine compute routes for switch domains in
+// parallel. A nil Scratch is valid and degrades to per-call allocation,
+// which keeps ad-hoc and test call sites simple.
+type Scratch struct {
+	ports []PortCandidate
+}
+
+// Ports returns the zero-length reusable PortCandidate buffer.
+func (s *Scratch) Ports() []PortCandidate {
+	if s == nil {
+		return nil
+	}
+	return s.ports[:0]
+}
+
+// KeepPorts stores a possibly-grown buffer back into the scratch so the
+// next Ports call reuses its capacity.
+func (s *Scratch) KeepPorts(buf []PortCandidate) {
+	if s != nil {
+		s.ports = buf
+	}
+}
+
 // Algorithm yields raw port candidates for the head packet of a queue.
 // Implementations must return only ports whose links are alive.
 type Algorithm interface {
@@ -96,8 +123,10 @@ type Mechanism interface {
 	// switch.
 	InjectVCs(st *PacketState, buf []int) []int
 	// Candidates appends the legal (port, VC) requests for a packet at
-	// switch cur currently held in VC curVC.
-	Candidates(cur int32, st *PacketState, curVC int, buf []Candidate) []Candidate
+	// switch cur currently held in VC curVC. scr provides the caller-owned
+	// scratch buffers (nil allocates); implementations must keep all other
+	// state read-only so concurrent calls with distinct scratches are safe.
+	Candidates(cur int32, st *PacketState, curVC int, scr *Scratch, buf []Candidate) []Candidate
 	// Advance updates st after the packet crossed the link at port of cur,
 	// entering the next switch in VC vc.
 	Advance(cur int32, port, vc int, st *PacketState)

@@ -445,7 +445,7 @@ func TestLadderVCProgression(t *testing.T) {
 	src := hx(nw).ID([]int{0, 0})
 	dst := hx(nw).ID([]int{3, 3})
 	lad.Init(&st, src, dst, r)
-	cands := lad.Candidates(src, &st, 0, nil)
+	cands := lad.Candidates(src, &st, 0, nil, nil)
 	for _, c := range cands {
 		if c.VC != 0 && c.VC != 1 {
 			t.Errorf("hop-0 VC %d", c.VC)
@@ -454,7 +454,7 @@ func TestLadderVCProgression(t *testing.T) {
 	// After one hop the step-2 ladder moves to VCs {2,3}.
 	lad.Advance(src, cands[0].Port, cands[0].VC, &st)
 	mid := nw.H.PortNeighbor(src, cands[0].Port)
-	cands = lad.Candidates(mid, &st, cands[0].VC, cands[:0])
+	cands = lad.Candidates(mid, &st, cands[0].VC, nil, cands[:0])
 	if len(cands) == 0 {
 		t.Fatal("no candidates after first hop")
 	}
@@ -465,7 +465,7 @@ func TestLadderVCProgression(t *testing.T) {
 	}
 	// Hops beyond the ladder clamp to the last step instead of overflowing.
 	st.Hops = 9
-	cands = lad.Candidates(mid, &st, 0, cands[:0])
+	cands = lad.Candidates(mid, &st, 0, nil, cands[:0])
 	for _, c := range cands {
 		if c.VC != 2 && c.VC != 3 {
 			t.Errorf("clamped VC %d", c.VC)
@@ -505,7 +505,7 @@ func TestOmniWARVCSplit(t *testing.T) {
 	src := hx(nw).ID([]int{0, 0, 0})
 	dst := hx(nw).ID([]int{1, 1, 1})
 	ow.Init(&st, src, dst, r)
-	cands := ow.Candidates(src, &st, 0, nil)
+	cands := ow.Candidates(src, &st, 0, nil, nil)
 	for _, c := range cands {
 		next := nw.H.PortNeighbor(src, c.Port)
 		dim := hx(nw).PortDim(c.Port)
@@ -519,7 +519,7 @@ func TestOmniWARVCSplit(t *testing.T) {
 	}
 	// After two deroutes, deroute VC advances to n + 2.
 	st.Deroutes = 2
-	cands = ow.Candidates(src, &st, 0, cands[:0])
+	cands = ow.Candidates(src, &st, 0, nil, cands[:0])
 	for _, c := range cands {
 		next := nw.H.PortNeighbor(src, c.Port)
 		dim := hx(nw).PortDim(c.Port)
@@ -669,7 +669,7 @@ func TestOmniWARMechanismSurface(t *testing.T) {
 	src := hx(nw).ID([]int{0, 0})
 	dst := hx(nw).ID([]int{2, 2})
 	ow.Init(&st, src, dst, r)
-	cands := ow.Candidates(src, &st, 0, nil)
+	cands := ow.Candidates(src, &st, 0, nil, nil)
 	if len(cands) == 0 {
 		t.Fatal("no candidates")
 	}

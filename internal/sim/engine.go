@@ -3,7 +3,6 @@ package sim
 import (
 	"errors"
 	"fmt"
-	"sort"
 
 	"repro/internal/metrics"
 	"repro/internal/rng"
@@ -40,6 +39,13 @@ type event struct {
 	pkt  int32
 }
 
+// timedEvent is an event bound for another switch's calendar, staged in the
+// source switch's outbox until the sequential merge step routes it.
+type timedEvent struct {
+	at int64 // absolute cycle
+	ev event
+}
+
 // request is one head packet's single allocation request this cycle.
 type request struct {
 	cost    int64 // Q + P
@@ -58,14 +64,23 @@ type request struct {
 //	global port:   sw*P + p
 //	input VC:      gport*V + vc
 //	server:        sw*K + w
+//
+// The cycle loop is organized as a sequence of phases over the switch
+// array (see run.go). All mutable state is owned by exactly one switch in
+// every phase, which is what lets the phases run switch-parallel with a
+// worker pool while staying bit-identical to the sequential walk: see
+// shard.go for the ownership argument.
 type engine struct {
 	cfg  Config
 	nw   *topo.Network
 	mech routing.Mechanism
 	pat  traffic.Pattern
-	r    *rng.Rand
+	r    *rng.Rand // traffic generation + packet Init (sequential phase only)
 
 	S, R, K, P, V int
+
+	workers int
+	wp      *workerPool // nil when workers <= 1
 
 	// Static maps (dnInVC/portDead mutate on scheduled mid-run faults).
 	dnInVC   []int32 // per global link port: downstream input VC base, -1 if dead
@@ -89,19 +104,17 @@ type engine struct {
 	injQ    []ring
 	injBusy []int64
 
-	// Packet pool.
+	// Packet pool. Mutated only in sequential phases (generation, merges).
 	pool []packet
 	free []int32
 
-	// Calendar queue.
+	// Calendar queues, one per switch: slot sw*horizon + cycle%horizon.
 	events  [][]event
 	horizon int64
 
-	// Reused scratch.
-	cands      []routing.Candidate
-	vcBuf      []int
-	reqs       []request
-	inReleases []inRelease
+	// Per-switch and per-worker state for the sharded phases.
+	sw []swState
+	ws []workerScratch
 
 	// Mid-run fault schedule.
 	faultSchedule []FaultEvent
@@ -113,7 +126,8 @@ type engine struct {
 	lastProgress int64
 	inFlight     int64
 
-	// Measurement.
+	// Measurement. The per-switch window counters in swState fold into
+	// these in result(); the rest are maintained by the sequential phases.
 	warmStart, warmEnd int64 // measurement window [warmStart, warmEnd)
 	linkBusyCycles     int64 // switch-link busy cycles inside the window
 	liveDirLinks       int64 // directed live switch-to-switch links
@@ -129,9 +143,50 @@ type engine struct {
 	lastDeliveryCycle  int64
 }
 
+// swState is the state owned by one switch: its tie-break RNG stream, the
+// staging areas the parallel phases write into, and its slice of the
+// run's measurement counters.
+type swState struct {
+	tie        rng.Rand  // per-switch allocation tie-break stream
+	granted    []request // winners of this cycle's arbitration, committed next phase
+	outbox     []timedEvent
+	freed      []int32 // packet ids retired this cycle, merged into the pool
+	inReleases []inRelease
+
+	// Per-cycle counters, folded and reset by the merge steps.
+	retired     int64 // delivered + lost (decrements inFlight)
+	delivered   int64
+	lost        int64
+	seriesPhits int64
+	progressed  bool
+
+	// Cumulative window counters, folded once in result().
+	deliveredPkts, deliveredPhits int64
+	latencySum, hopSum            int64
+	escapedPkts                   int64
+	linkBusyCycles                int64
+	lastDeliveryCycle             int64
+}
+
+// workerScratch is the reusable buffer set of one worker; nothing in it
+// survives across switches, so results are independent of which worker
+// processes which switch.
+type workerScratch struct {
+	cands  []routing.Candidate
+	vcBuf  []int
+	rscr   routing.Scratch
+	bucket [][]request // per local output port: this switch's candidate list
+	inUsed []int8      // per local input port: grants issued this cycle
+	vcUsed []int16     // per VC: credits consumed within the current bucket
+}
+
 // maxVCs is the engine's virtual-channel ceiling: VC indices travel through
 // int8 fields (events, requests, output-buffer entries).
 const maxVCs = 127
+
+// tieStreamBase offsets the per-switch tie-break RNG stream ids away from
+// the generation stream (0x51) in the run seed's substream space.
+const tieStreamBase = 0x100
 
 func newEngine(o RunOptions) (*engine, error) {
 	h := o.Net.H
@@ -151,6 +206,13 @@ func newEngine(o RunOptions) (*engine, error) {
 		V:    o.Mechanism.VCs(),
 	}
 	e.P = e.R + e.K
+	e.workers = o.Workers
+	if e.workers < 1 {
+		e.workers = 1
+	}
+	if e.workers > e.S {
+		e.workers = e.S
+	}
 	SP := e.S * e.P
 	var err error
 	if e.faultSchedule, err = sortFaultSchedule(o.FaultSchedule); err != nil {
@@ -203,7 +265,18 @@ func newEngine(o RunOptions) (*engine, error) {
 	e.genPhits = make([]int64, nServers)
 
 	e.horizon = int64(e.cfg.PacketPhits+e.cfg.LinkLatency) + e.cfg.xferCycles() + int64(e.cfg.XbarLatency) + 2
-	e.events = make([][]event, e.horizon)
+	e.events = make([][]event, int64(e.S)*e.horizon)
+
+	e.sw = make([]swState, e.S)
+	for sw := range e.sw {
+		e.sw[sw].tie.Seed(rng.StreamSeed(o.Seed, tieStreamBase+uint64(sw)))
+	}
+	e.ws = make([]workerScratch, e.workers)
+	for w := range e.ws {
+		e.ws[w].bucket = make([][]request, e.P)
+		e.ws[w].inUsed = make([]int8, e.P)
+		e.ws[w].vcUsed = make([]int16, e.V)
+	}
 	return e, nil
 }
 
@@ -214,13 +287,13 @@ func max(a, b int) int {
 	return b
 }
 
-// schedule enqueues an event at now+delay.
-func (e *engine) schedule(delay int64, ev event) {
-	slot := (e.now + delay) % e.horizon
+// scheduleSw enqueues an event on switch sw's calendar at now+delay.
+func (e *engine) scheduleSw(sw int32, delay int64, ev event) {
+	slot := int64(sw)*e.horizon + (e.now+delay)%e.horizon
 	e.events[slot] = append(e.events[slot], ev)
 }
 
-// allocPacket takes a packet from the pool.
+// allocPacket takes a packet from the pool (sequential phases only).
 func (e *engine) allocPacket() int32 {
 	if n := len(e.free); n > 0 {
 		id := e.free[n-1]
@@ -237,7 +310,9 @@ func (e *engine) freePacket(id int32) {
 
 // generate creates one message at server src toward the pattern's
 // destination and enqueues it in the injection queue; it returns false and
-// counts a stall when the queue is full.
+// counts a stall when the queue is full. It runs in the sequential phase:
+// all generation randomness draws from the single generation stream in
+// server order, independent of the worker count.
 func (e *engine) generate(src int32) bool {
 	if e.injQ[src].full() {
 		e.stalledGenPkts++
@@ -258,9 +333,13 @@ func (e *engine) generate(src int32) bool {
 	return true
 }
 
-// processEvents drains the calendar slot for the current cycle.
-func (e *engine) processEvents() {
-	slot := e.now % e.horizon
+// processEventsSwitch drains switch sw's calendar slot for the current
+// cycle. Every event on a switch's calendar targets state that switch owns
+// in this phase (arrivals into its input VCs, transfers into its output
+// buffers, credits of its own input VCs, deliveries at its servers).
+func (e *engine) processEventsSwitch(sw int32) {
+	ss := &e.sw[sw]
+	slot := int64(sw)*e.horizon + e.now%e.horizon
 	evs := e.events[slot]
 	e.events[slot] = evs[:0]
 	for _, ev := range evs {
@@ -273,7 +352,9 @@ func (e *engine) processEvents() {
 			if e.portDead[ev.a] {
 				// The link failed while the packet crossed the switch.
 				e.outVCCount[ev.a*int32(e.V)+int32(ev.vc)]--
-				e.losePacket(ev.pkt)
+				ss.lost++
+				ss.retired++
+				ss.freed = append(ss.freed, ev.pkt)
 				continue
 			}
 			e.outQ[ev.a].push(ev.pkt, ev.vc)
@@ -284,50 +365,53 @@ func (e *engine) processEvents() {
 			e.credits[ev.a]++
 			e.credSum[ev.a/int32(e.V)]++
 		case evDeliver:
-			e.deliver(ev.pkt)
+			e.deliverSw(ss, ev.pkt)
 		}
 	}
 }
 
-// deliver retires a packet at its destination server.
-func (e *engine) deliver(id int32) {
+// deliverSw retires a packet at its destination server, accumulating into
+// the owning switch's counters; the merge step folds them into the run
+// totals in switch order.
+func (e *engine) deliverSw(ss *swState, id int32) {
 	pkt := &e.pool[id]
-	e.inFlight--
-	e.totalDelivered++
-	e.lastProgress = e.now
-	e.lastDeliveryCycle = e.now
+	ss.retired++
+	ss.delivered++
+	ss.progressed = true
+	ss.lastDeliveryCycle = e.now
 	if e.series != nil {
-		e.series.Record(e.now, int64(e.cfg.PacketPhits))
+		ss.seriesPhits += int64(e.cfg.PacketPhits)
 	}
 	if e.now >= e.warmStart && e.now < e.warmEnd {
-		e.deliveredPkts++
-		e.deliveredPhits += int64(e.cfg.PacketPhits)
-		e.latencySum += e.now - pkt.birth
-		e.hopSum += int64(pkt.st.Hops)
+		ss.deliveredPkts++
+		ss.deliveredPhits += int64(e.cfg.PacketPhits)
+		ss.latencySum += e.now - pkt.birth
+		ss.hopSum += int64(pkt.st.Hops)
 		if pkt.st.InEscape {
-			e.escapedPkts++
+			ss.escapedPkts++
 		}
 	}
-	e.freePacket(id)
+	ss.freed = append(ss.freed, id)
 }
 
-// injectionStep launches head packets of server queues onto injection links.
-func (e *engine) injectionStep() {
+// injectSwitch launches head packets of switch sw's server queues onto
+// their injection links.
+func (e *engine) injectSwitch(sw int32, ws *workerScratch) {
+	ss := &e.sw[sw]
 	V := e.V
-	for g := range e.injQ {
+	for s := 0; s < e.K; s++ {
+		g := int(sw)*e.K + s
 		q := &e.injQ[g]
 		if q.len() == 0 || e.injBusy[g] > e.now {
 			continue
 		}
 		id := q.peek()
 		pkt := &e.pool[id]
-		sw := int32(g / e.K)
-		w := g % e.K
-		base := (sw*int32(e.P) + int32(e.R+w)) * int32(V)
-		e.vcBuf = e.mech.InjectVCs(&pkt.st, e.vcBuf[:0])
+		base := (sw*int32(e.P) + int32(e.R+s)) * int32(V)
+		ws.vcBuf = e.mech.InjectVCs(&pkt.st, ws.vcBuf[:0])
 		bestVC := -1
 		var bestCred int16
-		for _, vc := range e.vcBuf {
+		for _, vc := range ws.vcBuf {
 			if c := e.credits[base+int32(vc)]; c > 0 && (bestVC < 0 || c > bestCred) {
 				bestVC, bestCred = vc, c
 			}
@@ -340,8 +424,8 @@ func (e *engine) injectionStep() {
 		e.credits[invc]--
 		e.credSum[invc/int32(V)]--
 		e.injBusy[g] = e.now + int64(e.cfg.PacketPhits)
-		e.schedule(int64(e.cfg.PacketPhits+e.cfg.LinkLatency), event{kind: evArrive, a: invc, pkt: id})
-		e.lastProgress = e.now
+		e.scheduleSw(sw, int64(e.cfg.PacketPhits+e.cfg.LinkLatency), event{kind: evArrive, a: invc, pkt: id})
+		ss.progressed = true
 	}
 }
 
@@ -370,42 +454,99 @@ func (e *engine) penaltyCost(p int32) int64 {
 	return int64(e.cfg.PenaltyWeight * float64(p) / float64(e.cfg.PacketPhits))
 }
 
-// allocationStep gathers one request per eligible head packet and performs
-// the per-output arbitration with crossbar speedup limits.
-func (e *engine) allocationStep() {
+// allocateSwitch is the per-switch half of the allocation step: it gathers
+// one request per eligible head packet of switch sw and arbitrates them with
+// per-output buckets, leaving the winners in sw's granted list for the
+// commit phase. It reads neighbor credit state (stable in this phase) but
+// writes only switch-local state, so switches allocate in parallel.
+//
+// Arbitration walks the output ports in index order; within an output the
+// bucket is served in ascending (cost, tie) order — the per-output-local
+// policy of Section 3, without the former global sort over every request
+// in flight.
+func (e *engine) allocateSwitch(sw int32, ws *workerScratch) {
+	ss := &e.sw[sw]
+	ss.granted = ss.granted[:0]
 	V := e.V
 	speedup := int8(e.cfg.XbarSpeedup)
-	e.reqs = e.reqs[:0]
-	for sw := int32(0); sw < int32(e.S); sw++ {
-		gpBase := sw * int32(e.P)
-		for p := 0; p < e.P; p++ {
-			gport := gpBase + int32(p)
-			if e.inInflight[gport] >= speedup {
+	gpBase := sw * int32(e.P)
+	nreq := 0
+	for p := 0; p < e.P; p++ {
+		gport := gpBase + int32(p)
+		if e.inInflight[gport] >= speedup {
+			continue
+		}
+		vcBase := gport * int32(V)
+		for vc := 0; vc < V; vc++ {
+			invc := vcBase + int32(vc)
+			if e.inQ[invc].len() == 0 || e.inBusyUntil[invc] > e.now {
 				continue
 			}
-			vcBase := gport * int32(V)
-			for vc := 0; vc < V; vc++ {
-				invc := vcBase + int32(vc)
-				if e.inQ[invc].len() == 0 || e.inBusyUntil[invc] > e.now {
-					continue
-				}
-				if req, ok := e.bestRequest(sw, gport, invc, vc); ok {
-					e.reqs = append(e.reqs, req)
-				}
+			if req, ok := e.bestRequest(sw, gport, invc, vc, ss, ws); ok {
+				lp := int(req.outPort - gpBase)
+				ws.bucket[lp] = append(ws.bucket[lp], req)
+				nreq++
 			}
 		}
 	}
-	if len(e.reqs) == 0 {
+	if nreq == 0 {
 		return
 	}
-	sort.Slice(e.reqs, func(i, j int) bool {
-		if e.reqs[i].cost != e.reqs[j].cost {
-			return e.reqs[i].cost < e.reqs[j].cost
+	for i := range ws.inUsed {
+		ws.inUsed[i] = 0
+	}
+	for p := 0; p < e.P; p++ {
+		b := ws.bucket[p]
+		if len(b) == 0 {
+			continue
 		}
-		return e.reqs[i].tie < e.reqs[j].tie
-	})
-	for i := range e.reqs {
-		e.grant(&e.reqs[i])
+		sortRequests(b)
+		gport := gpBase + int32(p)
+		slots := int(speedup) - int(e.outInflight[gport])
+		if free := e.cfg.OutputBufPkts - e.outQ[gport].len() - int(e.outReserved[gport]); free < slots {
+			slots = free
+		}
+		if slots > 0 {
+			for vc := 0; vc < V; vc++ {
+				ws.vcUsed[vc] = 0
+			}
+			granted := 0
+			for i := range b {
+				if granted >= slots {
+					break
+				}
+				rq := &b[i]
+				inLocal := int(rq.inPort - gpBase)
+				if int(e.inInflight[rq.inPort])+int(ws.inUsed[inLocal]) >= int(speedup) {
+					continue
+				}
+				if !rq.eject {
+					if int(e.credits[e.dnInVC[gport]+int32(rq.vc)])-int(ws.vcUsed[rq.vc]) <= 0 {
+						continue
+					}
+					ws.vcUsed[rq.vc]++
+				}
+				ws.inUsed[inLocal]++
+				granted++
+				ss.granted = append(ss.granted, *rq)
+			}
+		}
+		ws.bucket[p] = b[:0]
+	}
+}
+
+// sortRequests orders a bucket by (cost, tie) ascending. Buckets are small
+// (bounded by the switch's input VCs), so insertion sort beats sort.Slice
+// and allocates nothing.
+func sortRequests(b []request) {
+	for i := 1; i < len(b); i++ {
+		r := b[i]
+		j := i - 1
+		for j >= 0 && (b[j].cost > r.cost || (b[j].cost == r.cost && b[j].tie > r.tie)) {
+			b[j+1] = b[j]
+			j--
+		}
+		b[j+1] = r
 	}
 }
 
@@ -414,9 +555,11 @@ func (e *engine) allocationStep() {
 // Flow control is NOT part of the choice — if the cheapest candidate is
 // blocked, the packet waits and retries, rather than deviating onto a more
 // expensive path; the rising Q of the blocked port shifts the choice only
-// under sustained congestion. The request is dropped at grant time if flow
-// control still fails.
-func (e *engine) bestRequest(sw, gport, invc int32, curVC int) (request, bool) {
+// under sustained congestion. The request is dropped at arbitration time if
+// flow control still fails. Tie-break randomness draws from the switch's
+// own stream, so the draw sequence depends only on the switch's local
+// traffic, never on the worker count.
+func (e *engine) bestRequest(sw, gport, invc int32, curVC int, ss *swState, ws *workerScratch) (request, bool) {
 	id := e.inQ[invc].peek()
 	pkt := &e.pool[id]
 	gpBase := sw * int32(e.P)
@@ -424,7 +567,7 @@ func (e *engine) bestRequest(sw, gport, invc int32, curVC int) (request, bool) {
 	found := false
 	consider := func(outPort int32, vc int, penalty int32, eject bool) {
 		cost := e.qCost(outPort, vc, eject) + e.penaltyCost(penalty)
-		tie := uint32(e.r.Uint64())
+		tie := uint32(ss.tie.Uint64())
 		if !found || cost < best.cost || (cost == best.cost && tie < best.tie) {
 			best = request{
 				cost: cost, tie: tie, invc: invc, inPort: gport,
@@ -437,91 +580,83 @@ func (e *engine) bestRequest(sw, gport, invc int32, curVC int) (request, bool) {
 		consider(gpBase+int32(e.R)+int32(pkt.dstLocal), 0, 0, true)
 		return best, found
 	}
-	e.cands = e.mech.Candidates(sw, &pkt.st, curVC, e.cands[:0])
-	for _, c := range e.cands {
+	ws.cands = e.mech.Candidates(sw, &pkt.st, curVC, &ws.rscr, ws.cands[:0])
+	for _, c := range ws.cands {
 		consider(gpBase+int32(c.Port), c.VC, c.Penalty, false)
 	}
 	return best, found
 }
 
-// grant commits a request if the speedup and buffer constraints still hold
-// after earlier grants this cycle.
-func (e *engine) grant(rq *request) {
-	speedup := int8(e.cfg.XbarSpeedup)
-	if e.inInflight[rq.inPort] >= speedup || e.outInflight[rq.outPort] >= speedup {
-		return
-	}
-	if e.outQ[rq.outPort].len()+int(e.outReserved[rq.outPort]) >= e.cfg.OutputBufPkts {
-		return
-	}
-	if e.inQ[rq.invc].len() == 0 || e.inQ[rq.invc].peek() != rq.pkt || e.inBusyUntil[rq.invc] > e.now {
-		return // the head changed or was granted through another path
-	}
+// commitSwitch applies switch sw's arbitration winners: the write half of
+// the allocation step. The only state it touches outside the switch is the
+// credit ledger of its own downstream input buffers, which no other switch
+// reads or writes during this phase.
+func (e *engine) commitSwitch(sw int32) {
+	ss := &e.sw[sw]
 	V := int32(e.V)
-	if !rq.eject {
-		dn := e.dnInVC[rq.outPort] + int32(rq.vc)
-		if e.credits[dn] <= 0 {
-			return
-		}
-		e.credits[dn]--
-		e.credSum[dn/V]--
-	}
-	e.inQ[rq.invc].pop()
 	xfer := e.cfg.xferCycles()
-	e.inBusyUntil[rq.invc] = e.now + xfer
-	e.inInflight[rq.inPort]++
-	e.outInflight[rq.outPort]++
-	e.outReserved[rq.outPort]++
-	e.outVCCount[rq.outPort*V+int32(rq.vc)]++
-	pkt := &e.pool[rq.pkt]
-	if !rq.eject {
-		sw := rq.inPort / int32(e.P)
-		port := int(rq.outPort % int32(e.P))
-		e.mech.Advance(sw, port, int(rq.vc), &pkt.st)
+	for i := range ss.granted {
+		rq := &ss.granted[i]
+		if !rq.eject {
+			dn := e.dnInVC[rq.outPort] + int32(rq.vc)
+			e.credits[dn]--
+			e.credSum[dn/V]--
+		}
+		e.inQ[rq.invc].pop()
+		e.inBusyUntil[rq.invc] = e.now + xfer
+		e.inInflight[rq.inPort]++
+		e.outInflight[rq.outPort]++
+		e.outReserved[rq.outPort]++
+		e.outVCCount[rq.outPort*V+int32(rq.vc)]++
+		if !rq.eject {
+			port := int(rq.outPort % int32(e.P))
+			e.mech.Advance(sw, port, int(rq.vc), &e.pool[rq.pkt].st)
+		}
+		// The packet's tail leaves the input buffer after the transfer: free
+		// the input slot (credit to the upstream sender) and the input port's
+		// crossbar slot then; the packet lands in the output buffer one
+		// crossbar latency later.
+		e.scheduleSw(sw, xfer, event{kind: evCredit, a: rq.invc})
+		ss.inReleases = append(ss.inReleases, inRelease{at: e.now + xfer, port: rq.inPort})
+		e.scheduleSw(sw, xfer+int64(e.cfg.XbarLatency), event{kind: evXferDone, a: rq.outPort, vc: rq.vc, pkt: rq.pkt})
+		ss.progressed = true
 	}
-	// The packet's tail leaves the input buffer after the transfer: free
-	// the input slot (credit to the upstream sender) and the input port's
-	// crossbar slot then; the packet lands in the output buffer one
-	// crossbar latency later.
-	e.schedule(xfer, event{kind: evCredit, a: rq.invc})
-	e.scheduleInRelease(xfer, rq.inPort)
-	e.schedule(xfer+int64(e.cfg.XbarLatency), event{kind: evXferDone, a: rq.outPort, vc: rq.vc, pkt: rq.pkt})
-	e.lastProgress = e.now
 }
 
 // inRelease defers the input-port inflight decrement; encoded as an
 // evCredit-like event on a sentinel VC would be obscure, so it gets its own
-// tiny queue keyed by cycle.
+// tiny per-switch queue keyed by cycle.
 type inRelease struct {
 	at   int64
 	port int32
 }
 
-// scheduleInRelease notes that the input port frees a crossbar slot at
-// now+delay. Releases share the calendar's horizon.
-func (e *engine) scheduleInRelease(delay int64, port int32) {
-	e.inReleases = append(e.inReleases, inRelease{at: e.now + delay, port: port})
-}
-
-// processInReleases applies due input-port releases and compacts the queue.
-func (e *engine) processInReleases() {
-	keep := e.inReleases[:0]
-	for _, rel := range e.inReleases {
+// processInReleasesSwitch applies switch sw's due input-port releases and
+// compacts its queue.
+func (e *engine) processInReleasesSwitch(sw int32) {
+	ss := &e.sw[sw]
+	keep := ss.inReleases[:0]
+	for _, rel := range ss.inReleases {
 		if rel.at <= e.now {
 			e.inInflight[rel.port]--
 		} else {
 			keep = append(keep, rel)
 		}
 	}
-	e.inReleases = keep
+	ss.inReleases = keep
 }
 
-// transmitStep moves output-buffer heads onto links and ejection channels.
-func (e *engine) transmitStep() {
+// transmitSwitch moves switch sw's output-buffer heads onto links and
+// ejection channels. Link arrivals land on a neighbor's calendar, so they
+// stage in the switch's outbox for the deterministic merge.
+func (e *engine) transmitSwitch(sw int32) {
+	ss := &e.sw[sw]
 	serial := int64(e.cfg.PacketPhits)
 	arriveDelay := serial + int64(e.cfg.LinkLatency)
 	V := int32(e.V)
-	for gport := int32(0); gport < int32(len(e.outQ)); gport++ {
+	gpBase := sw * int32(e.P)
+	for p := 0; p < e.P; p++ {
+		gport := gpBase + int32(p)
 		q := &e.outQ[gport]
 		if q.len() == 0 || e.outBusy[gport] > e.now {
 			continue
@@ -529,16 +664,18 @@ func (e *engine) transmitStep() {
 		id, vc := q.pop()
 		e.outBusy[gport] = e.now + serial
 		e.outVCCount[gport*V+int32(vc)]--
-		e.lastProgress = e.now
-		p := int(gport % int32(e.P))
+		ss.progressed = true
 		if p >= e.R {
 			// Ejection: the server consumes the packet after serialization.
-			e.schedule(arriveDelay, event{kind: evDeliver, pkt: id})
+			e.scheduleSw(sw, arriveDelay, event{kind: evDeliver, pkt: id})
 			continue
 		}
 		if e.now >= e.warmStart && e.now < e.warmEnd {
-			e.linkBusyCycles += serial
+			ss.linkBusyCycles += serial
 		}
-		e.schedule(arriveDelay, event{kind: evArrive, a: e.dnInVC[gport] + int32(vc), pkt: id})
+		ss.outbox = append(ss.outbox, timedEvent{
+			at: e.now + arriveDelay,
+			ev: event{kind: evArrive, a: e.dnInVC[gport] + int32(vc), pkt: id},
+		})
 	}
 }

@@ -46,6 +46,15 @@ type RunOptions struct {
 	FaultSchedule []FaultEvent
 	// Seed drives all randomness of the run.
 	Seed uint64
+	// Workers sets the intra-run parallelism: the switch array is domain-
+	// decomposed and each cycle's phases run switch-parallel on this many
+	// workers (capped at the switch count). 0 or 1 runs the phases in
+	// place on the calling goroutine. Results are bit-identical for every
+	// value — all randomness is bound to switches and servers, never to
+	// workers — so this is purely a wall-clock knob; it pays off on large
+	// single runs (paper-scale 8x8x8) and costs a little synchronization
+	// overhead on tiny networks.
+	Workers int
 	// Config carries the Table 2 microarchitecture; zero means
 	// DefaultConfig.
 	Config Config
@@ -113,6 +122,9 @@ func Run(o RunOptions) (*Result, error) {
 	if o.WarmupCycles < 0 {
 		return nil, fmt.Errorf("sim: WarmupCycles must be >= 0, got %d", o.WarmupCycles)
 	}
+	if o.Workers < 0 {
+		return nil, fmt.Errorf("sim: Workers must be >= 0, got %d", o.Workers)
+	}
 
 	e, err := newEngine(o)
 	if err != nil {
@@ -133,23 +145,22 @@ func Run(o RunOptions) (*Result, error) {
 // runOpenLoop is the standard warmup+measurement experiment with Bernoulli
 // generation at the offered load.
 func (e *engine) runOpenLoop(o RunOptions) (*Result, error) {
+	defer e.startPool()()
 	genProb := o.Load / float64(e.cfg.PacketPhits)
 	end := e.warmEnd
 	nServers := int32(e.S * e.K)
-	for e.now = 0; e.now < end; e.now++ {
-		if err := e.applyDueFaults(); err != nil {
-			return nil, err
-		}
-		e.processEvents()
-		e.processInReleases()
+	gen := func() {
 		for g := int32(0); g < nServers; g++ {
 			if e.r.Float64() < genProb {
 				e.generate(g)
 			}
 		}
-		e.injectionStep()
-		e.allocationStep()
-		e.transmitStep()
+	}
+	for e.now = 0; e.now < end; e.now++ {
+		if err := e.applyDueFaults(); err != nil {
+			return nil, err
+		}
+		e.stepCycle(gen)
 		if e.cfg.CheckInvariants && e.now%64 == 0 {
 			e.verifyInvariants()
 		}
@@ -179,6 +190,7 @@ func (e *engine) runBurst(o RunOptions) (*Result, error) {
 			}
 		}
 	}
+	defer e.startPool()()
 	total := int64(o.BurstPackets) * int64(nServers)
 	for e.now = 0; e.totalDelivered+e.lostPkts < total; e.now++ {
 		if e.now > maxCycles {
@@ -188,11 +200,7 @@ func (e *engine) runBurst(o RunOptions) (*Result, error) {
 		if err := e.applyDueFaults(); err != nil {
 			return nil, err
 		}
-		e.processEvents()
-		e.processInReleases()
-		e.injectionStep()
-		e.allocationStep()
-		e.transmitStep()
+		e.stepCycle(nil)
 		if e.cfg.CheckInvariants && e.now%64 == 0 {
 			e.verifyInvariants()
 		}
@@ -224,8 +232,10 @@ func (e *engine) checkWatchdog() error {
 	return nil
 }
 
-// result assembles the metrics.
+// result assembles the metrics, folding the per-switch window counters
+// into the engine totals first.
 func (e *engine) result(o RunOptions) *Result {
+	e.foldWindowCounters()
 	res := &Result{
 		OfferedLoad:        o.Load,
 		StalledGenerations: e.stalledGenPkts,

@@ -1,0 +1,206 @@
+package sim
+
+// This file holds the sharded execution machinery of the cycle engine. A
+// cycle runs as three switch-parallel phases separated by cheap sequential
+// merge steps:
+//
+//	1. events    — drain each switch's calendar slot, apply input releases
+//	   mergeRetire (sequential): fold retired packets, freed ids, series
+//	2. generate  (sequential): Bernoulli/burst traffic from the single
+//	   generation RNG stream, in server order
+//	   inject + allocate — launch injection queues, gather requests and run
+//	   the per-output bucketed arbitration (reads shared state, writes only
+//	   switch-local staging)
+//	3. commit + transmit — apply arbitration winners, serialize output
+//	   heads onto links; cross-switch arrivals stage in per-switch outboxes
+//	   mergeTransmit (sequential): route outboxes onto target calendars in
+//	   switch order, fold progress flags
+//
+// Ownership argument (why the phases are race-free):
+//
+//   - Input-side state (inQ, inBusyUntil, inInflight) is read and written
+//     only by its own switch in every phase.
+//   - Output-side state (outQ, outReserved, outVCCount, outBusy,
+//     outInflight) likewise.
+//   - The credit ledger credits[invc]/credSum[port] of a link input buffer
+//     is the property of the UPSTREAM switch for writes-in-a-phase: the
+//     downstream switch increments it only while draining its own calendar
+//     (phase 1, via evCredit it scheduled for itself at commit time), the
+//     upstream switch decrements it only while committing grants (phase 3),
+//     and allocation (phase 2) only reads it. No two switches touch the
+//     same ledger entry in the same phase.
+//   - The packet pool only grows in the sequential generate step; a live
+//     packet is referenced by exactly one switch at a time, and retired ids
+//     return to the free list through per-switch freed staging merged
+//     sequentially.
+//   - Calendars are per-switch; the only cross-switch event (a link
+//     arrival) travels through the source switch's outbox and is appended
+//     by the sequential merge in switch order.
+//
+// Because every per-switch computation depends only on switch-owned state
+// and the merges walk switches in index order, the run is bit-identical for
+// any worker count — the regression tests in sharded_test.go lock this in
+// for every mechanism.
+
+// workerPool runs phase closures on a fixed set of persistent goroutines.
+// Worker 0 is the caller itself, so workers == 1 costs nothing.
+type workerPool struct {
+	task []chan func()
+	done chan struct{}
+}
+
+func newWorkerPool(extra int) *workerPool {
+	p := &workerPool{
+		task: make([]chan func(), extra),
+		done: make(chan struct{}, extra),
+	}
+	for i := range p.task {
+		ch := make(chan func(), 1)
+		p.task[i] = ch
+		go func() {
+			for fn := range ch {
+				fn()
+				p.done <- struct{}{}
+			}
+		}()
+	}
+	return p
+}
+
+// run executes fn(w) for every worker id (0 inline, the rest on the pool)
+// and returns when all complete.
+func (p *workerPool) run(fn func(w int)) {
+	for i := range p.task {
+		w := i + 1
+		p.task[i] <- func() { fn(w) }
+	}
+	fn(0)
+	for range p.task {
+		<-p.done
+	}
+}
+
+func (p *workerPool) close() {
+	for _, ch := range p.task {
+		close(ch)
+	}
+}
+
+// startPool brings up the worker pool when the run asked for intra-run
+// parallelism; the returned stop function tears it down.
+func (e *engine) startPool() func() {
+	if e.workers <= 1 {
+		return func() {}
+	}
+	e.wp = newWorkerPool(e.workers - 1)
+	return e.wp.close
+}
+
+// forEachSwitch applies fn to every switch, in index order when sequential
+// and chunked over the worker pool otherwise. fn must confine itself to
+// state owned by the switch in the current phase plus the caller's scratch.
+func (e *engine) forEachSwitch(fn func(sw int32, ws *workerScratch)) {
+	if e.wp == nil {
+		ws := &e.ws[0]
+		for sw := 0; sw < e.S; sw++ {
+			fn(int32(sw), ws)
+		}
+		return
+	}
+	e.wp.run(func(w int) {
+		lo := e.S * w / e.workers
+		hi := e.S * (w + 1) / e.workers
+		ws := &e.ws[w]
+		for sw := lo; sw < hi; sw++ {
+			fn(int32(sw), ws)
+		}
+	})
+}
+
+// mergeRetire folds the per-switch retirement staging of this cycle into
+// the run totals: in-flight accounting, the packet free list, the optional
+// throughput series and the progress stamp. Walking switches in index order
+// keeps the free list (and so packet-id reuse) independent of scheduling.
+func (e *engine) mergeRetire() {
+	for i := range e.sw {
+		ss := &e.sw[i]
+		if ss.retired != 0 {
+			e.inFlight -= ss.retired
+			e.totalDelivered += ss.delivered
+			e.lostPkts += ss.lost
+			ss.retired, ss.delivered, ss.lost = 0, 0, 0
+		}
+		if len(ss.freed) > 0 {
+			e.free = append(e.free, ss.freed...)
+			ss.freed = ss.freed[:0]
+		}
+		if ss.seriesPhits > 0 {
+			e.series.Record(e.now, ss.seriesPhits)
+			ss.seriesPhits = 0
+		}
+		if ss.progressed {
+			e.lastProgress = e.now
+			ss.progressed = false
+		}
+	}
+}
+
+// mergeTransmit routes every switch's outbox onto the target calendars, in
+// switch order, and folds the progress stamps of the inject/allocate/
+// commit/transmit phases.
+func (e *engine) mergeTransmit() {
+	PV := int32(e.P * e.V)
+	for i := range e.sw {
+		ss := &e.sw[i]
+		for _, te := range ss.outbox {
+			tgt := te.ev.a / PV
+			slot := int64(tgt)*e.horizon + te.at%e.horizon
+			e.events[slot] = append(e.events[slot], te.ev)
+		}
+		ss.outbox = ss.outbox[:0]
+		if ss.progressed {
+			e.lastProgress = e.now
+			ss.progressed = false
+		}
+	}
+}
+
+// stepCycle advances the engine by one cycle. generate runs between the
+// event drain and the switch phases (nil in burst mode, where all traffic
+// preloads).
+func (e *engine) stepCycle(generate func()) {
+	e.forEachSwitch(func(sw int32, _ *workerScratch) {
+		e.processEventsSwitch(sw)
+		e.processInReleasesSwitch(sw)
+	})
+	e.mergeRetire()
+	if generate != nil {
+		generate()
+	}
+	e.forEachSwitch(func(sw int32, ws *workerScratch) {
+		e.injectSwitch(sw, ws)
+		e.allocateSwitch(sw, ws)
+	})
+	e.forEachSwitch(func(sw int32, _ *workerScratch) {
+		e.commitSwitch(sw)
+		e.transmitSwitch(sw)
+	})
+	e.mergeTransmit()
+}
+
+// foldWindowCounters folds the cumulative per-switch measurement counters
+// into the engine totals; result() calls it exactly once per run.
+func (e *engine) foldWindowCounters() {
+	for i := range e.sw {
+		ss := &e.sw[i]
+		e.deliveredPkts += ss.deliveredPkts
+		e.deliveredPhits += ss.deliveredPhits
+		e.latencySum += ss.latencySum
+		e.hopSum += ss.hopSum
+		e.escapedPkts += ss.escapedPkts
+		e.linkBusyCycles += ss.linkBusyCycles
+		if ss.lastDeliveryCycle > e.lastDeliveryCycle {
+			e.lastDeliveryCycle = ss.lastDeliveryCycle
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/routing"
+	"repro/internal/topo"
+	"repro/internal/traffic"
+)
+
+// shardMech builds one of the mechanisms covered by the determinism
+// regression, including the ladder baselines that are not part of the
+// paper's Table 4 (DOR, DAL).
+func shardMech(t *testing.T, name string, nw *topo.Network) routing.Mechanism {
+	t.Helper()
+	switch name {
+	case "DOR":
+		alg, err := routing.NewDOR(nw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mech, err := routing.NewLadder(alg, 4, 1, "DOR")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mech
+	case "DAL":
+		alg, err := routing.NewDAL(nw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mech, err := routing.NewLadder(alg, 6, 1, "DAL")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mech
+	default:
+		return buildMech(t, name, nw)
+	}
+}
+
+// shardWorkerCounts are the worker counts every sharded regression runs at:
+// the sequential reference, a mid division of the switch array and one
+// worker per pair of switches on the 4x4 test network.
+var shardWorkerCounts = []int{1, 4, 8}
+
+// runAtWorkers executes the same options at every worker count and asserts
+// the Results are bit-identical to the sequential run, including the
+// optional throughput series.
+func runAtWorkers(t *testing.T, name string, opts RunOptions) {
+	t.Helper()
+	var ref *Result
+	for _, w := range shardWorkerCounts {
+		o := opts
+		o.Workers = w
+		res, err := Run(o)
+		if err != nil {
+			t.Fatalf("%s workers=%d: %v", name, w, err)
+		}
+		if ref == nil {
+			ref = res
+			continue
+		}
+		if !reflect.DeepEqual(ref, res) {
+			t.Errorf("%s workers=%d diverged from sequential:\n  seq: %+v\n  par: %+v", name, w, ref, res)
+		}
+	}
+}
+
+// TestShardedBitIdenticalAllMechanisms is the core regression of the
+// sharded engine: for every mechanism, any worker count produces exactly
+// the sequential Result — latencies, throughput, hop counts, Jain index,
+// escape fractions, everything.
+func TestShardedBitIdenticalAllMechanisms(t *testing.T) {
+	h := topo.MustHyperX(4, 4)
+	nw := topo.NewNetwork(h, nil)
+	pat := uniformOn(t, h, 4)
+	for _, name := range []string{"Minimal", "Valiant", "OmniWAR", "Polarized", "DOR", "DAL", "OmniSP", "PolSP"} {
+		t.Run(name, func(t *testing.T) {
+			runAtWorkers(t, name, RunOptions{
+				Net: nw, ServersPerSwitch: 4, Mechanism: shardMech(t, name, nw),
+				Pattern: pat, Load: 0.7, WarmupCycles: 500, MeasureCycles: 1500, Seed: 42,
+			})
+		})
+	}
+}
+
+// TestShardedBitIdenticalBurstSeries covers the burst/completion-time mode
+// with a throughput series, whose bucketed accumulation crosses the merge
+// step.
+func TestShardedBitIdenticalBurstSeries(t *testing.T) {
+	h := topo.MustHyperX(4, 4)
+	nw := topo.NewNetwork(h, nil)
+	sv := traffic.Servers{H: h, Per: 4}
+	pat, err := traffic.NewRandomServerPermutation(sv.Count(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mech, err := core.New(nw, core.PolarizedRoutes, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runAtWorkers(t, "PolSP-burst", RunOptions{
+		Net: nw, ServersPerSwitch: 4, Mechanism: mech,
+		Pattern: pat, BurstPackets: 12, SeriesBucket: 400, Seed: 17,
+	})
+}
+
+// TestShardedBitIdenticalMidRunFaults covers the mid-run fault path: link
+// drains, lost-packet accounting and BFS table rebuilds all interleave with
+// the sharded phases.
+func TestShardedBitIdenticalMidRunFaults(t *testing.T) {
+	h := topo.MustHyperX(4, 4)
+	pat := uniformOn(t, h, 4)
+	seq := topo.RandomFaultSequence(h, 7)
+	var ref *Result
+	for _, w := range shardWorkerCounts {
+		// Each run mutates its network's fault set, so every worker count
+		// gets a fresh network and mechanism.
+		runNW := topo.NewNetwork(h, topo.NewFaultSet())
+		mech, err := core.New(runNW, core.OmniRoutes, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := RunOptions{
+			Net: runNW, ServersPerSwitch: 4, Mechanism: mech, Pattern: pat,
+			Load: 0.6, WarmupCycles: 0, MeasureCycles: 3000, Seed: 23, Workers: w,
+			FaultSchedule: []FaultEvent{
+				{Cycle: 500, Edge: seq[0]},
+				{Cycle: 1200, Edge: seq[1]},
+			},
+		}
+		res, err := Run(o)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if ref == nil {
+			ref = res
+			continue
+		}
+		if !reflect.DeepEqual(ref, res) {
+			t.Errorf("workers=%d diverged under mid-run faults:\n  seq: %+v\n  par: %+v", w, ref, res)
+		}
+	}
+}
+
+// TestShardedInvariantsHold runs the parallel path with the internal
+// accounting audits enabled: credits, buffer occupancy and packet
+// conservation must hold cycle by cycle under sharded execution too.
+func TestShardedInvariantsHold(t *testing.T) {
+	h := topo.MustHyperX(4, 4)
+	nw := topo.NewNetwork(h, nil)
+	pat := uniformOn(t, h, 4)
+	cfg := DefaultConfig()
+	cfg.CheckInvariants = true
+	mech := buildMech(t, "PolSP", nw)
+	if _, err := Run(RunOptions{
+		Net: nw, ServersPerSwitch: 4, Mechanism: mech, Pattern: pat,
+		Load: 0.9, WarmupCycles: 500, MeasureCycles: 1500, Seed: 3,
+		Workers: 4, Config: cfg,
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNegativeWorkersRejected locks in option validation.
+func TestNegativeWorkersRejected(t *testing.T) {
+	h := topo.MustHyperX(3, 3)
+	nw := topo.NewNetwork(h, nil)
+	pat := uniformOn(t, h, 3)
+	_, err := Run(RunOptions{
+		Net: nw, ServersPerSwitch: 3, Mechanism: buildMech(t, "Minimal", nw),
+		Pattern: pat, Load: 0.5, WarmupCycles: 10, MeasureCycles: 10, Seed: 1,
+		Workers: -1,
+	})
+	if err == nil {
+		t.Fatal("negative Workers accepted")
+	}
+}
