@@ -17,6 +17,18 @@
 // Default runs use scaled-down networks (8x8 and 4x4x4) that finish in
 // minutes on a laptop; -full switches to the paper's 16x16 / 8x8x8 with
 // long windows (hours).
+//
+// Incremental and distributed execution:
+//
+//	experiments -exp all -cache-dir ~/.hxcache   # recompute only changed points
+//	experiments -serve :7031 -exp fig5 -full     # hand jobs to remote workers
+//	experiments -worker host:7031                # join a serve run from any machine
+//
+// With -cache-dir every simulation point is keyed by a content hash of its
+// job spec (plus the engine version); re-running an unchanged grid is 100%
+// cache hits and byte-identical output. With -serve the drivers run here
+// but every point executes on connected -worker processes and results
+// merge in enumeration order, bit-identical to a local run.
 package main
 
 import (
@@ -27,8 +39,10 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/cliutil"
 	"repro/internal/experiments"
+	"repro/internal/queue"
 	"repro/internal/topo"
 )
 
@@ -51,6 +65,16 @@ type progressPrinter struct {
 	lastAt  time.Time
 }
 
+// cacheSuffix renders the result cache's running hit/miss tally for the
+// progress line; empty when no cache is installed.
+func cacheSuffix() string {
+	if experiments.ResultCache() == nil {
+		return ""
+	}
+	hits, misses := experiments.CacheStats()
+	return fmt.Sprintf(" [cache %d hits, %d misses]", hits, misses)
+}
+
 func (p *progressPrinter) report(done, total int) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -71,7 +95,8 @@ func (p *progressPrinter) report(done, total int) {
 	p.lastAt = now
 	elapsed := now.Sub(p.start)
 	if done == total {
-		fmt.Fprintf(os.Stderr, "progress: %d/%d (grid done in %s)\n", done, total, elapsed.Round(time.Millisecond))
+		fmt.Fprintf(os.Stderr, "progress: %d/%d (grid done in %s)%s\n",
+			done, total, elapsed.Round(time.Millisecond), cacheSuffix())
 		return
 	}
 	line := fmt.Sprintf("progress: %d/%d", done, total)
@@ -79,7 +104,7 @@ func (p *progressPrinter) report(done, total int) {
 		eta := time.Duration(float64(elapsed) / float64(done) * float64(total-done))
 		line += fmt.Sprintf(" (ETA %02d:%02d)", int(eta.Minutes()), int(eta.Seconds())%60)
 	}
-	fmt.Fprintln(os.Stderr, line)
+	fmt.Fprintln(os.Stderr, line+cacheSuffix())
 }
 
 func main() {
@@ -88,8 +113,11 @@ func main() {
 	full := flag.Bool("full", false, "use the paper's full-size networks and long windows")
 	seed := flag.Uint64("seed", 1, "random seed")
 	workersFlag := flag.Int("workers", 0, "parallel simulation workers (0 = one per CPU); results are identical for any value")
-	runWorkersFlag := flag.Int("run-workers", 1, "intra-run workers per simulation point (0 = one per CPU); results are identical for any value. Multiplies with -workers: raise it (and drop -workers to 1) for huge single points like -full fig5")
+	runWorkersFlag := flag.Int("run-workers", -1, "intra-run workers per simulation point (-1 = adaptive from switch count and CPUs left by the grid pool, 0 = one per CPU); results are identical for any value. Explicit values multiply with -workers")
 	progressFlag := flag.Bool("progress", true, "report done/total (ETA) progress lines on stderr")
+	cacheDir := flag.String("cache-dir", "", "content-addressed result cache directory; re-runs recompute only changed points")
+	serveAddr := flag.String("serve", "", "serve mode: listen on this address and execute every simulation point on connected -worker processes")
+	workerAddr := flag.String("worker", "", "worker mode: connect to a -serve address and run jobs for it (-workers sets the slot count; -exp is ignored)")
 	flag.Parse()
 
 	workers, err := cliutil.ResolveWorkers(*workersFlag)
@@ -97,12 +125,50 @@ func main() {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 		os.Exit(2)
 	}
-	runWorkers, err := cliutil.ResolveWorkers(*runWorkersFlag)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
-		os.Exit(2)
+	if *runWorkersFlag < 0 {
+		experiments.SetAdaptiveRunWorkers()
+	} else {
+		runWorkers, err := cliutil.ResolveWorkers(*runWorkersFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(2)
+		}
+		experiments.SetDefaultRunWorkers(experiments.DefaultWorkers(runWorkers))
 	}
-	experiments.SetDefaultRunWorkers(experiments.DefaultWorkers(runWorkers))
+	var store *cache.Store
+	if *cacheDir != "" {
+		store, err = cache.Open(*cacheDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(2)
+		}
+		experiments.SetResultCache(store)
+	}
+
+	if *workerAddr != "" {
+		slots := experiments.DefaultWorkers(workers)
+		experiments.SetGridWorkers(slots)
+		fmt.Fprintf(os.Stderr, "worker: %d slots, connecting to %s\n", slots, *workerAddr)
+		if err := queue.Work(*workerAddr, slots); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: worker: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "worker: server finished, exiting")
+		reportCache(store)
+		return
+	}
+	if *serveAddr != "" {
+		srv, err := queue.Serve(*serveAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(2)
+		}
+		defer srv.Close()
+		experiments.SetExecutor(srv.Execute)
+		fmt.Fprintf(os.Stderr, "serve: dispatching jobs on %s (start workers with -worker %s)\n",
+			srv.Addr(), srv.Addr())
+	}
+	defer reportCache(store)
 	if *progressFlag {
 		p := &progressPrinter{}
 		experiments.SetProgress(p.report)
@@ -270,6 +336,16 @@ func main() {
 			fmt.Sprintf("Extension: live link failures with BFS table rebuild on %s", h3), results))
 		return nil
 	})
+}
+
+// reportCache prints the final hit/miss tally on stderr; the CI
+// cache-determinism job greps it to assert a fully warmed second run.
+func reportCache(store *cache.Store) {
+	if store == nil {
+		return
+	}
+	hits, misses := store.Stats()
+	fmt.Fprintf(os.Stderr, "cache: %d hits, %d misses\n", hits, misses)
 }
 
 // centerSwitch picks the middle of the network as the escape root, the

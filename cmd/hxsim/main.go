@@ -6,6 +6,7 @@
 //	hxsim -dims 8x8 -mech PolSP -pattern Uniform -load 0.7
 //	hxsim -dims 8x8x8 -mech OmniSP -pattern RPN -load 1.0 -faults 50
 //	hxsim -dims 4x4x4 -mech PolSP -pattern RPN -burst 100 -shape cross
+//	hxsim -dims 8x8 -mech PolSP -loads 0.1,0.5,1.0 -cache-dir ~/.hxcache
 package main
 
 import (
@@ -34,16 +35,25 @@ func main() {
 		seedFlag       = flag.Uint64("seed", 1, "random seed")
 		serversFlag    = flag.Int("servers", 0, "servers per switch (0 = side k)")
 		workersFlag    = flag.Int("workers", 0, "parallel workers for -loads sweeps (0 = one per CPU); results are identical for any value")
-		runWorkersFlag = flag.Int("run-workers", 1, "intra-run workers per simulation (0 = one per CPU); results are identical for any value. Raise it for one huge point (e.g. -dims 8x8x8), keep it at 1 for -loads sweeps that already fill the CPUs")
+		runWorkersFlag = flag.Int("run-workers", -1, "intra-run workers per simulation (-1 = adaptive, 0 = one per CPU); results are identical for any value")
+		cacheDirFlag   = flag.String("cache-dir", "", "content-addressed result cache directory; repeated runs of the same point hit the cache")
 	)
 	flag.Parse()
 
 	workers, err := cliutil.ResolveWorkers(*workersFlag)
 	check(err)
-	runWorkers, err := cliutil.ResolveWorkers(*runWorkersFlag)
-	check(err)
-	if runWorkers == 0 {
-		runWorkers = hyperx.DefaultWorkers(0)
+	if *runWorkersFlag < 0 {
+		hyperx.SetAdaptiveRunWorkers()
+	} else {
+		runWorkers, err := cliutil.ResolveWorkers(*runWorkersFlag)
+		check(err)
+		hyperx.SetRunWorkers(hyperx.DefaultWorkers(runWorkers))
+	}
+	var store *hyperx.ResultCache
+	if *cacheDirFlag != "" {
+		store, err = hyperx.OpenResultCache(*cacheDirFlag)
+		check(err)
+		hyperx.SetResultCache(store)
 	}
 
 	dims, err := cliutil.ParseDims(*dimsFlag)
@@ -95,37 +105,33 @@ func main() {
 	if *burstFlag > 0 {
 		loads = loads[:1] // burst mode ignores load: one completion-time run
 	}
-	// Each load point is an independent job: its own network, mechanism and
-	// pattern, so the sweep parallelizes and the printed rows are identical
-	// for any -workers value.
-	results, err := hyperx.RunJobs(workers, len(loads), func(i int) (*hyperx.Result, error) {
-		jobNet := hyperx.NewNetwork(h, faults.Clone())
-		jobMech, err := hyperx.NewMechanism(*mechFlag, jobNet, vcs, int32(*rootFlag))
-		if err != nil {
-			return nil, err
-		}
-		jobPat, err := hyperx.NewPattern(*patFlag, h, per, *seedFlag)
-		if err != nil {
-			return nil, err
-		}
-		opts := hyperx.RunOptions{
-			Net:              jobNet,
-			ServersPerSwitch: per,
-			Mechanism:        jobMech,
-			Pattern:          jobPat,
-			Load:             loads[i],
-			WarmupCycles:     *warmFlag,
-			MeasureCycles:    *measFlag,
-			Seed:             *seedFlag,
-			Workers:          runWorkers,
+	// Each load point is an independent job spec: rebuilt privately per
+	// run, so the sweep parallelizes (identical rows for any -workers
+	// value) and points are content-addressable for -cache-dir.
+	shape, err := hyperx.TopologySpecOf(h)
+	check(err)
+	specs := make([]hyperx.JobSpec, len(loads))
+	for i, load := range loads {
+		specs[i] = hyperx.JobSpec{
+			Topo: shape, Mechanism: *mechFlag, Pattern: *patFlag,
+			VCs: vcs, Root: int32(*rootFlag), Per: per,
+			Load:        load,
+			Budget:      hyperx.Budget{Warmup: *warmFlag, Measure: *measFlag},
+			Faults:      faults.Edges(),
+			Seed:        *seedFlag,
+			PatternSeed: *seedFlag,
 		}
 		if *burstFlag > 0 {
-			opts.BurstPackets = *burstFlag
-			opts.SeriesBucket = 2000
+			specs[i].BurstPackets = *burstFlag
+			specs[i].SeriesBucket = 2000
 		}
-		return hyperx.Run(opts)
-	})
+	}
+	results, err := hyperx.RunSpecs(workers, specs)
 	check(err)
+	if store != nil {
+		hits, misses := store.Stats()
+		fmt.Fprintf(os.Stderr, "cache: %d hits, %d misses\n", hits, misses)
+	}
 	for i, load := range loads {
 		res := results[i]
 		if *burstFlag > 0 {

@@ -23,6 +23,7 @@
 package hyperx
 
 import (
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/escape"
 	"repro/internal/experiments"
@@ -204,6 +205,50 @@ func RunJobs[T any](workers, n int, job func(index int) (T, error)) ([]T, error)
 // it per grid point keeps parallel sweeps bit-identical for any worker
 // count.
 func JobSeed(seed uint64, index int) uint64 { return experiments.JobSeed(seed, index) }
+
+// JobSpec is one experiment point as pure data: canonically hashable for
+// result caching and serializable for distributed execution. Build specs
+// directly (the zero value plus the fields you need) and run them with
+// RunSpecs.
+type JobSpec = experiments.JobSpec
+
+// TopologySpec is the serializable shape of a switched topology.
+type TopologySpec = topo.Spec
+
+// TopologySpecOf describes a topology as a TopologySpec; Build round-trips.
+func TopologySpecOf(t Switched) (TopologySpec, error) { return topo.SpecOf(t) }
+
+// RunSpecs executes a grid of job specs on a bounded worker pool (workers
+// < 1 means one per CPU), through the installed result cache and executor,
+// and returns results in spec order — bit-identical for any worker count.
+func RunSpecs(workers int, specs []JobSpec) ([]*Result, error) {
+	return experiments.ExecuteJobs(workers, specs)
+}
+
+// ResultCache is a content-addressed on-disk store of simulation results.
+type ResultCache = cache.Store
+
+// OpenResultCache opens (creating if needed) a result cache directory.
+func OpenResultCache(dir string) (*ResultCache, error) { return cache.Open(dir) }
+
+// SetResultCache installs a result cache consulted by every RunSpecs job;
+// nil uninstalls. Caching never changes results: keys cover every semantic
+// spec field plus the engine version.
+func SetResultCache(c *ResultCache) { experiments.SetResultCache(c) }
+
+// CacheStats reports the installed cache's cumulative hit/miss counts.
+func CacheStats() (hits, misses int64) { return experiments.CacheStats() }
+
+// SetRunWorkers fixes the intra-run worker count of every spec simulation.
+func SetRunWorkers(n int) { experiments.SetDefaultRunWorkers(n) }
+
+// SetAdaptiveRunWorkers derives each spec simulation's intra-run worker
+// count from its switch count and the CPUs the grid pool leaves free.
+func SetAdaptiveRunWorkers() { experiments.SetAdaptiveRunWorkers() }
+
+// EngineVersion tags the simulation semantics of this build; it is folded
+// into every result-cache key and checked by the distribution handshake.
+const EngineVersion = sim.EngineVersion
 
 // DefaultWorkers resolves a worker-count setting: any value below 1 selects
 // one worker per available CPU.

@@ -1,0 +1,123 @@
+// Package cache is a content-addressed result store for experiment jobs.
+// Keys are stable hashes of a job's canonical spec encoding plus the
+// engine version (experiments.JobSpec.Hash); values are sim.Result in the
+// stable binary codec. Entries are written atomically (temp file + rename)
+// and sharded by key prefix, so a store can be shared by concurrent grid
+// workers and even by concurrent processes pointing at the same directory.
+// Because the key already encodes every semantic input and the engine
+// version, entries never go stale: a changed spec or engine simply misses.
+package cache
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+
+	"repro/internal/sim"
+)
+
+// Store is a directory of cached results. The zero value is not usable;
+// call Open.
+type Store struct {
+	dir    string
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// Open creates (if needed) and opens a cache directory.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("cache: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cache: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// path shards entries by the first two key characters to keep directory
+// listings manageable on paper-scale grids (tens of thousands of entries).
+func (s *Store) path(key string) (string, error) {
+	if len(key) < 3 {
+		return "", fmt.Errorf("cache: key %q too short", key)
+	}
+	return filepath.Join(s.dir, key[:2], key[2:]+".res"), nil
+}
+
+// Get returns the cached result for key, or ok == false on a miss. A
+// corrupt or unreadable entry counts as a miss (and is left for Put to
+// overwrite) rather than failing the run. Hit/miss tallies feed Stats.
+func (s *Store) Get(key string) (res *sim.Result, ok bool, err error) {
+	p, err := s.path(key)
+	if err != nil {
+		return nil, false, err
+	}
+	data, err := os.ReadFile(p)
+	if err != nil {
+		s.misses.Add(1)
+		if os.IsNotExist(err) {
+			return nil, false, nil
+		}
+		return nil, false, nil // unreadable entry: recompute
+	}
+	res, err = sim.DecodeResult(data)
+	if err != nil {
+		s.misses.Add(1)
+		return nil, false, nil // corrupt or old-codec entry: recompute
+	}
+	s.hits.Add(1)
+	return res, true, nil
+}
+
+// Put stores a result under key, atomically: concurrent writers of the
+// same key (which by construction hold bit-identical encodings) race
+// harmlessly on the final rename.
+func (s *Store) Put(key string, res *sim.Result) error {
+	p, err := s.path(key)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(p), ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(res.AppendBinary(nil)); err != nil {
+		tmp.Close()
+		return fmt.Errorf("cache: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), p); err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	return nil
+}
+
+// Stats returns the cumulative hit and miss counts of this store handle.
+func (s *Store) Stats() (hits, misses int64) {
+	return s.hits.Load(), s.misses.Load()
+}
+
+// Len walks the store and returns the number of entries on disk.
+func (s *Store) Len() (int, error) {
+	n := 0
+	err := filepath.WalkDir(s.dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && filepath.Ext(path) == ".res" {
+			n++
+		}
+		return nil
+	})
+	return n, err
+}

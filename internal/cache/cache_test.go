@@ -1,0 +1,111 @@
+package cache
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+func testKey(seed byte) string {
+	return strings.Repeat(string([]byte{'a' + seed%16}), 64)
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := &sim.Result{
+		AcceptedLoad: 0.5, AvgLatency: 12.5, DeliveredPackets: 100,
+		Series: []metrics.SeriesPoint{{Cycle: 100, Accepted: 0.5}},
+	}
+	key := testKey(0)
+	if _, ok, err := s.Get(key); err != nil || ok {
+		t.Fatalf("empty store returned a hit (ok=%v err=%v)", ok, err)
+	}
+	if err := s.Put(key, res); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.Get(key)
+	if err != nil || !ok {
+		t.Fatalf("stored entry missed (ok=%v err=%v)", ok, err)
+	}
+	if !reflect.DeepEqual(got, res) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, res)
+	}
+	hits, misses := s.Stats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("stats %d/%d, want 1 hit 1 miss", hits, misses)
+	}
+	if n, err := s.Len(); err != nil || n != 1 {
+		t.Errorf("Len = %d (err %v), want 1", n, err)
+	}
+}
+
+// TestStoreCorruptEntry: a damaged file must degrade to a miss, not an
+// error, and Put must repair it.
+func TestStoreCorruptEntry(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey(1)
+	res := &sim.Result{AcceptedLoad: 0.25}
+	if err := s.Put(key, res); err != nil {
+		t.Fatal(err)
+	}
+	p, err := s.path(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(p, []byte{99, 1, 2, 3}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := s.Get(key); err != nil || ok {
+		t.Fatalf("corrupt entry returned a hit (ok=%v err=%v)", ok, err)
+	}
+	if err := s.Put(key, res); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok, _ := s.Get(key); !ok || got.AcceptedLoad != 0.25 {
+		t.Error("Put did not repair the corrupt entry")
+	}
+}
+
+func TestStoreSharding(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := "abcd" + strings.Repeat("0", 60)
+	if err := s.Put(key, &sim.Result{}); err != nil {
+		t.Fatal(err)
+	}
+	want := filepath.Join(dir, "ab", key[2:]+".res")
+	if _, err := os.Stat(want); err != nil {
+		t.Errorf("entry not sharded at %s: %v", want, err)
+	}
+}
+
+func TestStoreErrors(t *testing.T) {
+	if _, err := Open(""); err == nil {
+		t.Error("empty dir accepted")
+	}
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Get("ab"); err == nil {
+		t.Error("short key accepted")
+	}
+	if err := s.Put("ab", &sim.Result{}); err == nil {
+		t.Error("short key accepted by Put")
+	}
+}

@@ -95,14 +95,15 @@ func Fig6(cfg Fig6Config) ([]Fig6Row, error) {
 			break
 		}
 	}
-	var jobs []Job
+	shape := HyperXSpec(cfg.H)
+	var jobs []JobSpec
 	rows := make([]Fig6Row, 0, usable*len(cfg.Patterns)*len(SurePathNames()))
 	for ci := 0; ci < usable; ci++ {
 		for _, patName := range cfg.Patterns {
 			for _, mechName := range SurePathNames() {
-				jobs = append(jobs, Job{
+				jobs = append(jobs, JobSpec{
 					Label:     fmt.Sprintf("%s/%s with %d faults", mechName, patName, counts[ci]),
-					H:         cfg.H,
+					Topo:      shape,
 					Mechanism: mechName, Pattern: patName,
 					VCs: cfg.VCs, Root: cfg.Root, Per: per,
 					Load: 1.0, Budget: cfg.Budget,
@@ -207,7 +208,7 @@ func Shapes(cfg ShapesConfig) ([]ShapeRow, error) {
 	// One job per (pattern, mechanism, healthy-reference + shape): the
 	// healthy run is a job like any other and its result feeds every shape
 	// row of its (pattern, mechanism) group.
-	var jobs []Job
+	var jobs []JobSpec
 	type rowRef struct {
 		row     ShapeRow
 		job     int // job carrying the shape result
@@ -216,8 +217,8 @@ func Shapes(cfg ShapesConfig) ([]ShapeRow, error) {
 	var refs []rowRef
 	for _, patName := range cfg.Patterns {
 		for _, mechName := range SurePathNames() {
-			base := Job{
-				H: cfg.H, Mechanism: mechName, Pattern: patName,
+			base := JobSpec{
+				Topo: HyperXSpec(cfg.H), Mechanism: mechName, Pattern: patName,
 				VCs: cfg.VCs, Root: cfg.Root, Per: per,
 				Load: 1.0, Budget: cfg.Budget, PatternSeed: cfg.Seed,
 			}

@@ -7,7 +7,6 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/topo"
-	"repro/internal/traffic"
 )
 
 // Fig10Result is one completion-time curve of Figure 10: the throughput
@@ -53,52 +52,45 @@ func Fig10(cfg Fig10Config) ([]Fig10Result, error) {
 		cfg.VCs = 4
 	}
 	per := cfg.H.Dims()[0]
-	sv := traffic.Servers{H: cfg.H, Per: per}
 	edges, err := topo.PaperShape(cfg.H, cfg.Root, topo.ShapeCross) // Star in 3D
 	if err != nil {
 		return nil, err
 	}
-	cfgSim := sim.DefaultConfig()
-	burstPkts := cfg.BurstPhits / cfgSim.PacketPhits
+	burstPkts := cfg.BurstPhits / sim.DefaultConfig().PacketPhits
 	mechs := SurePathNames()
-	return RunJobs(cfg.Workers, len(mechs), func(i int) (Fig10Result, error) {
-		mechName := mechs[i]
-		// Private network, pattern and mechanism per job.
-		pat, err := BuildPattern("Regular Permutation to Neighbour", sv, cfg.Seed)
-		if err != nil {
-			return Fig10Result{}, err
+	jobs := make([]JobSpec, len(mechs))
+	for i, mechName := range mechs {
+		jobs[i] = JobSpec{
+			Label: fmt.Sprintf("%s burst", mechName),
+			Topo:  HyperXSpec(cfg.H), Mechanism: mechName,
+			Pattern: "Regular Permutation to Neighbour",
+			VCs:     cfg.VCs, Root: cfg.Root, Per: per,
+			BurstPackets: burstPkts, SeriesBucket: cfg.SeriesBucket,
+			Faults:      edges,
+			Seed:        JobSeed(cfg.Seed, i),
+			PatternSeed: cfg.Seed,
 		}
-		nw := topo.NewNetwork(cfg.H, topo.NewFaultSet(edges...))
-		mech, err := BuildMechanism(mechName, nw, cfg.VCs, cfg.Root)
-		if err != nil {
-			return Fig10Result{}, err
-		}
-		res, err := sim.Run(sim.RunOptions{
-			Net:              nw,
-			ServersPerSwitch: per,
-			Mechanism:        mech,
-			Pattern:          pat,
-			BurstPackets:     burstPkts,
-			SeriesBucket:     cfg.SeriesBucket,
-			Seed:             JobSeed(cfg.Seed, i),
-			Config:           cfgSim,
-		})
-		if err != nil {
-			return Fig10Result{}, fmt.Errorf("%s burst: %w", mechName, err)
-		}
+	}
+	raw, err := ExecuteJobs(cfg.Workers, jobs)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]Fig10Result, len(mechs))
+	for i, res := range raw {
 		peak := 0.0
 		for _, p := range res.Series {
 			if p.Accepted > peak {
 				peak = p.Accepted
 			}
 		}
-		return Fig10Result{
-			Mechanism:      mechName,
+		results[i] = Fig10Result{
+			Mechanism:      mechs[i],
 			CompletionTime: res.CompletionTime,
 			PeakAccepted:   peak,
 			Series:         res.Series,
-		}, nil
-	})
+		}
+	}
+	return results, nil
 }
 
 // RenderFig10 formats the completion-time curves.

@@ -7,7 +7,6 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/topo"
-	"repro/internal/traffic"
 )
 
 // RecoveryResult reports the live-failure experiment: an extension beyond
@@ -58,7 +57,6 @@ func Recovery(cfg RecoveryConfig) ([]RecoveryResult, error) {
 		cfg.VCs = 4
 	}
 	per := cfg.H.Dims()[0]
-	sv := traffic.Servers{H: cfg.H, Per: per}
 	seq := topo.RandomFaultSequence(cfg.H, cfg.Seed)
 	if cfg.Faults > len(seq) {
 		return nil, fmt.Errorf("experiments: %d faults exceed %d links", cfg.Faults, len(seq))
@@ -77,41 +75,33 @@ func Recovery(cfg RecoveryConfig) ([]RecoveryResult, error) {
 		bucket = 1
 	}
 	mechs := SurePathNames()
-	return RunJobs(cfg.Workers, len(mechs), func(i int) (RecoveryResult, error) {
-		mechName := mechs[i]
-		// Fresh network, pattern and schedule copy per job: the engine
-		// mutates the fault set as events fire.
-		pat, err := BuildPattern("Uniform", sv, cfg.Seed)
-		if err != nil {
-			return RecoveryResult{}, err
+	jobs := make([]JobSpec, len(mechs))
+	for i, mechName := range mechs {
+		jobs[i] = JobSpec{
+			Label: fmt.Sprintf("%s recovery", mechName),
+			Topo:  HyperXSpec(cfg.H), Mechanism: mechName, Pattern: "Uniform",
+			VCs: cfg.VCs, Root: cfg.Root, Per: per,
+			Load:          cfg.Load,
+			Budget:        Budget{Warmup: 0, Measure: cfg.Cycles},
+			SeriesBucket:  bucket,
+			FaultSchedule: schedule,
+			Seed:          JobSeed(cfg.Seed, i),
+			PatternSeed:   cfg.Seed,
 		}
-		nw := topo.NewNetwork(cfg.H, nil)
-		mech, err := BuildMechanism(mechName, nw, cfg.VCs, cfg.Root)
-		if err != nil {
-			return RecoveryResult{}, err
-		}
-		res, err := sim.Run(sim.RunOptions{
-			Net:              nw,
-			ServersPerSwitch: per,
-			Mechanism:        mech,
-			Pattern:          pat,
-			Load:             cfg.Load,
-			WarmupCycles:     0,
-			MeasureCycles:    cfg.Cycles,
-			SeriesBucket:     bucket,
-			Seed:             JobSeed(cfg.Seed, i),
-			FaultSchedule:    schedule,
-		})
-		if err != nil {
-			return RecoveryResult{}, fmt.Errorf("%s recovery: %w", mechName, err)
-		}
+	}
+	raw, err := ExecuteJobs(cfg.Workers, jobs)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]RecoveryResult, len(mechs))
+	for i, res := range raw {
 		rr := RecoveryResult{
-			Mechanism:   mechName,
+			Mechanism:   mechs[i],
 			FaultCycles: faultCycles,
 			Accepted:    res.AcceptedLoad,
 			LostPackets: res.LostPackets,
 			Series:      res.Series,
-			FinalFaults: nw.Faults.Len(),
+			FinalFaults: int(res.FaultsApplied),
 		}
 		var pre, post []float64
 		for _, p := range res.Series {
@@ -124,8 +114,9 @@ func Recovery(cfg RecoveryConfig) ([]RecoveryResult, error) {
 		}
 		rr.PreFaultAvg = metrics.Mean(pre)
 		rr.PostFaultAvg = metrics.Mean(post)
-		return rr, nil
-	})
+		results[i] = rr
+	}
+	return results, nil
 }
 
 // RenderRecovery formats the live-failure timelines.

@@ -1,23 +1,25 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/cache"
 	"repro/internal/rng"
 	"repro/internal/sim"
-	"repro/internal/topo"
-	"repro/internal/traffic"
 )
 
 // This file is the parallel experiment runner every Fig*/Table*/sweep driver
-// executes on. An experiment grid is enumerated into a flat list of jobs, the
-// jobs run on a bounded worker pool, and results are reassembled in
-// enumeration order. Determinism is by construction: each job derives its
-// seed from (base seed, job index) alone and builds its own network, pattern
-// and mechanism, so rows are bit-identical for any worker count.
+// executes on. An experiment grid is enumerated into a flat list of JobSpecs,
+// the specs run on a bounded worker pool (locally, through the result cache,
+// or on a distributed executor), and results are reassembled in enumeration
+// order. Determinism is by construction: each spec carries its own seed
+// derived from (base seed, job index) alone and rebuilds its own network,
+// pattern and mechanism, so rows are bit-identical for any worker count and
+// for any execution backend.
 
 // DefaultWorkers resolves a worker-count setting: any value below 1 selects
 // one worker per available CPU.
@@ -37,8 +39,7 @@ var progressHook atomic.Pointer[func(done, total int)]
 // enumerating goroutine, before any job runs) and then once per executed
 // job — successful or failed — with the running completion count and the
 // grid's total. The runner knows both, so callers can derive an ETA
-// without instrumenting any driver. When a job fails the grid aborts
-// early, so the count may never reach total. The per-job calls arrive
+// without instrumenting any driver. The per-job calls arrive
 // concurrently from worker goroutines, and may arrive out of order; fn
 // must tolerate both. nil uninstalls the observer. Progress reporting
 // never affects results — jobs stay bit-identical for any worker count.
@@ -60,8 +61,9 @@ func JobSeed(seed uint64, index int) uint64 {
 
 // RunJobs executes n independent jobs on a worker pool of the given size
 // (DefaultWorkers resolves values below 1) and returns their results in job
-// order. On failure it returns the error of the lowest-indexed failed job;
-// jobs not yet started when a failure is observed are skipped.
+// order. Every job runs even when earlier ones fail; on failure the joined
+// error (errors.Join, in job order) surfaces every broken point of the grid
+// in one run instead of only the first.
 func RunJobs[T any](workers, n int, job func(index int) (T, error)) ([]T, error) {
 	results := make([]T, n)
 	if n == 0 {
@@ -72,7 +74,6 @@ func RunJobs[T any](workers, n int, job func(index int) (T, error)) ([]T, error)
 		workers = n
 	}
 	errs := make([]error, n)
-	var failed atomic.Bool
 	var done atomic.Int64
 	progress := progressHook.Load()
 	note := func() {
@@ -90,17 +91,7 @@ func RunJobs[T any](workers, n int, job func(index int) (T, error)) ([]T, error)
 		go func() {
 			defer wg.Done()
 			for i := range indices {
-				if failed.Load() {
-					continue
-				}
-				res, err := job(i)
-				if err != nil {
-					errs[i] = err
-					failed.Store(true)
-					note()
-					continue
-				}
-				results[i] = res
+				results[i], errs[i] = job(i)
 				note()
 			}
 		}()
@@ -110,67 +101,106 @@ func RunJobs[T any](workers, n int, job func(index int) (T, error)) ([]T, error)
 	}
 	close(indices)
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
 	}
 	return results, nil
 }
 
-// Job is one fully specified point of an experiment grid: topology,
-// mechanism, VC budget, escape root, traffic pattern, offered load, fault
-// set and derived seed — everything needed to run the point independently of
-// every other point.
-type Job struct {
-	// Label names the job in error messages; empty derives one from the
-	// mechanism, pattern and load.
-	Label     string
-	H         *topo.HyperX
-	Mechanism string
-	Pattern   string
-	VCs       int
-	Root      int32
-	Per       int // servers per switch
-	Load      float64
-	Budget    Budget
-	// Faults is the job's fault-set snapshot; nil means fault-free. The
-	// slice is read-only and may be shared between jobs.
-	Faults []topo.Edge
-	// Seed is the job's derived simulation seed (JobSeed of the grid's base
-	// seed and the job index).
-	Seed uint64
-	// PatternSeed builds the traffic pattern. It is shared across the grid
-	// so that every mechanism and load faces the same pattern instance, as
-	// in the paper's methodology.
-	PatternSeed uint64
-}
+// resultCache, when set, short-circuits RunSpec by content address; see
+// SetResultCache.
+var resultCache atomic.Pointer[cache.Store]
 
-func (j *Job) label() string {
-	if j.Label != "" {
-		return j.Label
+// SetResultCache installs a process-wide content-addressed result store:
+// every RunSpec call first looks its spec's hash up in the store and only
+// simulates on a miss, writing the result back for the next run. nil
+// uninstalls. Because the hash covers every semantic field of the spec
+// plus sim.EngineVersion, caching never changes results — a second run of
+// an identical grid is 100% hits and byte-identical rows.
+func SetResultCache(s *cache.Store) { resultCache.Store(s) }
+
+// ResultCache returns the installed result store, or nil.
+func ResultCache() *cache.Store { return resultCache.Load() }
+
+// CacheStats reports the cumulative hit/miss counts of the installed
+// store; zeros when no store is installed.
+func CacheStats() (hits, misses int64) {
+	if s := resultCache.Load(); s != nil {
+		return s.Stats()
 	}
-	return fmt.Sprintf("%s/%s at load %.2f", j.Mechanism, j.Pattern, j.Load)
+	return 0, 0
 }
 
-// Run executes the job on a private network, pattern and mechanism, which is
-// what makes jobs safe to run concurrently.
-func (j *Job) Run() (*sim.Result, error) {
-	nw := topo.NewNetwork(j.H, topo.NewFaultSet(j.Faults...))
-	pat, err := BuildPattern(j.Pattern, traffic.Servers{H: j.H, Per: j.Per}, j.PatternSeed)
+// Executor runs one job spec to a result. The default executor is
+// (*JobSpec).Run (local, in-process); a work-queue server installs its
+// dispatching executor instead, which ships the spec to a remote worker
+// and blocks until the result returns.
+type Executor func(spec *JobSpec) (*sim.Result, error)
+
+var executorHook atomic.Pointer[Executor]
+
+// SetExecutor installs a process-wide execution backend for RunSpec; nil
+// restores local execution. The backend must be result-transparent:
+// executing a spec anywhere yields the bytes (*JobSpec).Run yields here,
+// which holds whenever the remote end runs the same sim.EngineVersion.
+func SetExecutor(e Executor) {
+	if e == nil {
+		executorHook.Store(nil)
+		return
+	}
+	executorHook.Store(&e)
+}
+
+// RunSpec executes one spec through the full backend stack: result cache
+// first (when installed), then the configured executor (local by default).
+// Cache misses are written back best-effort — a failing write never fails
+// the run.
+func RunSpec(spec *JobSpec) (*sim.Result, error) {
+	run := (*JobSpec).Run
+	if e := executorHook.Load(); e != nil {
+		run = func(s *JobSpec) (*sim.Result, error) { return (*e)(s) }
+	}
+	return runSpecCached(spec, run)
+}
+
+// RunSpecLocal is RunSpec pinned to in-process execution: cache lookup,
+// then (*JobSpec).Run, never the installed executor. Work-queue workers
+// use it so a worker that is itself part of a serving process can never
+// bounce a job back into the queue.
+func RunSpecLocal(spec *JobSpec) (*sim.Result, error) {
+	return runSpecCached(spec, (*JobSpec).Run)
+}
+
+func runSpecCached(spec *JobSpec, run func(*JobSpec) (*sim.Result, error)) (*sim.Result, error) {
+	store := resultCache.Load()
+	var key string
+	if store != nil {
+		key = spec.Hash()
+		if res, ok, err := store.Get(key); err == nil && ok {
+			return res, nil
+		}
+	}
+	res, err := run(spec)
 	if err != nil {
-		return nil, fmt.Errorf("pattern %q: %w", j.Pattern, err)
+		return nil, err
 	}
-	return runOne(nw, j.Mechanism, j.VCs, j.Root, pat, j.Per, j.Load, j.Budget, j.Seed)
+	if store != nil {
+		_ = store.Put(key, res)
+	}
+	return res, nil
 }
 
-// ExecuteJobs runs an enumerated grid on the worker pool and returns one
-// result per job, in job order.
-func ExecuteJobs(workers int, jobs []Job) ([]*sim.Result, error) {
-	return RunJobs(workers, len(jobs), func(i int) (*sim.Result, error) {
-		res, err := jobs[i].Run()
+// ExecuteJobs runs an enumerated grid of specs on the worker pool and
+// returns one result per spec, in enumeration order — bit-identical for
+// any worker count and any backend. It records the resolved pool size so
+// adaptive intra-run parallelism (RunWorkersFor) can see how many CPUs the
+// grid itself occupies.
+func ExecuteJobs(workers int, specs []JobSpec) ([]*sim.Result, error) {
+	noteGridWorkers(DefaultWorkers(workers), len(specs))
+	return RunJobs(workers, len(specs), func(i int) (*sim.Result, error) {
+		res, err := RunSpec(&specs[i])
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", jobs[i].label(), err)
+			return nil, fmt.Errorf("%s: %w", specs[i].label(), err)
 		}
 		return res, nil
 	})

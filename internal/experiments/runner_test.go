@@ -2,7 +2,10 @@ package experiments
 
 import (
 	"errors"
+	"fmt"
 	"reflect"
+	"runtime"
+	"strings"
 	"sync/atomic"
 	"testing"
 )
@@ -49,6 +52,37 @@ func TestRunJobsErrorPropagation(t *testing.T) {
 	}
 }
 
+// TestRunJobsCollectsAllErrors: a failing grid reports every broken point
+// (joined in job order), not just the lowest-indexed one, and still runs
+// every job.
+func TestRunJobsCollectsAllErrors(t *testing.T) {
+	var ran atomic.Int32
+	_, err := RunJobs(3, 9, func(i int) (int, error) {
+		ran.Add(1)
+		if i%3 == 0 {
+			return 0, fmt.Errorf("job %d broke", i)
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("no error")
+	}
+	if ran.Load() != 9 {
+		t.Errorf("only %d jobs ran; failures must not abort the grid", ran.Load())
+	}
+	for _, want := range []string{"job 0 broke", "job 3 broke", "job 6 broke"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("joined error missing %q: %v", want, err)
+		}
+	}
+	// Errors surface in job order regardless of scheduling.
+	text := err.Error()
+	if strings.Index(text, "job 0") > strings.Index(text, "job 3") ||
+		strings.Index(text, "job 3") > strings.Index(text, "job 6") {
+		t.Errorf("errors out of job order: %v", err)
+	}
+}
+
 func TestJobSeedIndependentStable(t *testing.T) {
 	if JobSeed(1, 0) == JobSeed(1, 1) {
 		t.Error("adjacent job seeds collide")
@@ -58,6 +92,41 @@ func TestJobSeedIndependentStable(t *testing.T) {
 	}
 	if JobSeed(1, 3) == JobSeed(2, 3) {
 		t.Error("base seed ignored")
+	}
+}
+
+// TestRunWorkersFor covers the intra-run worker policy: fixed counts pass
+// through; the adaptive policy splits CPUs across the grid pool, caps at
+// the switch count, and stays sequential on small networks or saturated
+// pools.
+func TestRunWorkersFor(t *testing.T) {
+	defer SetDefaultRunWorkers(0) // restore the package default
+	SetDefaultRunWorkers(3)
+	if got := RunWorkersFor(1 << 20); got != 3 {
+		t.Errorf("fixed policy returned %d, want 3", got)
+	}
+	SetAdaptiveRunWorkers()
+	cpus := runtime.GOMAXPROCS(0)
+	SetGridWorkers(1)
+	want := cpus
+	if want > 512 {
+		want = 512
+	}
+	if want <= 1 {
+		want = 0
+	}
+	if got := RunWorkersFor(512); got != want {
+		t.Errorf("adaptive single-job grid: %d workers for 512 switches on %d CPUs, want %d", got, cpus, want)
+	}
+	if got := RunWorkersFor(16); got != 0 {
+		t.Errorf("adaptive policy sharded a tiny network: %d", got)
+	}
+	SetGridWorkers(cpus)
+	if got := RunWorkersFor(512); got != 0 {
+		t.Errorf("adaptive policy oversubscribed a saturated pool: %d", got)
+	}
+	if got := RunWorkersFor(1 << 20); got > cpus {
+		t.Errorf("adaptive policy exceeds CPU count: %d", got)
 	}
 }
 

@@ -4,11 +4,8 @@ import (
 	"fmt"
 	"strings"
 
-	"repro/internal/core"
 	"repro/internal/escape"
-	"repro/internal/sim"
 	"repro/internal/topo"
-	"repro/internal/traffic"
 )
 
 // Section7Row quantifies the paper's Section 7 discussion for one
@@ -38,10 +35,11 @@ var section7Loads = []float64{0.1, 0.2, 0.3, 0.5, 0.7, 1.0}
 // Section7 measures the escape-quality comparison across HyperX, Torus and
 // Dragonfly networks of comparable size: the paper's closing claim is that
 // the mechanism ports anywhere, but only HyperX gives the escape
-// subnetwork (near-)minimal routes. The grid flattens to topologies x
-// (stretch/escape-only + the PolSP load sweep) — one runner job per
-// simulation point, not per topology — so all cores stay busy (workers 0
-// means one per CPU); rows are independent of the worker count.
+// subnetwork (near-)minimal routes. The stretch metrics are pure graph
+// work on the generic runner; every simulation point (escape-only and the
+// PolSP load sweep) is one JobSpec on the spec executor, so the points
+// cache and distribute like every other figure. Rows are independent of
+// the worker count.
 func Section7(seed uint64, budget Budget, workers int) ([]Section7Row, error) {
 	if budget == (Budget{}) {
 		budget = DefaultBudget()
@@ -54,53 +52,14 @@ func Section7(seed uint64, budget Budget, workers int) ([]Section7Row, error) {
 		{topo.MustTorus(8, 8), 4},     // diameter 8: up/down detours visible
 		{topo.MustDragonfly(6, 2), 4}, // 13 groups of 6 = 78 switches
 	}
-	// Job load < 0 selects the stretch + escape-only job of the topology;
-	// every other job is one PolSP load point.
-	type jobSpec struct {
-		ci   int
-		load float64
-	}
-	type jobOut struct {
-		row   Section7Row // stretch job only
-		polsp float64     // PolSP job only
-	}
-	jobs := make([]jobSpec, 0, len(cases)*(1+len(section7Loads)))
-	for ci := range cases {
-		jobs = append(jobs, jobSpec{ci: ci, load: -1})
-		for _, load := range section7Loads {
-			jobs = append(jobs, jobSpec{ci: ci, load: load})
-		}
-	}
-	outs, err := RunJobs(workers, len(jobs), func(ji int) (jobOut, error) {
-		j := jobs[ji]
-		c := cases[j.ci]
+	// Stretch metrics: all-pairs escape-route length vs graph distance.
+	rows, err := RunJobs(workers, len(cases), func(ci int) (Section7Row, error) {
+		c := cases[ci]
 		nw := topo.NewNetwork(c.t, nil)
 		n := c.t.Switches()
-		pat, err := traffic.NewUniform(n * c.per)
-		if err != nil {
-			return jobOut{}, err
-		}
-		if j.load >= 0 {
-			// One PolSP point: full SurePath with Polarized routes
-			// (table-driven, topology agnostic).
-			sp, err := core.New(nw, core.PolarizedRoutes, 4)
-			if err != nil {
-				return jobOut{}, err
-			}
-			res, err := sim.Run(sim.RunOptions{
-				Net: nw, ServersPerSwitch: c.per, Mechanism: sp, Pattern: pat,
-				Load: j.load, WarmupCycles: budget.Warmup, MeasureCycles: budget.Measure,
-				Seed: seed, Workers: RunWorkers(),
-			})
-			if err != nil {
-				return jobOut{}, fmt.Errorf("%s PolSP at %.1f: %w", c.t, j.load, err)
-			}
-			return jobOut{polsp: res.AcceptedLoad}, nil
-		}
-		// Stretch metrics plus escape-only throughput.
 		sub, err := escape.Build(nw, 0)
 		if err != nil {
-			return jobOut{}, fmt.Errorf("%s: %w", c.t, err)
+			return Section7Row{}, fmt.Errorf("%s: %w", c.t, err)
 		}
 		g := nw.Graph()
 		dist := g.Distances()
@@ -124,40 +83,56 @@ func Section7(seed uint64, budget Budget, workers int) ([]Section7Row, error) {
 				pairs++
 			}
 		}
-		row := Section7Row{
+		return Section7Row{
 			Topology:        c.t.String(),
 			Switches:        n,
 			AvgStretch:      sum / float64(pairs),
 			MaxStretch:      maxR,
 			MinimalFraction: float64(minimal) / float64(pairs),
-		}
-		escOnly, err := core.NewEscapeOnly(nw, 0, escape.RulePhased, 1)
-		if err != nil {
-			return jobOut{}, err
-		}
-		res, err := sim.Run(sim.RunOptions{
-			Net: nw, ServersPerSwitch: c.per, Mechanism: escOnly, Pattern: pat,
-			Load: 1.0, WarmupCycles: budget.Warmup, MeasureCycles: budget.Measure,
-			Seed: seed, Workers: RunWorkers(),
-		})
-		if err != nil {
-			return jobOut{}, fmt.Errorf("%s escape-only: %w", c.t, err)
-		}
-		row.EscOnlyAccepted = res.AcceptedLoad
-		return jobOut{row: row}, nil
+		}, nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	rows := make([]Section7Row, len(cases))
-	for ji, out := range outs {
-		j := jobs[ji]
-		if j.load < 0 {
-			peak := rows[j.ci].PolSPAccepted
-			rows[j.ci] = out.row
-			rows[j.ci].PolSPAccepted = peak
-		} else if out.polsp > rows[j.ci].PolSPAccepted {
-			rows[j.ci].PolSPAccepted = out.polsp
+	// Simulation points: one spec per (topology, escape-only | PolSP load).
+	type ref struct {
+		ci      int
+		escOnly bool
+	}
+	var jobs []JobSpec
+	var refs []ref
+	for ci, c := range cases {
+		shape, err := topo.SpecOf(c.t)
+		if err != nil {
+			return nil, err
+		}
+		jobs = append(jobs, JobSpec{
+			Label: fmt.Sprintf("%s escape-only", c.t),
+			Topo:  shape, Mechanism: "EscapeOnly", Pattern: "Uniform",
+			VCs: 1, Per: c.per, Load: 1.0, Budget: budget,
+			Seed: seed, PatternSeed: seed,
+		})
+		refs = append(refs, ref{ci: ci, escOnly: true})
+		for _, load := range section7Loads {
+			jobs = append(jobs, JobSpec{
+				Label: fmt.Sprintf("%s PolSP at %.1f", c.t, load),
+				Topo:  shape, Mechanism: "PolSP", Pattern: "Uniform",
+				VCs: 4, Per: c.per, Load: load, Budget: budget,
+				Seed: seed, PatternSeed: seed,
+			})
+			refs = append(refs, ref{ci: ci})
+		}
+	}
+	outs, err := ExecuteJobs(workers, jobs)
+	if err != nil {
+		return nil, err
+	}
+	for ji, res := range outs {
+		r := refs[ji]
+		if r.escOnly {
+			rows[r.ci].EscOnlyAccepted = res.AcceptedLoad
+		} else if res.AcceptedLoad > rows[r.ci].PolSPAccepted {
+			rows[r.ci].PolSPAccepted = res.AcceptedLoad
 		}
 	}
 	return rows, nil

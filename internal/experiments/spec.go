@@ -1,0 +1,228 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/traffic"
+)
+
+// JobSpec is one fully specified point of an experiment grid as pure data:
+// topology shape, mechanism and pattern names, VC budget, escape root,
+// offered load or burst size, simulation windows, fault set, fault
+// schedule and seeds. Unlike a live network pointer, a spec can be
+// canonically hashed (result caching), serialized (work-queue
+// distribution) and rebuilt anywhere: Run constructs a private network,
+// pattern and mechanism from the spec alone, so equal specs produce
+// bit-identical results in any process running the same sim.EngineVersion.
+type JobSpec struct {
+	// Label names the job in error messages; empty derives one from the
+	// mechanism, pattern and load. It is presentation only and excluded
+	// from the canonical encoding and hash.
+	Label string `json:"label,omitempty"`
+	// Topo is the serializable topology shape.
+	Topo topo.Spec `json:"topo"`
+	// Per is the number of servers per switch.
+	Per       int    `json:"per"`
+	Mechanism string `json:"mechanism"`
+	Pattern   string `json:"pattern"`
+	VCs       int    `json:"vcs"`
+	// Root pins the escape subnetwork root (SurePath mechanisms).
+	Root int32 `json:"root"`
+	// Load is the offered load; ignored in burst mode.
+	Load   float64 `json:"load,omitempty"`
+	Budget Budget  `json:"budget"`
+	// BurstPackets, when positive, selects completion-time mode.
+	BurstPackets int   `json:"burstPackets,omitempty"`
+	SeriesBucket int64 `json:"seriesBucket,omitempty"`
+	MaxCycles    int64 `json:"maxCycles,omitempty"`
+	// Faults is the static fault set; nil means fault-free. The slice is
+	// read-only and may be shared between specs. Edge order is not
+	// semantic: the canonical encoding sorts a normalized copy.
+	Faults []topo.Edge `json:"faults,omitempty"`
+	// FaultSchedule injects link failures mid-run. The engine applies
+	// events in stable cycle order, which is also how they are
+	// canonicalized.
+	FaultSchedule []sim.FaultEvent `json:"faultSchedule,omitempty"`
+	// Seed is the simulation seed (typically JobSeed of the grid's base
+	// seed and the job index).
+	Seed uint64 `json:"seed"`
+	// PatternSeed builds the traffic pattern; grids share it so every
+	// mechanism and load faces the same pattern instance.
+	PatternSeed uint64 `json:"patternSeed"`
+}
+
+func (s *JobSpec) label() string {
+	if s.Label != "" {
+		return s.Label
+	}
+	return fmt.Sprintf("%s/%s at load %.2f", s.Mechanism, s.Pattern, s.Load)
+}
+
+// AppendCanonical appends the canonical encoding of the spec to b: a fixed
+// field order, exact float bit patterns, normalized sorted fault edges and
+// a stable fault-schedule order. Two specs append equal bytes exactly when
+// they describe the same simulation; the Label is excluded. The encoding
+// also folds in the Table 2 default configuration, so changing the
+// microarchitectural defaults invalidates cached results even without an
+// EngineVersion bump.
+func (s *JobSpec) AppendCanonical(b []byte) []byte {
+	w := func(format string, args ...any) {
+		b = fmt.Appendf(b, format, args...)
+	}
+	w("topo=%s\n", s.Topo)
+	w("per=%d\n", s.Per)
+	w("mech=%s\n", s.Mechanism)
+	w("pattern=%s\n", s.Pattern)
+	w("vcs=%d\n", s.VCs)
+	w("root=%d\n", s.Root)
+	w("load=%016x\n", math.Float64bits(s.Load))
+	w("warmup=%d\n", s.Budget.Warmup)
+	w("measure=%d\n", s.Budget.Measure)
+	w("burst=%d\n", s.BurstPackets)
+	w("seriesbucket=%d\n", s.SeriesBucket)
+	w("maxcycles=%d\n", s.MaxCycles)
+	w("seed=%d\n", s.Seed)
+	w("patternseed=%d\n", s.PatternSeed)
+	b = append(b, "faults="...)
+	for _, e := range canonicalEdges(s.Faults) {
+		w("%d-%d,", e.U, e.V)
+	}
+	b = append(b, "\nschedule="...)
+	for _, ev := range canonicalSchedule(s.FaultSchedule) {
+		e := topo.NewEdge(ev.Edge.U, ev.Edge.V)
+		w("%d:%d-%d,", ev.Cycle, e.U, e.V)
+	}
+	b = append(b, '\n')
+	w("config=%+v\n", sim.DefaultConfig())
+	return b
+}
+
+// canonicalEdges returns the edges normalized (U <= V) and in the shared
+// topo.SortEdges order; the input is left untouched.
+func canonicalEdges(edges []topo.Edge) []topo.Edge {
+	if len(edges) == 0 {
+		return nil
+	}
+	out := make([]topo.Edge, len(edges))
+	for i, e := range edges {
+		out[i] = topo.NewEdge(e.U, e.V)
+	}
+	return topo.SortEdges(out)
+}
+
+// canonicalSchedule stable-sorts a copy of the schedule by cycle, matching
+// the engine's application order (same-cycle events keep their relative
+// order, which is semantic for error reporting but not for results).
+func canonicalSchedule(events []sim.FaultEvent) []sim.FaultEvent {
+	if len(events) == 0 {
+		return nil
+	}
+	out := append([]sim.FaultEvent(nil), events...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Cycle < out[j].Cycle })
+	return out
+}
+
+// Hash returns the content address of the spec: the hex SHA-256 of its
+// canonical encoding plus the engine version tag. Equal hashes mean "the
+// same simulation on the same engine semantics", which is the result
+// cache's key and the distribution protocol's integrity check.
+func (s *JobSpec) Hash() string {
+	b := s.AppendCanonical(nil)
+	b = append(b, "engine="...)
+	b = append(b, sim.EngineVersion...)
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// EncodeJSON serializes the spec for the wire (work-queue protocol). The
+// JSON form is for transport only: hashing always goes through the
+// canonical encoding after decoding, so formatting differences never
+// change a job's identity.
+func (s *JobSpec) EncodeJSON() ([]byte, error) {
+	return json.Marshal(s)
+}
+
+// DecodeSpecJSON deserializes a spec encoded by EncodeJSON.
+func DecodeSpecJSON(data []byte) (*JobSpec, error) {
+	s := &JobSpec{}
+	if err := json.Unmarshal(data, s); err != nil {
+		return nil, fmt.Errorf("experiments: bad job spec: %w", err)
+	}
+	return s, nil
+}
+
+// Validate checks the spec's topology and names without running anything.
+func (s *JobSpec) Validate() error {
+	t, err := s.Topo.Build()
+	if err != nil {
+		return err
+	}
+	if s.Per < 1 {
+		return fmt.Errorf("experiments: spec needs >= 1 servers per switch, got %d", s.Per)
+	}
+	if _, err := s.buildPattern(t); err != nil {
+		return err
+	}
+	return nil
+}
+
+// buildPattern constructs the spec's traffic pattern on a built topology.
+// HyperX accepts every pattern; other topologies only carry Uniform (the
+// coordinate patterns are HyperX-specific), matching the Section 7 study.
+func (s *JobSpec) buildPattern(t topo.Switched) (traffic.Pattern, error) {
+	if hx, ok := t.(*topo.HyperX); ok {
+		return BuildPattern(s.Pattern, traffic.Servers{H: hx, Per: s.Per}, s.PatternSeed)
+	}
+	if s.Pattern == "Uniform" {
+		return traffic.NewUniform(t.Switches() * s.Per)
+	}
+	return nil, fmt.Errorf("experiments: pattern %q needs a HyperX topology, %s is %s", s.Pattern, s.Topo, s.Topo.Kind)
+}
+
+// Run executes the spec locally on a private network, pattern and
+// mechanism, which is what makes specs safe to run concurrently and on
+// remote workers. The intra-run worker count is a pure scheduling choice
+// (see RunWorkersFor) and never affects the result.
+func (s *JobSpec) Run() (*sim.Result, error) {
+	t, err := s.Topo.Build()
+	if err != nil {
+		return nil, err
+	}
+	nw := topo.NewNetwork(t, topo.NewFaultSet(s.Faults...))
+	pat, err := s.buildPattern(t)
+	if err != nil {
+		return nil, fmt.Errorf("pattern %q: %w", s.Pattern, err)
+	}
+	mech, err := BuildMechanism(s.Mechanism, nw, s.VCs, s.Root)
+	if err != nil {
+		return nil, err
+	}
+	return sim.Run(sim.RunOptions{
+		Net:              nw,
+		ServersPerSwitch: s.Per,
+		Mechanism:        mech,
+		Pattern:          pat,
+		Load:             s.Load,
+		WarmupCycles:     s.Budget.Warmup,
+		MeasureCycles:    s.Budget.Measure,
+		BurstPackets:     s.BurstPackets,
+		SeriesBucket:     s.SeriesBucket,
+		MaxCycles:        s.MaxCycles,
+		FaultSchedule:    s.FaultSchedule,
+		Seed:             s.Seed,
+		Workers:          RunWorkersFor(t.Switches()),
+	})
+}
+
+// HyperXSpec is a convenience constructor for the common case: the spec of
+// an n-dimensional HyperX.
+func HyperXSpec(h *topo.HyperX) topo.Spec {
+	return topo.Spec{Kind: topo.KindHyperX, Dims: append([]int(nil), h.Dims()...)}
+}

@@ -1,0 +1,250 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// baseSpec is a fully populated spec the canonicalization tests mutate.
+func baseSpec() JobSpec {
+	return JobSpec{
+		Label:     "base",
+		Topo:      topo.Spec{Kind: topo.KindHyperX, Dims: []int{4, 4}},
+		Per:       4,
+		Mechanism: "PolSP",
+		Pattern:   "Uniform",
+		VCs:       4,
+		Root:      5,
+		Load:      0.7,
+		Budget:    Budget{Warmup: 300, Measure: 600},
+		Faults: []topo.Edge{
+			{U: 1, V: 5}, {U: 2, V: 6},
+		},
+		FaultSchedule: []sim.FaultEvent{
+			{Cycle: 100, Edge: topo.Edge{U: 3, V: 7}},
+		},
+		Seed:        11,
+		PatternSeed: 13,
+	}
+}
+
+// TestSpecHashFaultOrderInvariant: the hash must not depend on fault-edge
+// enumeration order or on the (U, V) orientation of an edge.
+func TestSpecHashFaultOrderInvariant(t *testing.T) {
+	a := baseSpec()
+	b := baseSpec()
+	b.Faults = []topo.Edge{{U: 6, V: 2}, {U: 5, V: 1}} // reversed order, flipped ends
+	if a.Hash() != b.Hash() {
+		t.Error("hash depends on fault-edge ordering/orientation")
+	}
+	c := baseSpec()
+	c.FaultSchedule = []sim.FaultEvent{{Cycle: 100, Edge: topo.Edge{U: 7, V: 3}}}
+	if a.Hash() != c.Hash() {
+		t.Error("hash depends on schedule edge orientation")
+	}
+}
+
+// TestSpecHashSensitivity: every semantic field change must move the hash;
+// the Label (presentation only) must not.
+func TestSpecHashSensitivity(t *testing.T) {
+	base := baseSpec()
+	baseHash := base.Hash()
+	if base.Hash() != baseHash {
+		t.Fatal("hash not stable")
+	}
+	relabeled := baseSpec()
+	relabeled.Label = "completely different"
+	if relabeled.Hash() != baseHash {
+		t.Error("Label is not semantic but changed the hash")
+	}
+	mutations := map[string]func(*JobSpec){
+		"Topo.Kind":     func(s *JobSpec) { s.Topo = topo.Spec{Kind: topo.KindTorus, Dims: []int{4, 4}} },
+		"Topo.Dims":     func(s *JobSpec) { s.Topo.Dims = []int{4, 5} },
+		"Per":           func(s *JobSpec) { s.Per = 2 },
+		"Mechanism":     func(s *JobSpec) { s.Mechanism = "OmniSP" },
+		"Pattern":       func(s *JobSpec) { s.Pattern = "Random Server Permutation" },
+		"VCs":           func(s *JobSpec) { s.VCs = 6 },
+		"Root":          func(s *JobSpec) { s.Root = 0 },
+		"Load":          func(s *JobSpec) { s.Load = 0.70000000001 },
+		"Budget.Warmup": func(s *JobSpec) { s.Budget.Warmup = 301 },
+		"Budget.Measure": func(s *JobSpec) {
+			s.Budget.Measure = 601
+		},
+		"BurstPackets":  func(s *JobSpec) { s.BurstPackets = 10 },
+		"SeriesBucket":  func(s *JobSpec) { s.SeriesBucket = 500 },
+		"MaxCycles":     func(s *JobSpec) { s.MaxCycles = 1 << 20 },
+		"Faults":        func(s *JobSpec) { s.Faults = s.Faults[:1] },
+		"FaultSchedule": func(s *JobSpec) { s.FaultSchedule[0].Cycle = 101 },
+		"Seed":          func(s *JobSpec) { s.Seed = 12 },
+		"PatternSeed":   func(s *JobSpec) { s.PatternSeed = 14 },
+	}
+	seen := map[string]string{baseHash: "base"}
+	for field, mutate := range mutations {
+		s := baseSpec()
+		// Deep-copy the shared slices so slice mutations stay local.
+		s.Faults = append([]topo.Edge(nil), s.Faults...)
+		s.FaultSchedule = append([]sim.FaultEvent(nil), s.FaultSchedule...)
+		mutate(&s)
+		h := s.Hash()
+		if prev, dup := seen[h]; dup {
+			t.Errorf("mutating %s collides with %s", field, prev)
+			continue
+		}
+		seen[h] = field
+	}
+	// The count in `seen` proves every mutation moved the hash off base.
+	if len(seen) != len(mutations)+1 {
+		t.Errorf("expected %d distinct hashes, got %d", len(mutations)+1, len(seen))
+	}
+}
+
+// TestSpecEncodeDecodeRunBitIdentical: the wire round-trip must be
+// semantics-preserving for every mechanism — running a decoded spec gives
+// the same bytes as running the original.
+func TestSpecEncodeDecodeRunBitIdentical(t *testing.T) {
+	var specs []JobSpec
+	for _, mech := range append(MechanismNames(), "DOR", "EscapeOnly") {
+		specs = append(specs, JobSpec{
+			Label:     mech + " fault-free",
+			Topo:      topo.Spec{Kind: topo.KindHyperX, Dims: []int{4, 4}},
+			Per:       4,
+			Mechanism: mech,
+			Pattern:   "Random Server Permutation",
+			VCs:       4,
+			Root:      2,
+			Load:      0.6,
+			Budget:    Budget{Warmup: 300, Measure: 600},
+			Seed:      21, PatternSeed: 23,
+		})
+	}
+	// The fault-tolerant configurations additionally round-trip with a
+	// static fault set, a burst run and a mid-run fault schedule.
+	faults := topo.RandomFaultSequence(tiny2D(), 3)[:2]
+	withFaults := specs[len(MechanismNames())-1] // PolSP
+	withFaults.Label = "PolSP faulted"
+	withFaults.Faults = faults
+	burst := withFaults
+	burst.Label = "OmniSP burst"
+	burst.Mechanism = "OmniSP"
+	burst.Load = 0
+	burst.BurstPackets = 20
+	burst.SeriesBucket = 500
+	scheduled := specs[len(MechanismNames())-1]
+	scheduled.Label = "PolSP live faults"
+	scheduled.FaultSchedule = []sim.FaultEvent{
+		{Cycle: 300, Edge: faults[0]},
+		{Cycle: 500, Edge: faults[1]},
+	}
+	specs = append(specs, withFaults, burst, scheduled)
+	for i := range specs {
+		spec := &specs[i]
+		data, err := spec.EncodeJSON()
+		if err != nil {
+			t.Fatalf("%s: encode: %v", spec.Label, err)
+		}
+		decoded, err := DecodeSpecJSON(data)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", spec.Label, err)
+		}
+		if decoded.Hash() != spec.Hash() {
+			t.Errorf("%s: hash changed across the wire", spec.Label)
+		}
+		want, err := spec.Run()
+		if err != nil {
+			t.Fatalf("%s: run original: %v", spec.Label, err)
+		}
+		got, err := decoded.Run()
+		if err != nil {
+			t.Fatalf("%s: run decoded: %v", spec.Label, err)
+		}
+		if string(want.AppendBinary(nil)) != string(got.AppendBinary(nil)) {
+			t.Errorf("%s: decoded spec ran to different bytes", spec.Label)
+		}
+	}
+}
+
+// TestSpecValidate covers the spec-level checks that need no simulation.
+func TestSpecValidate(t *testing.T) {
+	s := baseSpec()
+	if err := s.Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+	s.Topo.Kind = "banyan"
+	if err := s.Validate(); err == nil {
+		t.Error("unknown topology accepted")
+	}
+	s = baseSpec()
+	s.Per = 0
+	if err := s.Validate(); err == nil {
+		t.Error("zero servers per switch accepted")
+	}
+	// Coordinate patterns require a HyperX shape.
+	s = baseSpec()
+	s.Topo = topo.Spec{Kind: topo.KindTorus, Dims: []int{4, 4}}
+	s.Pattern = "Dimension Complement Reverse"
+	if err := s.Validate(); err == nil {
+		t.Error("coordinate pattern on torus accepted")
+	}
+	s.Pattern = "Uniform"
+	if err := s.Validate(); err != nil {
+		t.Errorf("uniform on torus rejected: %v", err)
+	}
+}
+
+// TestExecuteJobsCacheSecondRunAllHits: with a result cache installed, an
+// identical grid re-run performs zero simulations (every point hits) and
+// returns bit-identical rows; a semantically different grid misses.
+func TestExecuteJobsCacheSecondRunAllHits(t *testing.T) {
+	store, err := cache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetResultCache(store)
+	defer SetResultCache(nil)
+	cfg := SweepConfig{
+		H:          tiny2D(),
+		Mechanisms: []string{"Minimal", "PolSP"},
+		Patterns:   []string{"Uniform"},
+		Loads:      []float64{0.3, 0.8},
+		Budget:     Budget{Warmup: 300, Measure: 600},
+		Seed:       31,
+	}
+	first, err := LoadSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := store.Stats()
+	if hits != 0 || misses != 4 {
+		t.Fatalf("first run: %d hits %d misses, want 0/4", hits, misses)
+	}
+	second, err := LoadSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, misses = store.Stats()
+	if hits != 4 || misses != 4 {
+		t.Fatalf("second run: %d hits %d misses, want 4/4 (100%% hits)", hits, misses)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatal("cached rows differ from computed rows")
+	}
+	if a, b := RenderSweep("t", first), RenderSweep("t", second); a != b {
+		t.Fatal("cached render is not byte-identical")
+	}
+	// A different seed is a different grid: all misses again.
+	cfg.Seed = 32
+	if _, err := LoadSweep(cfg); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses = store.Stats()
+	if hits != 4 || misses != 8 {
+		t.Fatalf("changed grid: %d hits %d misses, want 4/8", hits, misses)
+	}
+	if n, err := store.Len(); err != nil || n != 8 {
+		t.Fatalf("store holds %d entries (err %v), want 8", n, err)
+	}
+}

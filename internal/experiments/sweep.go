@@ -82,12 +82,13 @@ func LoadSweep(cfg SweepConfig) ([]SweepRow, error) {
 	cfg.fill()
 	per := cfg.H.Dims()[0]
 	faults := cfg.Faults.Edges()
-	var jobs []Job
+	shape := HyperXSpec(cfg.H)
+	var jobs []JobSpec
 	for _, patName := range cfg.Patterns {
 		for _, mechName := range cfg.Mechanisms {
 			for _, load := range cfg.Loads {
-				jobs = append(jobs, Job{
-					H:           cfg.H,
+				jobs = append(jobs, JobSpec{
+					Topo:        shape,
 					Mechanism:   mechName,
 					Pattern:     patName,
 					VCs:         cfg.VCs,

@@ -1,0 +1,371 @@
+// Package queue distributes experiment job specs to worker processes over
+// a line-delimited JSON protocol, so paper-scale grids shard across
+// machines. The server side plugs into the experiment runner as its
+// executor (experiments.SetExecutor(server.Execute)): drivers enumerate
+// grids exactly as for local runs, each spec travels to an idle worker
+// slot, and the runner reassembles results in enumeration order — the
+// output is bit-identical to local execution because a spec carries every
+// semantic input (including its derived seed) and results travel in the
+// stable sim binary codec.
+//
+// Protocol (one JSON object per line, both directions):
+//
+//	worker -> server  {"type":"hello","slots":N,"engine":"<sim.EngineVersion>"}
+//	server -> worker  {"type":"job","id":7,"spec":{...}}        (up to N outstanding)
+//	worker -> server  {"type":"result","id":7,"result":"<base64>"}
+//	worker -> server  {"type":"result","id":7,"error":"..."}    (job failed)
+//
+// A worker whose engine version differs is rejected at the handshake —
+// mixed engines would merge semantically divergent rows. A worker that
+// disconnects mid-job has its in-flight jobs requeued for other workers;
+// a job error is final (it is deterministic) and propagates to the caller.
+package queue
+
+import (
+	"bufio"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/experiments"
+	"repro/internal/sim"
+)
+
+// message is the single wire frame of the protocol; Type selects which
+// fields are meaningful.
+type message struct {
+	Type   string          `json:"type"`
+	Slots  int             `json:"slots,omitempty"`
+	Engine string          `json:"engine,omitempty"`
+	ID     int64           `json:"id,omitempty"`
+	Spec   json.RawMessage `json:"spec,omitempty"`
+	Result string          `json:"result,omitempty"`
+	Error  string          `json:"error,omitempty"`
+}
+
+// outcome is what a pending job resolves to.
+type outcome struct {
+	res *sim.Result
+	err error
+}
+
+// pending is one submitted job waiting for a worker result.
+type pending struct {
+	id   int64
+	spec *experiments.JobSpec
+	done chan outcome
+}
+
+// Server accepts worker connections and dispatches submitted specs to
+// their free slots. Execute is safe for concurrent use; the experiment
+// runner's grid pool provides the submission concurrency.
+type Server struct {
+	ln     net.Listener
+	jobs   chan *pending
+	closed chan struct{}
+	seq    struct {
+		sync.Mutex
+		next int64
+	}
+	wg sync.WaitGroup
+}
+
+// Serve starts a work-queue server listening on addr (e.g. ":7031" or
+// "127.0.0.1:0"). Jobs submitted before any worker connects simply wait.
+func Serve(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("queue: %w", err)
+	}
+	s := &Server{
+		ln: ln,
+		// The buffer only smooths requeueing on worker loss; Execute
+		// callers block in the channel send, which is the back-pressure.
+		jobs:   make(chan *pending, 1024),
+		closed: make(chan struct{}),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listener's address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops accepting workers and tears down the listener. Pending
+// Execute calls receive an error.
+func (s *Server) Close() error {
+	select {
+	case <-s.closed:
+		return nil
+	default:
+	}
+	close(s.closed)
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+// Execute ships one spec to a worker slot and blocks until its result (or
+// the deterministic job error) comes back: the experiments.Executor of
+// distributed runs.
+func (s *Server) Execute(spec *experiments.JobSpec) (*sim.Result, error) {
+	s.seq.Lock()
+	s.seq.next++
+	p := &pending{id: s.seq.next, spec: spec, done: make(chan outcome, 1)}
+	s.seq.Unlock()
+	select {
+	case s.jobs <- p:
+	case <-s.closed:
+		return nil, fmt.Errorf("queue: server closed")
+	}
+	select {
+	case out := <-p.done:
+		return out.res, out.err
+	case <-s.closed:
+		return nil, fmt.Errorf("queue: server closed with job in flight")
+	}
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			// Tear the connection down on server close so the reader
+			// unblocks and serveWorker can finish.
+			done := make(chan struct{})
+			defer close(done)
+			go func() {
+				select {
+				case <-s.closed:
+					conn.Close()
+				case <-done:
+				}
+			}()
+			s.serveWorker(conn)
+		}()
+	}
+}
+
+// serveWorker owns one worker connection: handshake, then one dispatcher
+// goroutine per advertised slot plus a reader that routes results back.
+// On any connection error the in-flight jobs requeue for other workers.
+func (s *Server) serveWorker(conn net.Conn) {
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	var hello message
+	if err := readMessage(r, &hello); err != nil || hello.Type != "hello" || hello.Slots < 1 {
+		return
+	}
+	var wmu sync.Mutex // serializes writes from the slot goroutines
+	if hello.Engine != sim.EngineVersion {
+		wmu.Lock()
+		_ = writeMessage(conn, &message{Type: "error",
+			Error: fmt.Sprintf("engine version %q, server runs %q", hello.Engine, sim.EngineVersion)})
+		wmu.Unlock()
+		return
+	}
+
+	type inflightEntry struct {
+		p     *pending
+		freed chan struct{} // closed by the reader when the result lands
+	}
+	var imu sync.Mutex
+	inflight := make(map[int64]*inflightEntry)
+	connDead := make(chan struct{})
+	var deadOnce sync.Once
+	markDead := func() { deadOnce.Do(func() { close(connDead) }) }
+
+	// Reader: routes result frames to their pending jobs and frees slots.
+	go func() {
+		defer markDead()
+		for {
+			var msg message
+			if err := readMessage(r, &msg); err != nil {
+				return
+			}
+			if msg.Type != "result" {
+				continue
+			}
+			imu.Lock()
+			e := inflight[msg.ID]
+			delete(inflight, msg.ID)
+			imu.Unlock()
+			if e == nil {
+				continue
+			}
+			e.p.done <- decodeOutcome(&msg)
+			close(e.freed)
+		}
+	}()
+
+	// One dispatcher per advertised slot: pull a job, send it, block until
+	// the reader frees the slot.
+	var slotWG sync.WaitGroup
+	for i := 0; i < hello.Slots; i++ {
+		slotWG.Add(1)
+		go func() {
+			defer slotWG.Done()
+			for {
+				var p *pending
+				select {
+				case p = <-s.jobs:
+				case <-connDead:
+					return
+				case <-s.closed:
+					return
+				}
+				data, err := p.spec.EncodeJSON()
+				if err != nil {
+					p.done <- outcome{err: fmt.Errorf("queue: encode spec: %w", err)}
+					continue
+				}
+				e := &inflightEntry{p: p, freed: make(chan struct{})}
+				imu.Lock()
+				inflight[p.id] = e
+				imu.Unlock()
+				wmu.Lock()
+				err = writeMessage(conn, &message{Type: "job", ID: p.id, Spec: data})
+				wmu.Unlock()
+				if err != nil {
+					markDead()
+					return
+				}
+				select {
+				case <-e.freed:
+				case <-connDead:
+					return
+				case <-s.closed:
+					return
+				}
+			}
+		}()
+	}
+	<-connDead
+	conn.Close() // unblock any slot goroutine stuck in a write
+	slotWG.Wait()
+	// Requeue everything this worker still owed (unless shutting down).
+	imu.Lock()
+	owed := make([]*inflightEntry, 0, len(inflight))
+	for _, e := range inflight {
+		owed = append(owed, e)
+	}
+	clear(inflight)
+	imu.Unlock()
+	for _, e := range owed {
+		select {
+		case s.jobs <- e.p:
+		case <-s.closed:
+			e.p.done <- outcome{err: fmt.Errorf("queue: server closed with job in flight")}
+		}
+	}
+}
+
+// decodeOutcome turns a result frame into the pending job's outcome. Job
+// errors carry only the worker marker; the submitting side (ExecuteJobs)
+// prefixes the job label.
+func decodeOutcome(msg *message) outcome {
+	if msg.Error != "" {
+		return outcome{err: fmt.Errorf("on worker: %s", msg.Error)}
+	}
+	raw, err := base64.StdEncoding.DecodeString(msg.Result)
+	if err != nil {
+		return outcome{err: fmt.Errorf("queue: bad result encoding: %w", err)}
+	}
+	res, err := sim.DecodeResult(raw)
+	if err != nil {
+		return outcome{err: fmt.Errorf("queue: %w", err)}
+	}
+	return outcome{res: res}
+}
+
+// Work connects to a server and processes jobs on the given number of
+// slots until the server closes the connection (normal end of a run,
+// returns nil) or the connection fails. Jobs run through
+// experiments.RunSpecLocal, so a worker started with a result cache
+// serves repeated points from disk but never re-enters a queue.
+func Work(addr string, slots int) error {
+	if slots < 1 {
+		return fmt.Errorf("queue: worker needs >= 1 slots, got %d", slots)
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("queue: %w", err)
+	}
+	defer conn.Close()
+	var wmu sync.Mutex
+	if err := writeMessage(conn, &message{Type: "hello", Slots: slots, Engine: sim.EngineVersion}); err != nil {
+		return fmt.Errorf("queue: %w", err)
+	}
+	r := bufio.NewReader(conn)
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	sem := make(chan struct{}, slots)
+	for {
+		var msg message
+		if err := readMessage(r, &msg); err != nil {
+			if isEOF(err) {
+				return nil // server finished and hung up
+			}
+			return fmt.Errorf("queue: %w", err)
+		}
+		switch msg.Type {
+		case "error":
+			return fmt.Errorf("queue: server rejected worker: %s", msg.Error)
+		case "job":
+			spec, err := experiments.DecodeSpecJSON(msg.Spec)
+			id := msg.ID
+			sem <- struct{}{}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-sem }()
+				reply := message{Type: "result", ID: id}
+				if err != nil {
+					reply.Error = err.Error()
+				} else if res, runErr := experiments.RunSpecLocal(spec); runErr != nil {
+					reply.Error = runErr.Error()
+				} else {
+					reply.Result = base64.StdEncoding.EncodeToString(res.AppendBinary(nil))
+				}
+				wmu.Lock()
+				_ = writeMessage(conn, &reply)
+				wmu.Unlock()
+			}()
+		}
+	}
+}
+
+func isEOF(err error) bool {
+	return errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, net.ErrClosed)
+}
+
+// readMessage decodes one line-delimited frame.
+func readMessage(r *bufio.Reader, msg *message) error {
+	line, err := r.ReadBytes('\n')
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(line, msg)
+}
+
+// writeMessage encodes one frame and appends the line delimiter.
+func writeMessage(conn net.Conn, msg *message) error {
+	data, err := json.Marshal(msg)
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = conn.Write(data)
+	return err
+}

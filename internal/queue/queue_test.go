@@ -1,0 +1,149 @@
+package queue
+
+import (
+	"encoding/json"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/topo"
+)
+
+// testSpecs enumerates a small mixed grid: two mechanisms at two loads.
+func testSpecs() []experiments.JobSpec {
+	var specs []experiments.JobSpec
+	i := 0
+	for _, mech := range []string{"Minimal", "PolSP"} {
+		for _, load := range []float64{0.3, 0.8} {
+			specs = append(specs, experiments.JobSpec{
+				Topo:        topo.Spec{Kind: topo.KindHyperX, Dims: []int{4, 4}},
+				Per:         4,
+				Mechanism:   mech,
+				Pattern:     "Uniform",
+				VCs:         4,
+				Load:        load,
+				Budget:      experiments.Budget{Warmup: 300, Measure: 600},
+				Seed:        experiments.JobSeed(41, i),
+				PatternSeed: 41,
+			})
+			i++
+		}
+	}
+	return specs
+}
+
+// TestServeWorkerBitIdentical is the distributed-execution guarantee: a
+// grid run through a localhost serve/worker pair returns bytes identical
+// to local execution, in the same enumeration order.
+func TestServeWorkerBitIdentical(t *testing.T) {
+	specs := testSpecs()
+	local, err := experiments.ExecuteJobs(2, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	workerDone := make(chan error, 1)
+	go func() { workerDone <- Work(srv.Addr(), 2) }()
+
+	experiments.SetExecutor(srv.Execute)
+	defer experiments.SetExecutor(nil)
+	remote, err := experiments.ExecuteJobs(2, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(remote) != len(local) {
+		t.Fatalf("got %d results, want %d", len(remote), len(local))
+	}
+	for i := range local {
+		if string(local[i].AppendBinary(nil)) != string(remote[i].AppendBinary(nil)) {
+			t.Errorf("job %d: distributed result differs from local", i)
+		}
+	}
+
+	// A clean server shutdown ends the worker without error.
+	experiments.SetExecutor(nil)
+	srv.Close()
+	select {
+	case err := <-workerDone:
+		if err != nil {
+			t.Errorf("worker exit: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Error("worker did not exit after server close")
+	}
+}
+
+// TestServeWorkerJobError: a deterministic job failure propagates to the
+// submitting side instead of wedging the queue.
+func TestServeWorkerJobError(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	go Work(srv.Addr(), 1)
+
+	spec := &experiments.JobSpec{
+		Label: "bogus job",
+		Topo:  topo.Spec{Kind: topo.KindHyperX, Dims: []int{4, 4}},
+		Per:   4, Mechanism: "Bogus", Pattern: "Uniform",
+		VCs: 4, Load: 0.5,
+		Budget: experiments.Budget{Warmup: 10, Measure: 20},
+	}
+	_, err = srv.Execute(spec)
+	if err == nil || !strings.Contains(err.Error(), "unknown mechanism") {
+		t.Fatalf("job error not propagated: %v", err)
+	}
+	// The queue still works after the failure.
+	ok := testSpecs()[0]
+	res, err := srv.Execute(&ok)
+	if err != nil || res == nil {
+		t.Fatalf("queue wedged after job error: %v", err)
+	}
+}
+
+// TestWorkerEngineMismatch: the handshake rejects a worker advertising a
+// different engine version (it would merge divergent rows).
+func TestWorkerEngineMismatch(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	hello, _ := json.Marshal(message{Type: "hello", Slots: 1, Engine: "ancient-sim/0"})
+	if _, err := conn.Write(append(hello, '\n')); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 4096)
+	n, err := conn.Read(buf)
+	if err != nil {
+		t.Fatalf("no rejection frame: %v", err)
+	}
+	var msg message
+	if err := json.Unmarshal(buf[:n], &msg); err != nil {
+		t.Fatal(err)
+	}
+	if msg.Type != "error" || !strings.Contains(msg.Error, "engine version") {
+		t.Fatalf("expected engine rejection, got %+v", msg)
+	}
+}
+
+// TestWorkerBadSlots: a worker must ask for at least one slot.
+func TestWorkerBadSlots(t *testing.T) {
+	if err := Work("127.0.0.1:1", 0); err == nil {
+		t.Error("zero slots accepted")
+	}
+}

@@ -1,0 +1,92 @@
+package sim
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func sampleResult() *Result {
+	return &Result{
+		OfferedLoad:        0.7,
+		AcceptedLoad:       0.612345678901234,
+		AvgLatency:         43.25,
+		AvgHops:            2.125,
+		JainIndex:          0.9999,
+		EscapeFraction:     0.015625,
+		LinkUtilization:    0.33,
+		DeliveredPackets:   123456,
+		GeneratedPackets:   123999,
+		StalledGenerations: 17,
+		LostPackets:        3,
+		FaultsApplied:      5,
+		Cycles:             40000,
+		CompletionTime:     39999,
+		Series: []metrics.SeriesPoint{
+			{Cycle: 2000, Accepted: 0.61},
+			{Cycle: 4000, Accepted: 0.62},
+		},
+	}
+}
+
+// TestResultCodecRoundTrip pins the cache/wire guarantee: decode(encode(r))
+// is bit-exact, including float bit patterns and the series.
+func TestResultCodecRoundTrip(t *testing.T) {
+	r := sampleResult()
+	got, err := DecodeResult(r.AppendBinary(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, r) {
+		t.Fatalf("round trip mismatch:\n%+v\nvs\n%+v", got, r)
+	}
+	// Bit-exactness survives values that decimal formatting would mangle.
+	r2 := &Result{AvgLatency: math.Nextafter(1.0/3.0, 1)}
+	got2, err := DecodeResult(r2.AppendBinary(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(got2.AvgLatency) != math.Float64bits(r2.AvgLatency) {
+		t.Error("float bits not preserved")
+	}
+	// Empty series round-trips as nil.
+	r3 := &Result{}
+	got3, err := DecodeResult(r3.AppendBinary(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got3.Series != nil {
+		t.Error("empty series decoded non-nil")
+	}
+}
+
+// TestResultCodecDeterministic checks the encoding is byte-stable: equal
+// results encode to equal bytes (the property the content-addressed cache
+// and the bit-identical distribution merge rely on).
+func TestResultCodecDeterministic(t *testing.T) {
+	a := sampleResult().AppendBinary(nil)
+	b := sampleResult().AppendBinary(nil)
+	if string(a) != string(b) {
+		t.Fatal("equal results encoded differently")
+	}
+}
+
+func TestResultCodecErrors(t *testing.T) {
+	if _, err := DecodeResult(nil); err == nil {
+		t.Error("empty buffer accepted")
+	}
+	enc := sampleResult().AppendBinary(nil)
+	if _, err := DecodeResult(enc[:len(enc)-1]); err == nil {
+		t.Error("truncated buffer accepted")
+	}
+	if _, err := DecodeResult(append(enc, 0)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+	bad := append([]byte(nil), enc...)
+	bad[0] = 99
+	if _, err := DecodeResult(bad); err == nil {
+		t.Error("wrong codec version accepted")
+	}
+}

@@ -89,6 +89,9 @@ type Result struct {
 	StalledGenerations int64
 	// LostPackets counts packets dropped by mid-run link failures.
 	LostPackets int64
+	// FaultsApplied counts the FaultSchedule events that fired during the
+	// run (all of them, unless the run ended early).
+	FaultsApplied int64
 	// Cycles is the total simulated time.
 	Cycles int64
 	// CompletionTime is the cycle of the last delivery (burst mode).
@@ -240,6 +243,7 @@ func (e *engine) result(o RunOptions) *Result {
 		OfferedLoad:        o.Load,
 		StalledGenerations: e.stalledGenPkts,
 		LostPackets:        e.lostPkts,
+		FaultsApplied:      int64(e.nextFault),
 		DeliveredPackets:   e.deliveredPkts,
 		Cycles:             e.now,
 		JainIndex:          metrics.JainInt(e.genPhits),

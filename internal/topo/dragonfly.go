@@ -112,7 +112,7 @@ func (d *Dragonfly) Edges() []Edge {
 	for e := range set {
 		edges = append(edges, e)
 	}
-	return edges
+	return SortEdges(edges)
 }
 
 // String implements Switched.

@@ -1,5 +1,7 @@
 package topo
 
+import "sort"
+
 // Switched is the abstract switch-level topology the routing stack runs
 // on: a set of switches with numbered ports. HyperX is the paper's
 // subject; Torus and Dragonfly exist to reproduce the Section 7 discussion
@@ -37,4 +39,18 @@ var (
 // GraphOf builds the fault-free graph of any switched topology.
 func GraphOf(t Switched) *Graph {
 	return MustGraph(t.Switches(), t.Edges())
+}
+
+// SortEdges orders edges by (U, V) in place and returns them: the single
+// definition of canonical edge order, used both by Edges implementations
+// derived from a map and by the job-spec canonical encoding (the two must
+// agree or equal fault sets would hash differently).
+func SortEdges(edges []Edge) []Edge {
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].U != edges[j].U {
+			return edges[i].U < edges[j].U
+		}
+		return edges[i].V < edges[j].V
+	})
+	return edges
 }

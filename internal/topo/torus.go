@@ -119,7 +119,7 @@ func (t *Torus) Edges() []Edge {
 	for e := range set {
 		edges = append(edges, e)
 	}
-	return edges
+	return SortEdges(edges)
 }
 
 // String implements Switched.
