@@ -438,6 +438,109 @@ func BenchmarkSimulatorCycleRate(b *testing.B) {
 	b.ReportMetric(float64(cycles)*float64(b.N)/b.Elapsed().Seconds(), "cycles/s")
 }
 
+// --- Activity-driven engine vs the full-walk baseline. ---
+
+// inCastPattern directs every server's traffic at one switch: the Fig 10
+// in-cast situation in its purest form. In burst mode the drain serializes
+// on the destination's ejection bandwidth while the rest of the network
+// goes quiet — the regime the engine's dirty-switch tracking and
+// idle-cycle fast-forward exist for.
+type inCastPattern struct {
+	dst     int32 // destination server
+	servers int32
+}
+
+func (p inCastPattern) Name() string { return "InCast" }
+
+func (p inCastPattern) Dest(src int32, _ *rng.Rand) int32 {
+	if src == p.dst {
+		return (p.dst + 1) % p.servers
+	}
+	return p.dst
+}
+
+// benchIdleDrain measures a paper-scale in-cast burst drain: one packet
+// per server (one server per switch), all bound for the center switch.
+// Completion takes ~8k cycles, almost all of them with a handful of dirty
+// switches out of 512; the NoActivity baseline walks the whole switch
+// array every cycle. The acceptance bar for the activity-driven engine is
+// >= 3x on this benchmark.
+func benchIdleDrain(b *testing.B, noActivity bool) {
+	b.Helper()
+	h := topo.MustHyperX(8, 8, 8)
+	root := h.ID([]int{3, 3, 3})
+	nw := topo.NewNetwork(h, nil)
+	mech, err := core.New(nw, core.PolarizedRoutes, 4, core.WithRoot(root))
+	if err != nil {
+		b.Fatal(err)
+	}
+	pat := inCastPattern{dst: root, servers: int32(h.Switches())}
+	var cycles int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(sim.RunOptions{
+			Net: nw, ServersPerSwitch: 1, Mechanism: mech, Pattern: pat,
+			BurstPackets: 1, Seed: 9, Workers: 1, DisableActivity: noActivity,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles += res.Cycles
+	}
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "cycles/s")
+}
+
+func BenchmarkIdleDrain8x8x8(b *testing.B) {
+	b.Run("Activity", func(b *testing.B) { benchIdleDrain(b, false) })
+	b.Run("NoActivity", func(b *testing.B) { benchIdleDrain(b, true) })
+}
+
+// benchLowLoad measures open-loop cycle rate on a paper-scale network at
+// the low-load operating points of the figures' left halves. Generation
+// keeps ticking (no fast-forward in open loop), so this isolates the
+// dirty-set win: at 0.05 most switches still see a packet every few
+// cycles and the two engines run at parity; at 0.01 the dirty set is the
+// difference.
+func benchLowLoad(b *testing.B, load float64, noActivity bool) {
+	b.Helper()
+	h := topo.MustHyperX(8, 8, 8)
+	nw := topo.NewNetwork(h, nil)
+	mech, err := core.New(nw, core.PolarizedRoutes, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pat, err := traffic.NewUniform(h.Switches() * 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const cycles = 2000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(sim.RunOptions{
+			Net: nw, ServersPerSwitch: 8, Mechanism: mech, Pattern: pat,
+			Load: load, WarmupCycles: 0, MeasureCycles: cycles, Seed: 9,
+			Workers: 1, DisableActivity: noActivity,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(cycles)*float64(b.N)/b.Elapsed().Seconds(), "cycles/s")
+}
+
+func BenchmarkLowLoadCycleRate(b *testing.B) {
+	for _, load := range []float64{0.05, 0.01} {
+		for _, noAct := range []bool{false, true} {
+			name := fmt.Sprintf("Load%.2f", load)
+			if noAct {
+				name += "-NoActivity"
+			} else {
+				name += "-Activity"
+			}
+			b.Run(name, func(b *testing.B) { benchLowLoad(b, load, noAct) })
+		}
+	}
+}
+
 // --- Sequential vs sharded single-run engine. ---
 
 // benchSingleRun8x8x8 measures one paper-scale simulation point (the unit

@@ -29,6 +29,11 @@
 // cache hits and byte-identical output. With -serve the drivers run here
 // but every point executes on connected -worker processes and results
 // merge in enumeration order, bit-identical to a local run.
+//
+// Maintenance and export:
+//
+//	experiments -exp cache-gc -cache-dir ~/.hxcache  # prune stale engines, report per-figure coverage
+//	experiments -exp fig10 -csv-dir ./out            # also write out/fig10.csv
 package main
 
 import (
@@ -43,6 +48,7 @@ import (
 	"repro/internal/cliutil"
 	"repro/internal/experiments"
 	"repro/internal/queue"
+	"repro/internal/sim"
 	"repro/internal/topo"
 )
 
@@ -109,7 +115,7 @@ func (p *progressPrinter) report(done, total int) {
 
 func main() {
 	var exps multiFlag
-	flag.Var(&exps, "exp", "experiment to run: table2|table3|table4|fig1|fig4|fig5|fig6|fig7|fig8|fig9|fig10|recovery|cost|section7|all (repeatable)")
+	flag.Var(&exps, "exp", "experiment to run: table2|table3|table4|fig1|fig4|fig5|fig6|fig7|fig8|fig9|fig10|recovery|cost|section7|all (repeatable); cache-gc prunes and audits a -cache-dir instead of running anything")
 	full := flag.Bool("full", false, "use the paper's full-size networks and long windows")
 	seed := flag.Uint64("seed", 1, "random seed")
 	workersFlag := flag.Int("workers", 0, "parallel simulation workers (0 = one per CPU); results are identical for any value")
@@ -118,7 +124,10 @@ func main() {
 	cacheDir := flag.String("cache-dir", "", "content-addressed result cache directory; re-runs recompute only changed points")
 	serveAddr := flag.String("serve", "", "serve mode: listen on this address and execute every simulation point on connected -worker processes")
 	workerAddr := flag.String("worker", "", "worker mode: connect to a -serve address and run jobs for it (-workers sets the slot count; -exp is ignored)")
+	csvDir := flag.String("csv-dir", "", "also write one CSV per figure/table into this directory (lossless floats, diffable)")
+	noActivity := flag.Bool("no-activity", false, "disable the engine's dirty-switch tracking and idle-cycle fast-forward (A/B baseline; results are identical either way)")
 	flag.Parse()
+	experiments.SetEngineActivity(!*noActivity)
 
 	workers, err := cliutil.ResolveWorkers(*workersFlag)
 	if err != nil {
@@ -149,7 +158,7 @@ func main() {
 		slots := experiments.DefaultWorkers(workers)
 		experiments.SetGridWorkers(slots)
 		fmt.Fprintf(os.Stderr, "worker: %d slots, connecting to %s\n", slots, *workerAddr)
-		if err := queue.Work(*workerAddr, slots); err != nil {
+		if err := queue.WorkLoop(*workerAddr, slots); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: worker: %v\n", err)
 			os.Exit(1)
 		}
@@ -189,6 +198,37 @@ func main() {
 		want[e] = true
 	}
 	all := want["all"]
+	if want["cache-gc"] {
+		// Maintenance, not an experiment: never part of -exp all, and it
+		// refuses to share an invocation with real experiments rather
+		// than silently dropping them.
+		if len(want) > 1 {
+			fmt.Fprintln(os.Stderr, "experiments: -exp cache-gc cannot be combined with other experiments")
+			os.Exit(2)
+		}
+		if store == nil {
+			fmt.Fprintln(os.Stderr, "experiments: -exp cache-gc requires -cache-dir")
+			os.Exit(2)
+		}
+		if err := runCacheGC(store, scale, budget, *seed, workers, *full); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: cache-gc: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	// saveCSV writes one structured table per figure when -csv-dir is set;
+	// the text rendering on stdout is unaffected.
+	saveCSV := func(name string, header []string, rows [][]string) error {
+		if *csvDir == "" {
+			return nil
+		}
+		path, err := experiments.WriteCSV(*csvDir, name, header, rows)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "csv: wrote %s\n", path)
+		return nil
+	}
 	run := func(name string, fn func() error) {
 		if !all && !want[name] {
 			return
@@ -218,9 +258,11 @@ func main() {
 		return nil
 	})
 	run("table3", func() error {
-		fmt.Print(experiments.RenderTable3(workers, experiments.Topology2D(experiments.ScaleFull),
-			experiments.Topology3D(experiments.ScaleFull)))
-		return nil
+		rows := experiments.Table3Rows(workers, experiments.Topology2D(experiments.ScaleFull),
+			experiments.Topology3D(experiments.ScaleFull))
+		fmt.Print(experiments.RenderTable3Rows(rows))
+		h, crows := experiments.Table3CSV(rows)
+		return saveCSV("table3", h, crows)
 	})
 	run("table4", func() error {
 		fmt.Print(experiments.RenderTable4())
@@ -235,7 +277,8 @@ func main() {
 		}
 		points := experiments.Fig1(h, []uint64{*seed, *seed + 1, *seed + 2}, step, workers)
 		fmt.Print(experiments.RenderFig1(h, points))
-		return nil
+		hd, rows := experiments.Fig1CSV(points)
+		return saveCSV("fig1", hd, rows)
 	})
 	run("fig4", func() error {
 		rows, err := experiments.Fig4(scale, budget, *seed, workers)
@@ -243,7 +286,8 @@ func main() {
 			return err
 		}
 		fmt.Print(experiments.RenderSweep(fmt.Sprintf("Figure 4: 2D %s fault-free sweep", h2), rows))
-		return nil
+		hd, crows := experiments.SweepCSV(rows)
+		return saveCSV("fig4", hd, crows)
 	})
 	run("fig5", func() error {
 		rows, err := experiments.Fig5(scale, budget, *seed, workers)
@@ -251,21 +295,22 @@ func main() {
 			return err
 		}
 		fmt.Print(experiments.RenderSweep(fmt.Sprintf("Figure 5: 3D %s fault-free sweep", h3), rows))
-		return nil
+		hd, crows := experiments.SweepCSV(rows)
+		return saveCSV("fig5", hd, crows)
 	})
 	run("fig6", func() error {
 		for _, h := range []*topo.HyperX{h2, h3} {
-			max, step := 40, 10
-			if *full {
-				max, step = 100, 10
-			}
 			rows, err := experiments.Fig6(experiments.Fig6Config{
-				H: h, MaxFaults: max, Step: step, Budget: budget, Seed: *seed, Workers: workers,
+				H: h, MaxFaults: fig6MaxFaults(*full), Step: 10, Budget: budget, Seed: *seed, Workers: workers,
 			})
 			if err != nil {
 				return err
 			}
 			fmt.Print(experiments.RenderFig6(fmt.Sprintf("Figure 6: %s under random failures", h), rows))
+			hd, crows := experiments.Fig6CSV(rows)
+			if err := saveCSV(fmt.Sprintf("fig6-%dd", h.NDims()), hd, crows); err != nil {
+				return err
+			}
 		}
 		return nil
 	})
@@ -290,7 +335,8 @@ func main() {
 			return err
 		}
 		fmt.Print(experiments.RenderShapes(fmt.Sprintf("Figure 8: %s under fault shapes (root %d)", h2, root2), rows))
-		return nil
+		hd, crows := experiments.ShapesCSV(rows)
+		return saveCSV("fig8", hd, crows)
 	})
 	run("fig9", func() error {
 		rows, err := experiments.Shapes(experiments.ShapesConfig{
@@ -300,22 +346,20 @@ func main() {
 			return err
 		}
 		fmt.Print(experiments.RenderShapes(fmt.Sprintf("Figure 9: %s under fault shapes (root %d)", h3, root3), rows))
-		return nil
+		hd, crows := experiments.ShapesCSV(rows)
+		return saveCSV("fig9", hd, crows)
 	})
 	run("fig10", func() error {
-		burst := 1600
-		if *full {
-			burst = 8000 // the paper's 8000 phits per server
-		}
 		results, err := experiments.Fig10(experiments.Fig10Config{
-			H: h3, BurstPhits: burst, Seed: *seed, Root: root3, Workers: workers,
+			H: h3, BurstPhits: fig10BurstPhits(*full), Seed: *seed, Root: root3, Workers: workers,
 		})
 		if err != nil {
 			return err
 		}
 		fmt.Print(experiments.RenderFig10(
 			fmt.Sprintf("Figure 10: completion time, RPN + Star faults on %s", h3), results))
-		return nil
+		hd, crows := experiments.Fig10CSV(results)
+		return saveCSV("fig10", hd, crows)
 	})
 	run("section7", func() error {
 		rows, err := experiments.Section7(*seed, budget, workers)
@@ -323,7 +367,8 @@ func main() {
 			return err
 		}
 		fmt.Print(experiments.RenderSection7(rows))
-		return nil
+		hd, crows := experiments.Section7CSV(rows)
+		return saveCSV("section7", hd, crows)
 	})
 	run("recovery", func() error {
 		results, err := experiments.Recovery(experiments.RecoveryConfig{
@@ -334,8 +379,94 @@ func main() {
 		}
 		fmt.Print(experiments.RenderRecovery(
 			fmt.Sprintf("Extension: live link failures with BFS table rebuild on %s", h3), results))
-		return nil
+		hd, crows := experiments.RecoveryCSV(results)
+		return saveCSV("recovery", hd, crows)
 	})
+}
+
+// runCacheGC is the `-exp cache-gc` maintenance command: it prunes every
+// cache entry the running engine version cannot address (older engine
+// subtrees and pre-versioning flat shards), then replays each figure's
+// spec enumeration in cache-probe mode — no simulation, no write-backs —
+// and reports the per-figure hit/miss tally, i.e. how much of a real run
+// at the current flags (-full, -seed) would come from the cache.
+func runCacheGC(store *cache.Store, scale experiments.Scale, budget experiments.Budget,
+	seed uint64, workers int, full bool) error {
+	removed, err := store.GC()
+	if err != nil {
+		return err
+	}
+	entries, err := store.Len()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("cache-gc: %s: pruned %d stale entries, %d remain (engine %s)\n",
+		store.Dir(), removed, entries, sim.EngineVersion)
+
+	experiments.SetProgress(nil)
+	experiments.SetCacheProbe(true)
+	defer experiments.SetCacheProbe(false)
+
+	h2 := experiments.Topology2D(scale)
+	h3 := experiments.Topology3D(scale)
+	root2, root3 := centerSwitch(h2), centerSwitch(h3)
+	figures := []struct {
+		name  string
+		probe func() error
+	}{
+		{"fig4", func() error { _, err := experiments.Fig4(scale, budget, seed, workers); return err }},
+		{"fig5", func() error { _, err := experiments.Fig5(scale, budget, seed, workers); return err }},
+		{"fig6", func() error {
+			for _, h := range []*topo.HyperX{h2, h3} {
+				if _, err := experiments.Fig6(experiments.Fig6Config{
+					H: h, MaxFaults: fig6MaxFaults(full), Step: 10, Budget: budget, Seed: seed, Workers: workers,
+				}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+		{"fig8", func() error {
+			_, err := experiments.Shapes(experiments.ShapesConfig{
+				H: h2, Budget: budget, Seed: seed, Root: root2, Workers: workers})
+			return err
+		}},
+		{"fig9", func() error {
+			_, err := experiments.Shapes(experiments.ShapesConfig{
+				H: h3, Budget: budget, Seed: seed, Root: root3, Workers: workers})
+			return err
+		}},
+		{"fig10", func() error {
+			_, err := experiments.Fig10(experiments.Fig10Config{
+				H: h3, BurstPhits: fig10BurstPhits(full), Seed: seed, Root: root3, Workers: workers})
+			return err
+		}},
+		{"section7", func() error { _, err := experiments.Section7(seed, budget, workers); return err }},
+		{"recovery", func() error {
+			_, err := experiments.Recovery(experiments.RecoveryConfig{
+				H: h3, Seed: seed, Root: root3, Workers: workers})
+			return err
+		}},
+	}
+	fmt.Printf("cache coverage at the current flags (graph-only experiments have no cacheable points):\n")
+	var totalHits, totalMisses int64
+	for _, fig := range figures {
+		h0, m0 := store.Stats()
+		if err := fig.probe(); err != nil {
+			return fmt.Errorf("%s: %w", fig.name, err)
+		}
+		h1, m1 := store.Stats()
+		hits, misses := h1-h0, m1-m0
+		totalHits += hits
+		totalMisses += misses
+		rate := 0.0
+		if hits+misses > 0 {
+			rate = 100 * float64(hits) / float64(hits+misses)
+		}
+		fmt.Printf("  %-9s %5d hits %5d misses  (%.0f%%)\n", fig.name, hits, misses, rate)
+	}
+	fmt.Printf("  %-9s %5d hits %5d misses\n", "total", totalHits, totalMisses)
+	return nil
 }
 
 // reportCache prints the final hit/miss tally on stderr; the CI
@@ -346,6 +477,24 @@ func reportCache(store *cache.Store) {
 	}
 	hits, misses := store.Stats()
 	fmt.Fprintf(os.Stderr, "cache: %d hits, %d misses\n", hits, misses)
+}
+
+// fig6MaxFaults and fig10BurstPhits are the per-scale knobs of the fault
+// sweep and the completion-time experiment. The run() drivers and the
+// cache-gc coverage probe both read them, so the probe always enumerates
+// exactly the specs a real run at the same flags would.
+func fig6MaxFaults(full bool) int {
+	if full {
+		return 100
+	}
+	return 40
+}
+
+func fig10BurstPhits(full bool) int {
+	if full {
+		return 8000 // the paper's 8000 phits per server
+	}
+	return 1600
 }
 
 // centerSwitch picks the middle of the network as the escape root, the

@@ -37,8 +37,10 @@ func main() {
 		workersFlag    = flag.Int("workers", 0, "parallel workers for -loads sweeps (0 = one per CPU); results are identical for any value")
 		runWorkersFlag = flag.Int("run-workers", -1, "intra-run workers per simulation (-1 = adaptive, 0 = one per CPU); results are identical for any value")
 		cacheDirFlag   = flag.String("cache-dir", "", "content-addressed result cache directory; repeated runs of the same point hit the cache")
+		noActivityFlag = flag.Bool("no-activity", false, "disable the engine's dirty-switch tracking and idle-cycle fast-forward (A/B baseline; results are identical either way)")
 	)
 	flag.Parse()
+	hyperx.SetEngineActivity(!*noActivityFlag)
 
 	workers, err := cliutil.ResolveWorkers(*workersFlag)
 	check(err)

@@ -246,6 +246,11 @@ func SetRunWorkers(n int) { experiments.SetDefaultRunWorkers(n) }
 // count from its switch count and the CPUs the grid pool leaves free.
 func SetAdaptiveRunWorkers() { experiments.SetAdaptiveRunWorkers() }
 
+// SetEngineActivity toggles the engine's dirty-switch tracking and
+// idle-cycle fast-forward for every spec simulation (default on). Purely a
+// performance A/B knob — results are bit-identical either way.
+func SetEngineActivity(enabled bool) { experiments.SetEngineActivity(enabled) }
+
 // EngineVersion tags the simulation semantics of this build; it is folded
 // into every result-cache key and checked by the distribution handshake.
 const EngineVersion = sim.EngineVersion

@@ -6,16 +6,35 @@
 // workers and even by concurrent processes pointing at the same directory.
 // Because the key already encodes every semantic input and the engine
 // version, entries never go stale: a changed spec or engine simply misses.
+//
+// On disk, entries group under a directory named after the engine version
+// that wrote them (the hash alone cannot reveal it). Old engine versions
+// can therefore be pruned wholesale: GC removes every other version's
+// subtree — the `experiments -exp cache-gc` maintenance command.
 package cache
 
 import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync/atomic"
 
 	"repro/internal/sim"
 )
+
+// engineDir is the filesystem-safe name of the engine-version directory
+// entries are stored under ("hyperx-sim/3" -> "hyperx-sim_3").
+func engineDir(version string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '.':
+			return r
+		}
+		return '_'
+	}, version)
+}
 
 // Store is a directory of cached results. The zero value is not usable;
 // call Open.
@@ -39,13 +58,14 @@ func Open(dir string) (*Store, error) {
 // Dir returns the store's root directory.
 func (s *Store) Dir() string { return s.dir }
 
-// path shards entries by the first two key characters to keep directory
-// listings manageable on paper-scale grids (tens of thousands of entries).
+// path places an entry under the running engine version's directory and
+// shards by the first two key characters to keep directory listings
+// manageable on paper-scale grids (tens of thousands of entries).
 func (s *Store) path(key string) (string, error) {
 	if len(key) < 3 {
 		return "", fmt.Errorf("cache: key %q too short", key)
 	}
-	return filepath.Join(s.dir, key[:2], key[2:]+".res"), nil
+	return filepath.Join(s.dir, engineDir(sim.EngineVersion), key[:2], key[2:]+".res"), nil
 }
 
 // Get returns the cached result for key, or ok == false on a miss. A
@@ -107,10 +127,15 @@ func (s *Store) Stats() (hits, misses int64) {
 	return s.hits.Load(), s.misses.Load()
 }
 
-// Len walks the store and returns the number of entries on disk.
+// Len walks the store and returns the number of entries on disk (all
+// engine versions).
 func (s *Store) Len() (int, error) {
+	return countEntries(s.dir)
+}
+
+func countEntries(dir string) (int, error) {
 	n := 0
-	err := filepath.WalkDir(s.dir, func(path string, d os.DirEntry, err error) error {
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
 		if err != nil {
 			return err
 		}
@@ -120,4 +145,69 @@ func (s *Store) Len() (int, error) {
 		return nil
 	})
 	return n, err
+}
+
+// GC prunes every entry the running engine version cannot use: the
+// subtrees of other engine versions and any legacy flat-layout shard
+// directories (from stores written before entries were grouped by engine
+// version — the current engine cannot address those paths either). It
+// returns the number of entry files removed. Only subtrees that look
+// cache-owned — nothing inside but .res entries, leftover .tmp- files
+// and shard directories — are touched, so a -cache-dir pointed at a
+// directory holding unrelated data loses none of it. Concurrent writers
+// of the *current* version are never disturbed.
+func (s *Store) GC() (removed int, err error) {
+	keep := engineDir(sim.EngineVersion)
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return 0, fmt.Errorf("cache: %w", err)
+	}
+	for _, de := range entries {
+		if !de.IsDir() || de.Name() == keep {
+			continue
+		}
+		sub := filepath.Join(s.dir, de.Name())
+		owned, n, cerr := cacheOwned(sub)
+		if cerr != nil {
+			return removed, fmt.Errorf("cache: %w", cerr)
+		}
+		if !owned {
+			continue // foreign data: not ours to delete
+		}
+		if err := os.RemoveAll(sub); err != nil {
+			return removed, fmt.Errorf("cache: %w", err)
+		}
+		removed += n
+	}
+	return removed, nil
+}
+
+// cacheOwned reports whether a subtree demonstrably belongs to the store
+// — it holds at least one artifact (.res entry or .tmp- temp file) and
+// nothing else — and how many entries it holds. A subtree with no files
+// at all is NOT owned: an empty directory says nothing about who made
+// it, and GC must never guess in favour of deletion.
+func cacheOwned(dir string) (owned bool, entries int, err error) {
+	owned = true
+	artifacts := 0
+	err = filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			return nil
+		}
+		switch {
+		case filepath.Ext(path) == ".res":
+			entries++
+			artifacts++
+		case strings.HasPrefix(filepath.Base(path), ".tmp-"):
+			artifacts++ // interrupted atomic write
+		default:
+			owned = false
+			return filepath.SkipAll
+		}
+		return nil
+	})
+	return owned && artifacts > 0, entries, err
 }

@@ -88,9 +88,77 @@ func TestStoreSharding(t *testing.T) {
 	if err := s.Put(key, &sim.Result{}); err != nil {
 		t.Fatal(err)
 	}
-	want := filepath.Join(dir, "ab", key[2:]+".res")
+	want := filepath.Join(dir, engineDir(sim.EngineVersion), "ab", key[2:]+".res")
 	if _, err := os.Stat(want); err != nil {
-		t.Errorf("entry not sharded at %s: %v", want, err)
+		t.Errorf("entry not under the engine-version shard at %s: %v", want, err)
+	}
+}
+
+// TestStoreGC: entries from other engine versions (and pre-versioning
+// flat-layout shards) are pruned; the running engine's entries survive and
+// stay readable.
+func TestStoreGC(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey(3)
+	if err := s.Put(key, &sim.Result{AcceptedLoad: 0.75}); err != nil {
+		t.Fatal(err)
+	}
+	// Two stale entries from an older engine, one from a legacy flat store.
+	old := filepath.Join(dir, "hyperx-sim_1", "ab")
+	if err := os.MkdirAll(old, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"x.res", "y.res"} {
+		if err := os.WriteFile(filepath.Join(old, name), []byte{1}, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	legacy := filepath.Join(dir, "cd")
+	if err := os.MkdirAll(legacy, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(legacy, "z.res"), []byte{1}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Foreign data sharing the directory must survive: GC only removes
+	// subtrees that contain nothing but store artifacts.
+	foreign := filepath.Join(dir, "plots")
+	if err := os.MkdirAll(foreign, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(foreign, "fig10.png"), []byte{0x89}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// So must an empty directory: nothing marks it as cache-owned.
+	empty := filepath.Join(dir, "staging", "nested")
+	if err := os.MkdirAll(empty, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	removed, err := s.GC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 3 {
+		t.Errorf("GC removed %d entries, want 3", removed)
+	}
+	if n, err := s.Len(); err != nil || n != 1 {
+		t.Errorf("Len after GC = %d (err %v), want 1", n, err)
+	}
+	if got, ok, _ := s.Get(key); !ok || got.AcceptedLoad != 0.75 {
+		t.Error("current-engine entry lost by GC")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "hyperx-sim_1")); !os.IsNotExist(err) {
+		t.Error("stale engine directory survived GC")
+	}
+	if _, err := os.Stat(filepath.Join(foreign, "fig10.png")); err != nil {
+		t.Errorf("GC deleted foreign data: %v", err)
+	}
+	if _, err := os.Stat(empty); err != nil {
+		t.Errorf("GC deleted an empty (unowned) directory: %v", err)
 	}
 }
 

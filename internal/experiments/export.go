@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// This file is the structured result export: one CSV per figure or table,
+// written alongside the text renderings so cached grids can be diffed,
+// joined and plotted without re-parsing the human-oriented tables. Floats
+// are encoded losslessly (shortest round-trip form), so re-exporting an
+// unchanged grid — e.g. from a warm result cache — produces byte-identical
+// files.
+
+// WriteCSV writes header+rows to dir/name.csv (creating dir if needed)
+// via a temp file and rename, so a concurrent reader never sees a partial
+// table. It returns the written path.
+func WriteCSV(dir, name string, header []string, rows [][]string) (string, error) {
+	if dir == "" {
+		return "", fmt.Errorf("experiments: empty CSV directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("experiments: %w", err)
+	}
+	path := filepath.Join(dir, name+".csv")
+	tmp, err := os.CreateTemp(dir, ".tmp-*.csv")
+	if err != nil {
+		return "", fmt.Errorf("experiments: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	w := csv.NewWriter(tmp)
+	if err := w.Write(header); err != nil {
+		tmp.Close()
+		return "", fmt.Errorf("experiments: %w", err)
+	}
+	if err := w.WriteAll(rows); err != nil {
+		tmp.Close()
+		return "", fmt.Errorf("experiments: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return "", fmt.Errorf("experiments: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return "", fmt.Errorf("experiments: %w", err)
+	}
+	return path, nil
+}
+
+// csvF renders a float64 in its shortest lossless form, so exported grids
+// diff cleanly across runs and machines.
+func csvF(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func csvI(v int64) string { return strconv.FormatInt(v, 10) }
+
+// SweepCSV flattens load-sweep rows (Figures 4 and 5).
+func SweepCSV(rows []SweepRow) ([]string, [][]string) {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{r.Mechanism, r.Pattern, csvF(r.Offered), csvF(r.Accepted),
+			csvF(r.Latency), csvF(r.Jain), csvF(r.Escape)}
+	}
+	return []string{"mechanism", "pattern", "offered", "accepted", "latency", "jain", "escape"}, out
+}
+
+// Fig6CSV flattens the random-fault sweep rows.
+func Fig6CSV(rows []Fig6Row) ([]string, [][]string) {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{r.Mechanism, r.Pattern, csvI(int64(r.Faults)),
+			csvF(r.Accepted), csvF(r.Escape), csvI(int64(r.Diameter))}
+	}
+	return []string{"mechanism", "pattern", "faults", "accepted", "escape", "diameter"}, out
+}
+
+// ShapesCSV flattens the structured-fault rows (Figures 8 and 9).
+func ShapesCSV(rows []ShapeRow) ([]string, [][]string) {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{r.Mechanism, r.Pattern, r.Shape, csvI(int64(r.Faults)),
+			csvF(r.Accepted), csvF(r.Healthy), csvF(r.Escape)}
+	}
+	return []string{"mechanism", "pattern", "shape", "faults", "accepted", "healthy", "escape"}, out
+}
+
+// Fig10CSV flattens the completion-time curves: one row per series bucket,
+// with the per-mechanism summary columns repeated for joins.
+func Fig10CSV(results []Fig10Result) ([]string, [][]string) {
+	var out [][]string
+	for _, r := range results {
+		for _, p := range r.Series {
+			out = append(out, []string{r.Mechanism, csvI(r.CompletionTime),
+				csvF(r.PeakAccepted), csvI(p.Cycle), csvF(p.Accepted)})
+		}
+	}
+	return []string{"mechanism", "completion_time", "peak_accepted", "cycle", "accepted"}, out
+}
+
+// RecoveryCSV flattens the live-failure timelines, marking the buckets a
+// fault fell into.
+func RecoveryCSV(results []RecoveryResult) ([]string, [][]string) {
+	var out [][]string
+	for _, r := range results {
+		fi := 0
+		for _, p := range r.Series {
+			faults := 0
+			for fi+faults < len(r.FaultCycles) && r.FaultCycles[fi+faults] < p.Cycle {
+				faults++
+			}
+			fi += faults
+			out = append(out, []string{r.Mechanism, csvI(p.Cycle), csvF(p.Accepted),
+				csvI(int64(faults)), csvI(r.LostPackets), csvF(r.PreFaultAvg), csvF(r.PostFaultAvg)})
+		}
+	}
+	return []string{"mechanism", "cycle", "accepted", "faults_in_bucket", "lost_packets",
+		"pre_fault_avg", "post_fault_avg"}, out
+}
+
+// Section7CSV flattens the cross-topology escape comparison.
+func Section7CSV(rows []Section7Row) ([]string, [][]string) {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{r.Topology, csvI(int64(r.Switches)), csvF(r.AvgStretch),
+			csvF(r.MaxStretch), csvF(r.MinimalFraction), csvF(r.EscOnlyAccepted), csvF(r.PolSPAccepted)}
+	}
+	return []string{"topology", "switches", "avg_stretch", "max_stretch",
+		"minimal_fraction", "escape_only_accepted", "polsp_accepted"}, out
+}
+
+// Fig1CSV flattens the diameter-vs-failures points.
+func Fig1CSV(points []Fig1Point) ([]string, [][]string) {
+	out := make([][]string, len(points))
+	for i, p := range points {
+		out[i] = []string{strconv.FormatUint(p.Seed, 10), csvI(int64(p.Faults)),
+			csvI(int64(p.Diameter)), strconv.FormatBool(p.Disconnected)}
+	}
+	return []string{"seed", "faults", "diameter", "disconnected"}, out
+}
+
+// Table3CSV flattens the topological parameters.
+func Table3CSV(rows []Table3Row) ([]string, [][]string) {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{r.Topology, csvI(int64(r.Switches)), csvI(int64(r.Radix)),
+			csvI(int64(r.ServersPer)), csvI(int64(r.Servers)), csvI(int64(r.Links)),
+			csvI(int64(r.Diameter)), csvF(r.AvgDistance)}
+	}
+	return []string{"topology", "switches", "radix", "servers_per_switch", "servers",
+		"links", "diameter", "avg_distance"}, out
+}

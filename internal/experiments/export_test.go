@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestWriteCSVLossless: the CSV export must round-trip floats exactly and
+// re-export byte-identically, since its whole point is diffing cached
+// grids across runs.
+func TestWriteCSVLossless(t *testing.T) {
+	dir := t.TempDir()
+	rows := []SweepRow{
+		{Mechanism: "PolSP", Pattern: "Uniform", Offered: 0.1, Accepted: 1.0 / 3.0, Latency: 42.25, Jain: 0.9999999999999999, Escape: 0},
+		{Mechanism: "OmniSP", Pattern: "RPN", Offered: 0.7, Accepted: 0.123456789012345678, Latency: 99, Jain: 1, Escape: 0.25},
+	}
+	header, crows := SweepCSV(rows)
+	p1, err := WriteCSV(dir, "sweep", header, crows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := os.ReadFile(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "mechanism,pattern,offered,accepted,latency,jain,escape\n" +
+		"PolSP,Uniform,0.1,0.3333333333333333,42.25,0.9999999999999999,0\n" +
+		"OmniSP,RPN,0.7,0.12345678901234568,99,1,0.25\n"
+	if string(first) != want {
+		t.Fatalf("CSV content:\n%s\nwant:\n%s", first, want)
+	}
+	// Re-export over the existing file: byte-identical, atomically replaced.
+	if _, err := WriteCSV(dir, "sweep", header, crows); err != nil {
+		t.Fatal(err)
+	}
+	second, err := os.ReadFile(filepath.Join(dir, "sweep.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(first) != string(second) {
+		t.Fatal("re-export is not byte-identical")
+	}
+	// No temp litter.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("export left %d directory entries, want 1", len(ents))
+	}
+}
+
+// TestWriteCSVErrors locks in the empty-dir guard.
+func TestWriteCSVErrors(t *testing.T) {
+	if _, err := WriteCSV("", "x", []string{"a"}, nil); err == nil {
+		t.Error("empty directory accepted")
+	}
+}

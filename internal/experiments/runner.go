@@ -131,6 +131,19 @@ func CacheStats() (hits, misses int64) {
 	return 0, 0
 }
 
+// cacheProbe, when set, turns RunSpec into a cache-coverage probe: see
+// SetCacheProbe.
+var cacheProbe atomic.Bool
+
+// SetCacheProbe toggles probe mode, in which RunSpec resolves every spec
+// from the installed result cache alone — hits decode normally, misses
+// return an empty Result immediately, and nothing is ever simulated or
+// written back. Cache maintenance tooling (`experiments -exp cache-gc`)
+// uses it to measure per-figure hit rates by replaying the drivers'
+// spec enumeration against the store; it must never be on during a real
+// run, since probed results are placeholders.
+func SetCacheProbe(on bool) { cacheProbe.Store(on) }
+
 // Executor runs one job spec to a result. The default executor is
 // (*JobSpec).Run (local, in-process); a work-queue server installs its
 // dispatching executor instead, which ships the spec to a remote worker
@@ -179,6 +192,9 @@ func runSpecCached(spec *JobSpec, run func(*JobSpec) (*sim.Result, error)) (*sim
 		if res, ok, err := store.Get(key); err == nil && ok {
 			return res, nil
 		}
+	}
+	if cacheProbe.Load() {
+		return &sim.Result{}, nil
 	}
 	res, err := run(spec)
 	if err != nil {

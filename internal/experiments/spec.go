@@ -218,6 +218,7 @@ func (s *JobSpec) Run() (*sim.Result, error) {
 		FaultSchedule:    s.FaultSchedule,
 		Seed:             s.Seed,
 		Workers:          RunWorkersFor(t.Switches()),
+		DisableActivity:  EngineActivityDisabled(),
 	})
 }
 

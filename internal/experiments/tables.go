@@ -52,11 +52,17 @@ func Table3Rows(workers int, hs ...*topo.HyperX) []Table3Row {
 // RenderTable3 formats Table 3 for the given topologies; workers bounds the
 // parallel row computation (0 means one per CPU).
 func RenderTable3(workers int, hs ...*topo.HyperX) string {
+	return RenderTable3Rows(Table3Rows(workers, hs...))
+}
+
+// RenderTable3Rows formats precomputed Table 3 rows, so callers that also
+// export them pay for the all-pairs BFS once.
+func RenderTable3Rows(rows []Table3Row) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Table 3: topological parameters\n")
 	fmt.Fprintf(&b, "  %-14s %-9s %-6s %-9s %-8s %-6s %-9s %s\n",
 		"topology", "switches", "radix", "srv/sw", "servers", "links", "diameter", "avg dist")
-	for _, r := range Table3Rows(workers, hs...) {
+	for _, r := range rows {
 		fmt.Fprintf(&b, "  %-14s %-9d %-6d %-9d %-8d %-6d %-9d %.3f\n",
 			r.Topology, r.Switches, r.Radix, r.ServersPer, r.Servers, r.Links, r.Diameter, r.AvgDistance)
 	}

@@ -14,11 +14,17 @@
 //	server -> worker  {"type":"job","id":7,"spec":{...}}        (up to N outstanding)
 //	worker -> server  {"type":"result","id":7,"result":"<base64>"}
 //	worker -> server  {"type":"result","id":7,"error":"..."}    (job failed)
+//	server -> worker  {"type":"bye"}                            (graceful shutdown)
 //
 // A worker whose engine version differs is rejected at the handshake —
 // mixed engines would merge semantically divergent rows. A worker that
 // disconnects mid-job has its in-flight jobs requeued for other workers;
 // a job error is final (it is deterministic) and propagates to the caller.
+//
+// The "bye" frame distinguishes the server finishing its run from the
+// server (or the network) dying: WorkLoop treats a connection that ends
+// without bye as a fault and reconnects with capped exponential backoff,
+// so long fleets survive server restarts instead of silently shrinking.
 package queue
 
 import (
@@ -30,6 +36,8 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/sim"
@@ -67,6 +75,7 @@ type Server struct {
 	ln     net.Listener
 	jobs   chan *pending
 	closed chan struct{}
+	abrupt atomic.Bool // suppress the bye frame (test hook: simulated crash)
 	seq    struct {
 		sync.Mutex
 		next int64
@@ -96,8 +105,9 @@ func Serve(addr string) (*Server, error) {
 // Addr returns the listener's address (useful with ":0").
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops accepting workers and tears down the listener. Pending
-// Execute calls receive an error.
+// Close stops accepting workers and tears down the listener, sending each
+// connected worker a bye frame so it exits cleanly instead of treating
+// the hangup as a fault. Pending Execute calls receive an error.
 func (s *Server) Close() error {
 	select {
 	case <-s.closed:
@@ -108,6 +118,14 @@ func (s *Server) Close() error {
 	err := s.ln.Close()
 	s.wg.Wait()
 	return err
+}
+
+// closeAbrupt kills the server without the bye handshake — the wire
+// behaviour of a crashed or SIGKILLed serve process. Tests use it to
+// exercise the worker's reconnect path; production shutdown is Close.
+func (s *Server) closeAbrupt() error {
+	s.abrupt.Store(true)
+	return s.Close()
 }
 
 // Execute ships one spec to a worker slot and blocks until its result (or
@@ -141,17 +159,6 @@ func (s *Server) acceptLoop() {
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			// Tear the connection down on server close so the reader
-			// unblocks and serveWorker can finish.
-			done := make(chan struct{})
-			defer close(done)
-			go func() {
-				select {
-				case <-s.closed:
-					conn.Close()
-				case <-done:
-				}
-			}()
 			s.serveWorker(conn)
 		}()
 	}
@@ -159,15 +166,45 @@ func (s *Server) acceptLoop() {
 
 // serveWorker owns one worker connection: handshake, then one dispatcher
 // goroutine per advertised slot plus a reader that routes results back.
-// On any connection error the in-flight jobs requeue for other workers.
+// On any connection error the in-flight jobs requeue for other workers;
+// on server shutdown the worker gets a bye frame so it knows the run is
+// over rather than lost.
 func (s *Server) serveWorker(conn net.Conn) {
 	defer conn.Close()
+	var wmu sync.Mutex       // serializes writes from the slot goroutines
+	var badWrite atomic.Bool // a frame write failed; stream may hold a partial frame
+	// Tear the connection down on server close (after a best-effort bye)
+	// so the reader unblocks and serveWorker can finish.
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-s.closed:
+			// First unblock any dispatcher stuck mid-write on a worker
+			// that stopped reading — it holds wmu, so taking the lock
+			// before breaking the write would deadlock the shutdown.
+			_ = conn.SetWriteDeadline(time.Now().Add(time.Second))
+			if !s.abrupt.Load() {
+				wmu.Lock()
+				// Never append bye after a failed (possibly partial)
+				// frame: the worker's line-oriented reader would see
+				// garbage instead of a clean shutdown. A plain close is
+				// the lesser signal but at least unambiguous.
+				if !badWrite.Load() {
+					_ = conn.SetWriteDeadline(time.Now().Add(time.Second))
+					_ = writeMessage(conn, &message{Type: "bye"})
+				}
+				wmu.Unlock()
+			}
+			conn.Close()
+		case <-done:
+		}
+	}()
 	r := bufio.NewReader(conn)
 	var hello message
 	if err := readMessage(r, &hello); err != nil || hello.Type != "hello" || hello.Slots < 1 {
 		return
 	}
-	var wmu sync.Mutex // serializes writes from the slot goroutines
 	if hello.Engine != sim.EngineVersion {
 		wmu.Lock()
 		_ = writeMessage(conn, &message{Type: "error",
@@ -236,6 +273,11 @@ func (s *Server) serveWorker(conn net.Conn) {
 				imu.Unlock()
 				wmu.Lock()
 				err = writeMessage(conn, &message{Type: "job", ID: p.id, Spec: data})
+				if err != nil {
+					// Flagged under wmu so the shutdown goroutine (which
+					// reads it under the same lock) cannot miss it.
+					badWrite.Store(true)
+				}
 				wmu.Unlock()
 				if err != nil {
 					markDead()
@@ -289,47 +331,149 @@ func decodeOutcome(msg *message) outcome {
 	return outcome{res: res}
 }
 
+// ErrRejected marks a handshake rejection (engine-version mismatch): the
+// condition is permanent for this worker build, so WorkLoop gives up
+// instead of retrying.
+var ErrRejected = errors.New("queue: server rejected worker")
+
+// Reconnect policy of WorkLoop: exponential backoff between connection
+// attempts, capped at reconnectMaxDelay, giving up after reconnectMaxDown
+// consecutive attempts that never got a frame from the server. The
+// schedule tolerates ~10 minutes of server downtime — a redeploy or host
+// reboot, not just a blip — before a worker declares the run lost. When
+// the last live session ended in a bare EOF with no job outstanding, the
+// shorter idle schedule (~2 minutes) applies: that shape is also what a
+// pre-bye server's normal end of run looks like, so the worker should
+// not spin for ten minutes against a server that simply finished.
+// Variables (not constants) so tests can compress the schedule.
+var (
+	reconnectBaseDelay   = 100 * time.Millisecond
+	reconnectMaxDelay    = 5 * time.Second
+	reconnectMaxDown     = 120
+	reconnectMaxDownIdle = 30
+)
+
 // Work connects to a server and processes jobs on the given number of
-// slots until the server closes the connection (normal end of a run,
+// slots until the server ends the session (a bye frame or a plain hangup,
 // returns nil) or the connection fails. Jobs run through
 // experiments.RunSpecLocal, so a worker started with a result cache
 // serves repeated points from disk but never re-enters a queue.
 func Work(addr string, slots int) error {
+	_, err := workOnce(addr, slots, func() {})
+	return err
+}
+
+// WorkLoop is Work hardened for long fleets: a connection that drops
+// without the server's bye frame (server crash, network partition,
+// restart) is retried with capped exponential backoff rather than ending
+// the worker, so a restarted server finds its fleet intact. It returns
+// nil once a server completes a run (bye), the rejection error if the
+// handshake is refused (an engine mismatch will not fix itself), or the
+// last connection error after reconnectMaxDown consecutive attempts that
+// never heard from a server.
+func WorkLoop(addr string, slots int) error {
 	if slots < 1 {
 		return fmt.Errorf("queue: worker needs >= 1 slots, got %d", slots)
 	}
+	delay := reconnectBaseDelay
+	down := 0
+	idleEnd := false
+	for {
+		up := false
+		end, err := workOnce(addr, slots, func() {
+			// First frame from the server: the link works, restart the
+			// backoff schedule.
+			up = true
+		})
+		if end.clean {
+			return nil
+		}
+		if errors.Is(err, ErrRejected) {
+			return err
+		}
+		if up {
+			delay, down, idleEnd = reconnectBaseDelay, 0, false
+		}
+		if end.idle {
+			idleEnd = true
+		}
+		limit := reconnectMaxDown
+		if idleEnd {
+			limit = reconnectMaxDownIdle
+		}
+		down++
+		if down > limit {
+			if err == nil {
+				err = fmt.Errorf("queue: server at %s hung up without bye", addr)
+			}
+			return fmt.Errorf("queue: giving up after %d reconnect attempts: %w", down-1, err)
+		}
+		time.Sleep(delay)
+		if delay *= 2; delay > reconnectMaxDelay {
+			delay = reconnectMaxDelay
+		}
+	}
+}
+
+// sessionEnd describes how one worker session finished.
+type sessionEnd struct {
+	clean bool // the server sent bye: the run is over
+	idle  bool // bare EOF with no job outstanding (a pre-bye server's
+	// normal finish looks exactly like this)
+}
+
+// workOnce runs one worker session. A bare EOF (legacy hangup or a
+// dropped connection) reports neither clean nor an error, so Work can
+// keep its lenient contract while WorkLoop treats it as a fault. onFrame
+// runs once, at the first frame received from the server.
+func workOnce(addr string, slots int, onFrame func()) (end sessionEnd, err error) {
+	if slots < 1 {
+		return end, fmt.Errorf("queue: worker needs >= 1 slots, got %d", slots)
+	}
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
-		return fmt.Errorf("queue: %w", err)
+		return end, fmt.Errorf("queue: %w", err)
 	}
 	defer conn.Close()
 	var wmu sync.Mutex
 	if err := writeMessage(conn, &message{Type: "hello", Slots: slots, Engine: sim.EngineVersion}); err != nil {
-		return fmt.Errorf("queue: %w", err)
+		return end, fmt.Errorf("queue: %w", err)
 	}
 	r := bufio.NewReader(conn)
 	var wg sync.WaitGroup
 	defer wg.Wait()
 	sem := make(chan struct{}, slots)
+	var outstanding atomic.Int64 // jobs accepted but not yet answered
+	first := true
 	for {
 		var msg message
 		if err := readMessage(r, &msg); err != nil {
 			if isEOF(err) {
-				return nil // server finished and hung up
+				end.idle = outstanding.Load() == 0
+				return end, nil // hangup without bye
 			}
-			return fmt.Errorf("queue: %w", err)
+			return end, fmt.Errorf("queue: %w", err)
+		}
+		if first {
+			first = false
+			onFrame()
 		}
 		switch msg.Type {
+		case "bye":
+			end.clean = true
+			return end, nil // server finished the run
 		case "error":
-			return fmt.Errorf("queue: server rejected worker: %s", msg.Error)
+			return end, fmt.Errorf("%w: %s", ErrRejected, msg.Error)
 		case "job":
 			spec, err := experiments.DecodeSpecJSON(msg.Spec)
 			id := msg.ID
+			outstanding.Add(1)
 			sem <- struct{}{}
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
 				defer func() { <-sem }()
+				defer outstanding.Add(-1)
 				reply := message{Type: "result", ID: id}
 				if err != nil {
 					reply.Error = err.Error()

@@ -2,6 +2,7 @@ package queue
 
 import (
 	"encoding/json"
+	"errors"
 	"net"
 	"strings"
 	"testing"
@@ -145,5 +146,132 @@ func TestWorkerEngineMismatch(t *testing.T) {
 func TestWorkerBadSlots(t *testing.T) {
 	if err := Work("127.0.0.1:1", 0); err == nil {
 		t.Error("zero slots accepted")
+	}
+	if err := WorkLoop("127.0.0.1:1", 0); err == nil {
+		t.Error("zero slots accepted by WorkLoop")
+	}
+}
+
+// TestWorkerReconnectsAfterServerRestart kills the server abruptly (no bye
+// frame, as a crash or SIGKILL would) in the middle of a drain, restarts
+// it on the same address, and asserts that the WorkLoop worker reconnects
+// through its backoff schedule and finishes the new server's jobs — then
+// exits cleanly when the server says bye.
+func TestWorkerReconnectsAfterServerRestart(t *testing.T) {
+	specs := testSpecs()
+	srv1, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv1.Addr()
+	workerDone := make(chan error, 1)
+	go func() { workerDone <- WorkLoop(addr, 1) }()
+
+	// A job completes against the first server: the worker is connected.
+	if _, err := srv1.Execute(&specs[0]); err != nil {
+		t.Fatalf("job on first server: %v", err)
+	}
+
+	// Kill it mid-drain, without the bye handshake.
+	if err := srv1.closeAbrupt(); err != nil {
+		t.Fatalf("abrupt close: %v", err)
+	}
+	select {
+	case err := <-workerDone:
+		t.Fatalf("worker exited on a dropped connection instead of reconnecting: %v", err)
+	case <-time.After(200 * time.Millisecond):
+	}
+
+	// Restart on the same address (retry briefly: the old listener's port
+	// may take a moment to free).
+	var srv2 *Server
+	for i := 0; i < 100; i++ {
+		if srv2, err = Serve(addr); err == nil {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("restart on %s: %v", addr, err)
+	}
+	defer srv2.Close()
+
+	// The reconnected worker drains the restarted server's jobs, and the
+	// results are byte-identical to local execution.
+	local, err := experiments.ExecuteJobs(1, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range specs {
+		res, err := srv2.Execute(&specs[i])
+		if err != nil {
+			t.Fatalf("job %d after restart: %v", i, err)
+		}
+		if string(res.AppendBinary(nil)) != string(local[i].AppendBinary(nil)) {
+			t.Errorf("job %d after restart differs from local", i)
+		}
+	}
+
+	// A graceful close ends the loop with nil.
+	srv2.Close()
+	select {
+	case err := <-workerDone:
+		if err != nil {
+			t.Errorf("worker exit after bye: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Error("worker did not exit after graceful server close")
+	}
+}
+
+// TestWorkLoopGivesUpWithoutServer: with nothing listening, the backoff
+// schedule runs out instead of spinning forever. The schedule is
+// compressed so the test does not wait out the production delays.
+func TestWorkLoopGivesUpWithoutServer(t *testing.T) {
+	base, max := reconnectBaseDelay, reconnectMaxDelay
+	reconnectBaseDelay, reconnectMaxDelay = time.Millisecond, 5*time.Millisecond
+	defer func() { reconnectBaseDelay, reconnectMaxDelay = base, max }()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close() // a dead address that was at least once valid
+	start := time.Now()
+	if err := WorkLoop(addr, 1); err == nil {
+		t.Fatal("WorkLoop returned nil with no server")
+	}
+	if elapsed := time.Since(start); elapsed < reconnectBaseDelay {
+		t.Errorf("WorkLoop gave up after %v, before any backoff", elapsed)
+	}
+}
+
+// TestWorkLoopRejectionIsFinal: an engine-version rejection must not be
+// retried — the mismatch cannot resolve itself.
+func TestWorkLoopRejectionIsFinal(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	dials := make(chan struct{}, 16)
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			dials <- struct{}{}
+			rej, _ := json.Marshal(message{Type: "error", Error: "engine version mismatch"})
+			conn.Write(append(rej, '\n'))
+			conn.Close()
+		}
+	}()
+	err = WorkLoop(ln.Addr().String(), 1)
+	if err == nil || !errors.Is(err, ErrRejected) {
+		t.Fatalf("want ErrRejected, got %v", err)
+	}
+	if len(dials) != 1 {
+		t.Errorf("worker dialed %d times after a rejection, want 1", len(dials))
 	}
 }

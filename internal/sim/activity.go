@@ -1,0 +1,239 @@
+package sim
+
+import (
+	"fmt"
+	"slices"
+)
+
+// This file implements the engine's activity tracking: the dirty-switch
+// set that lets every per-cycle phase and merge walk only the switches
+// that can possibly do something, and the idle-cycle fast-forward that
+// jumps over stretches where the only pending work is strictly-future
+// calendar events (burst drain tails, quiet periods between deliveries).
+//
+// A switch is *quiescent* exactly when
+//
+//	evWork[sw] == 0   no events anywhere on its calendar wheel, and
+//	quWork[sw] == 0   empty input VCs, output buffers and injection
+//	                  queues, and no pending input-port releases.
+//
+// A quiescent switch provably no-ops in every phase: processEvents and
+// processInReleases have nothing to drain, inject and transmit find empty
+// queues, and allocate finds no head packets — so it draws nothing from
+// its tie-break RNG stream. Skipping it is therefore invisible to the
+// simulation, which is what keeps activity tracking bit-identical to the
+// full walk (and to any worker count); TestActivityOnOffBitIdentical and
+// the TestShardedBitIdentical* regressions lock this in.
+//
+// Ownership of the bookkeeping mirrors the phase ownership argument in
+// shard.go: during the parallel phases a switch only ever adjusts its own
+// counters (its queues and its calendar are switch-local), so no counter
+// is written by two goroutines in a phase. The active *set* only grows in
+// sequential steps — traffic generation (a new injection-queue packet)
+// and the transmit merge (a link arrival routed onto another switch's
+// calendar) — so membership is maintained as a sorted list with
+// sequential merges and compaction, and the iteration order every phase
+// and merge sees is the ascending switch order of the full walk.
+type activityState struct {
+	// evWork counts pending calendar events per switch; quWork counts
+	// queued packets (input VCs, output buffers, injection queues) plus
+	// pending input-port releases.
+	evWork []int32
+	quWork []int32
+	// inSet marks switches present in active or pending (at most once).
+	inSet []bool
+	// active is the sorted dirty list the current cycle iterates.
+	active []int32
+	// pending stages activations from the sequential steps until the next
+	// merge point; it may be unsorted (transmit-merge targets arrive in
+	// outbox order).
+	pending []int32
+	// spare is the double buffer the merge/compaction passes write into.
+	spare []int32
+	// queuedSum is the sum of quWork over the active set as of the last
+	// compaction; fast-forward is legal only when it is zero (all
+	// remaining work is strictly-future calendar events).
+	queuedSum int64
+}
+
+func newActivityState(switches int) *activityState {
+	return &activityState{
+		evWork: make([]int32, switches),
+		quWork: make([]int32, switches),
+		inSet:  make([]bool, switches),
+	}
+}
+
+// actQu adjusts the queued-work counter of sw by n. Callers are either sw
+// itself inside a parallel phase or a sequential step, never both at once.
+func (e *engine) actQu(sw, n int32) {
+	if e.act != nil {
+		e.act.quWork[sw] += n
+	}
+}
+
+// actActivate stages sw for insertion into the active set. Sequential
+// steps only: a switch executing a phase is already active, and phases
+// never touch another switch's membership.
+func (e *engine) actActivate(sw int32) {
+	a := e.act
+	if a == nil || a.inSet[sw] {
+		return
+	}
+	a.inSet[sw] = true
+	a.pending = append(a.pending, sw)
+}
+
+// actMergePending folds staged activations into the sorted active list.
+// Called before the event phase (covers burst preloads) and after traffic
+// generation, so a switch that just received its first packet runs the
+// inject/allocate phases in the same cycle — exactly when the full walk
+// would have reached it.
+func (e *engine) actMergePending() {
+	a := e.act
+	if a == nil || len(a.pending) == 0 {
+		return
+	}
+	slices.Sort(a.pending)
+	out := a.spare[:0]
+	i, j := 0, 0
+	for i < len(a.active) || j < len(a.pending) {
+		if j >= len(a.pending) || (i < len(a.active) && a.active[i] < a.pending[j]) {
+			out = append(out, a.active[i])
+			i++
+		} else {
+			out = append(out, a.pending[j])
+			j++
+		}
+	}
+	a.spare = a.active
+	a.active = out
+	a.pending = a.pending[:0]
+}
+
+// actCompact ends the cycle: it folds staged activations in, drops the
+// switches that went quiescent, and refreshes the queued-work sum the
+// fast-forward decision reads. The active and pending lists are disjoint
+// (inSet guards both), so a single sorted two-pointer pass keeps the
+// result in ascending switch order.
+func (e *engine) actCompact() {
+	a := e.act
+	if a == nil {
+		return
+	}
+	if len(a.pending) > 1 {
+		slices.Sort(a.pending)
+	}
+	out := a.spare[:0]
+	var qsum int64
+	i, j := 0, 0
+	for i < len(a.active) || j < len(a.pending) {
+		var sw int32
+		if j >= len(a.pending) || (i < len(a.active) && a.active[i] < a.pending[j]) {
+			sw = a.active[i]
+			i++
+		} else {
+			sw = a.pending[j]
+			j++
+		}
+		if a.evWork[sw]+a.quWork[sw] > 0 {
+			out = append(out, sw)
+			qsum += int64(a.quWork[sw])
+		} else {
+			a.inSet[sw] = false
+		}
+	}
+	a.spare = a.active
+	a.active = out
+	a.pending = a.pending[:0]
+	a.queuedSum = qsum
+}
+
+// fastForwardTarget reports the next cycle at which the engine can do any
+// work, when every remaining obligation is a strictly-future calendar
+// event: no queued packets, no pending releases, no traffic generation
+// (the caller only asks in burst mode, where all traffic preloads). The
+// jump is bounded by the next scheduled fault and by maxCycles+1 so the
+// burst timeout fires at the same cycle as the per-cycle walk. It returns
+// false when the next cycle must execute anyway (an event or fault due at
+// now+1, or nothing pending at all).
+//
+// Jumping is bit-identical to ticking the skipped cycles because a cycle
+// with no due events, no queued packets and no generation mutates nothing
+// and draws no randomness; pending input-port releases cannot outlive the
+// jump since every release is scheduled at or before its paired
+// crossbar-completion event and both use <=-now tests.
+func (e *engine) fastForwardTarget(maxCycles int64) (int64, bool) {
+	a := e.act
+	if a == nil || a.queuedSum != 0 || len(a.active) == 0 {
+		return 0, false
+	}
+	best := int64(-1)
+	for _, sw := range a.active {
+		base := int64(sw) * e.horizon
+		for off := int64(1); off < e.horizon; off++ {
+			c := e.now + off
+			if len(e.events[base+c%e.horizon]) > 0 {
+				if best < 0 || c < best {
+					best = c
+				}
+				break
+			}
+		}
+		if best == e.now+1 {
+			return 0, false
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	if e.nextFault < len(e.faultSchedule) && e.faultSchedule[e.nextFault].Cycle < best {
+		best = e.faultSchedule[e.nextFault].Cycle
+	}
+	if m := maxCycles + 1; m < best {
+		best = m
+	}
+	if best <= e.now+1 {
+		return 0, false
+	}
+	return best, true
+}
+
+// verifyActivity audits the activity bookkeeping against the ground
+// truth: recomputed event and queue counts per switch, and set membership
+// for every switch with work. Wrong counters would silently skip a switch
+// and corrupt results, so this panics like the flow-control audits.
+// Enabled by Config.CheckInvariants via verifyInvariants.
+func (e *engine) verifyActivity() {
+	a := e.act
+	if a == nil {
+		return
+	}
+	for sw := 0; sw < e.S; sw++ {
+		var evn int32
+		base := int64(sw) * e.horizon
+		for s := int64(0); s < e.horizon; s++ {
+			evn += int32(len(e.events[base+s]))
+		}
+		var qn int32
+		for p := 0; p < e.P; p++ {
+			gp := sw*e.P + p
+			for vc := 0; vc < e.V; vc++ {
+				qn += int32(e.inQ[gp*e.V+vc].len())
+			}
+			qn += int32(e.outQ[gp].len())
+		}
+		for s := 0; s < e.K; s++ {
+			qn += int32(e.injQ[sw*e.K+s].len())
+		}
+		qn += int32(len(e.sw[sw].inReleases))
+		if a.evWork[sw] != evn || a.quWork[sw] != qn {
+			panic(fmt.Sprintf("sim: activity counters of switch %d are (ev %d, qu %d), actual (%d, %d) at cycle %d",
+				sw, a.evWork[sw], a.quWork[sw], evn, qn, e.now))
+		}
+		if evn+qn > 0 && !a.inSet[sw] {
+			panic(fmt.Sprintf("sim: switch %d has work (ev %d, qu %d) but is not in the active set at cycle %d",
+				sw, evn, qn, e.now))
+		}
+	}
+}

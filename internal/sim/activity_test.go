@@ -1,0 +1,220 @@
+package sim
+
+import (
+	"bytes"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/topo"
+	"repro/internal/traffic"
+)
+
+// runBytes executes one configuration and returns the stable binary
+// encoding of its Result — the byte-identity currency of the cache and the
+// work queue, and so the right equality for the activity contract.
+func runBytes(t *testing.T, o RunOptions) []byte {
+	t.Helper()
+	res, err := Run(o)
+	if err != nil {
+		t.Fatalf("run (activity=%v, workers=%d): %v", !o.DisableActivity, o.Workers, err)
+	}
+	return res.AppendBinary(nil)
+}
+
+// TestActivityOnOffBitIdentical is the tentpole property test: across
+// random small topologies, mechanisms, open-loop and burst modes, series
+// buckets and mid-run fault schedules, the activity-tracked engine (with
+// its dirty sets and idle-cycle fast-forward) produces byte-for-byte the
+// Result of the full-walk engine, at several worker counts.
+func TestActivityOnOffBitIdentical(t *testing.T) {
+	dimChoices := [][]int{{3, 3}, {4, 4}, {2, 2, 2}, {3, 3, 3}}
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		dims := dimChoices[r.Intn(len(dimChoices))]
+		h := topo.MustHyperX(dims...)
+		seq := topo.RandomFaultSequence(h, seed)
+		base := core.OmniRoutes
+		if r.Intn(2) == 0 {
+			base = core.PolarizedRoutes
+		}
+		per := 2
+		o := RunOptions{ServersPerSwitch: per, Seed: seed}
+		switch r.Intn(3) {
+		case 0: // open loop
+			o.Load = 0.1 + 0.8*r.Float64()
+			o.WarmupCycles = int64(r.Intn(300))
+			o.MeasureCycles = 600 + int64(r.Intn(900))
+		case 1: // burst with a throughput series: exercises fast-forward
+			o.BurstPackets = 2 + r.Intn(6)
+			o.SeriesBucket = 100 + int64(r.Intn(400))
+		default: // open loop with a mid-run fault schedule
+			o.Load = 0.3 + 0.4*r.Float64()
+			o.MeasureCycles = 1200
+			o.FaultSchedule = []FaultEvent{
+				{Cycle: 200 + int64(r.Intn(200)), Edge: seq[0]},
+				{Cycle: 600 + int64(r.Intn(200)), Edge: seq[1]},
+			}
+		}
+		var ref []byte
+		for _, workers := range []int{1, 4} {
+			for _, noAct := range []bool{false, true} {
+				// Each run gets a private network and mechanism: fault
+				// schedules mutate the network's fault set.
+				nw := topo.NewNetwork(h, topo.NewFaultSet())
+				mech, err := core.New(nw, base, 4)
+				if err != nil {
+					t.Logf("seed %d: %v", seed, err)
+					return false
+				}
+				pat, err := traffic.NewRandomServerPermutation(h.Switches()*per, seed)
+				if err != nil {
+					return false
+				}
+				run := o
+				run.Net, run.Mechanism, run.Pattern = nw, mech, pat
+				run.Workers = workers
+				run.DisableActivity = noAct
+				got := runBytes(t, run)
+				if ref == nil {
+					ref = got
+					continue
+				}
+				if !bytes.Equal(ref, got) {
+					t.Logf("seed %d (%v): workers=%d activity=%v diverged", seed, dims, workers, !noAct)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestActivityBookkeepingAudited runs loaded, bursty and faulty
+// configurations with CheckInvariants on: verifyActivity recomputes every
+// switch's event and queue counts from the ground truth each audit and
+// panics on any drift, so this catches a missed counter hook anywhere in
+// the engine.
+func TestActivityBookkeepingAudited(t *testing.T) {
+	h := topo.MustHyperX(4, 4)
+	pat := uniformOn(t, h, 4)
+	cfg := DefaultConfig()
+	cfg.CheckInvariants = true
+	seq := topo.RandomFaultSequence(h, 11)
+
+	t.Run("OpenLoopFaults", func(t *testing.T) {
+		nw := topo.NewNetwork(h, topo.NewFaultSet())
+		mech, err := core.New(nw, core.PolarizedRoutes, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Run(RunOptions{
+			Net: nw, ServersPerSwitch: 4, Mechanism: mech, Pattern: pat,
+			Load: 0.8, WarmupCycles: 200, MeasureCycles: 1800, Seed: 5, Workers: 4,
+			Config: cfg,
+			FaultSchedule: []FaultEvent{
+				{Cycle: 400, Edge: seq[0]},
+				{Cycle: 900, Edge: seq[1]},
+			},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Run("BurstDrain", func(t *testing.T) {
+		nw := topo.NewNetwork(h, nil)
+		mech, err := core.New(nw, core.OmniRoutes, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Run(RunOptions{
+			Net: nw, ServersPerSwitch: 4, Mechanism: mech, Pattern: pat,
+			BurstPackets: 6, SeriesBucket: 250, Seed: 6, Workers: 4, Config: cfg,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestFastForwardTarget unit-tests the jump rule on a handcrafted engine:
+// the target is the earliest pending calendar event, bounded by the next
+// scheduled fault and the burst timeout, and refused outright while any
+// queued work exists.
+func TestFastForwardTarget(t *testing.T) {
+	h := topo.MustHyperX(3, 3)
+	nw := topo.NewNetwork(h, nil)
+	mech, err := core.New(nw, core.PolarizedRoutes, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pat := uniformOn(t, h, 3)
+	e, err := newEngine(RunOptions{
+		Net: nw, ServersPerSwitch: 3, Mechanism: mech, Pattern: pat,
+		Load: 0.5, MeasureCycles: 10, Seed: 1, Config: DefaultConfig(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e.fastForwardTarget(1000); ok {
+		t.Fatal("fast-forward offered on an empty engine")
+	}
+	// One event 10 cycles out on switch 2, nothing queued anywhere.
+	e.scheduleSw(2, 10, event{kind: evCredit, a: 2 * int32(e.P*e.V)})
+	e.actActivate(2)
+	e.actCompact()
+	next, ok := e.fastForwardTarget(1000)
+	if !ok || next != 10 {
+		t.Fatalf("fastForwardTarget = (%d, %v), want (10, true)", next, ok)
+	}
+	// A nearer fault bounds the jump.
+	e.faultSchedule = []FaultEvent{{Cycle: 7, Edge: topo.Edge{U: 0, V: 1}}}
+	if next, ok = e.fastForwardTarget(1000); !ok || next != 7 {
+		t.Fatalf("fault-bounded target = (%d, %v), want (7, true)", next, ok)
+	}
+	// The burst timeout bounds it too.
+	e.faultSchedule = nil
+	if next, ok = e.fastForwardTarget(4); !ok || next != 5 {
+		t.Fatalf("timeout-bounded target = (%d, %v), want (5, true)", next, ok)
+	}
+	// Queued work anywhere forbids jumping entirely.
+	e.act.queuedSum = 1
+	if _, ok = e.fastForwardTarget(1000); ok {
+		t.Fatal("fast-forward offered despite queued work")
+	}
+	e.act.queuedSum = 0
+	// An event due next cycle means there is nothing to skip.
+	e.scheduleSw(2, 1, event{kind: evCredit, a: 2 * int32(e.P*e.V)})
+	if _, ok = e.fastForwardTarget(1000); ok {
+		t.Fatal("fast-forward offered with an event due next cycle")
+	}
+}
+
+// TestSpinPoolBarrier drives the spinning cyclic barrier directly (the
+// engine only selects it when every worker can own a P, which CI machines
+// may not allow): every phase must run each worker body exactly once and
+// the caller must not return before all workers finish.
+func TestSpinPoolBarrier(t *testing.T) {
+	const extra = 3
+	p := newSpinPool(extra)
+	defer p.close()
+	var sum atomic.Int64
+	for phase := 0; phase < 500; phase++ {
+		var ran [extra + 1]atomic.Int32
+		p.run(func(w int) {
+			ran[w].Add(1)
+			sum.Add(int64(w))
+		})
+		for w := range ran {
+			if got := ran[w].Load(); got != 1 {
+				t.Fatalf("phase %d: worker %d ran %d times", phase, w, got)
+			}
+		}
+	}
+	if got := sum.Load(); got != 500*(1+2+3) {
+		t.Fatalf("spin pool work sum = %d, want %d", got, 500*(1+2+3))
+	}
+}

@@ -80,7 +80,11 @@ type engine struct {
 	S, R, K, P, V int
 
 	workers int
-	wp      *workerPool // nil when workers <= 1
+	disp    phasePool // nil when workers <= 1
+
+	// act is the dirty-switch tracking state (activity.go); nil when
+	// RunOptions.DisableActivity selects the full-walk baseline.
+	act *activityState
 
 	// Static maps (dnInVC/portDead mutate on scheduled mid-run faults).
 	dnInVC   []int32 // per global link port: downstream input VC base, -1 if dead
@@ -277,6 +281,9 @@ func newEngine(o RunOptions) (*engine, error) {
 		e.ws[w].inUsed = make([]int8, e.P)
 		e.ws[w].vcUsed = make([]int16, e.V)
 	}
+	if !o.DisableActivity {
+		e.act = newActivityState(e.S)
+	}
 	return e, nil
 }
 
@@ -287,10 +294,15 @@ func max(a, b int) int {
 	return b
 }
 
-// scheduleSw enqueues an event on switch sw's calendar at now+delay.
+// scheduleSw enqueues an event on switch sw's calendar at now+delay. Every
+// caller schedules onto its own switch (cross-switch arrivals go through
+// the outbox merge), so the event-work counter stays switch-owned.
 func (e *engine) scheduleSw(sw int32, delay int64, ev event) {
 	slot := int64(sw)*e.horizon + (e.now+delay)%e.horizon
 	e.events[slot] = append(e.events[slot], ev)
+	if e.act != nil {
+		e.act.evWork[sw]++
+	}
 }
 
 // allocPacket takes a packet from the pool (sequential phases only).
@@ -326,6 +338,9 @@ func (e *engine) generate(src int32) bool {
 	pkt.inWindow = e.now >= e.warmStart && e.now < e.warmEnd
 	e.mech.Init(&pkt.st, src/int32(e.K), dst/int32(e.K), e.r)
 	e.injQ[src].push(id)
+	sw := src / int32(e.K)
+	e.actQu(sw, 1)
+	e.actActivate(sw)
 	e.inFlight++
 	if pkt.inWindow {
 		e.genPhits[src] += int64(e.cfg.PacketPhits)
@@ -342,10 +357,14 @@ func (e *engine) processEventsSwitch(sw int32) {
 	slot := int64(sw)*e.horizon + e.now%e.horizon
 	evs := e.events[slot]
 	e.events[slot] = evs[:0]
+	if e.act != nil && len(evs) > 0 {
+		e.act.evWork[sw] -= int32(len(evs))
+	}
 	for _, ev := range evs {
 		switch ev.kind {
 		case evArrive:
 			e.inQ[ev.a].push(ev.pkt)
+			e.actQu(sw, 1)
 		case evXferDone:
 			e.outReserved[ev.a]--
 			e.outInflight[ev.a]--
@@ -358,6 +377,7 @@ func (e *engine) processEventsSwitch(sw int32) {
 				continue
 			}
 			e.outQ[ev.a].push(ev.pkt, ev.vc)
+			e.actQu(sw, 1)
 			// The input-port inflight counter was decremented when the
 			// input released the packet (evCredit below shares the timing),
 			// so only the output side is handled here.
@@ -420,6 +440,7 @@ func (e *engine) injectSwitch(sw int32, ws *workerScratch) {
 			continue // no space at the switch; retry next cycle
 		}
 		q.pop()
+		e.actQu(sw, -1)
 		invc := base + int32(bestVC)
 		e.credits[invc]--
 		e.credSum[invc/int32(V)]--
@@ -603,6 +624,7 @@ func (e *engine) commitSwitch(sw int32) {
 			e.credSum[dn/V]--
 		}
 		e.inQ[rq.invc].pop()
+		e.actQu(sw, -1)
 		e.inBusyUntil[rq.invc] = e.now + xfer
 		e.inInflight[rq.inPort]++
 		e.outInflight[rq.outPort]++
@@ -618,6 +640,7 @@ func (e *engine) commitSwitch(sw int32) {
 		// crossbar latency later.
 		e.scheduleSw(sw, xfer, event{kind: evCredit, a: rq.invc})
 		ss.inReleases = append(ss.inReleases, inRelease{at: e.now + xfer, port: rq.inPort})
+		e.actQu(sw, 1)
 		e.scheduleSw(sw, xfer+int64(e.cfg.XbarLatency), event{kind: evXferDone, a: rq.outPort, vc: rq.vc, pkt: rq.pkt})
 		ss.progressed = true
 	}
@@ -636,14 +659,19 @@ type inRelease struct {
 func (e *engine) processInReleasesSwitch(sw int32) {
 	ss := &e.sw[sw]
 	keep := ss.inReleases[:0]
+	applied := int32(0)
 	for _, rel := range ss.inReleases {
 		if rel.at <= e.now {
 			e.inInflight[rel.port]--
+			applied++
 		} else {
 			keep = append(keep, rel)
 		}
 	}
 	ss.inReleases = keep
+	if applied > 0 {
+		e.actQu(sw, -applied)
+	}
 }
 
 // transmitSwitch moves switch sw's output-buffer heads onto links and
@@ -662,6 +690,7 @@ func (e *engine) transmitSwitch(sw int32) {
 			continue
 		}
 		id, vc := q.pop()
+		e.actQu(sw, -1)
 		e.outBusy[gport] = e.now + serial
 		e.outVCCount[gport*V+int32(vc)]--
 		ss.progressed = true

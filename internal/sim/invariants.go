@@ -53,4 +53,6 @@ func (e *engine) verifyInvariants() {
 		panic(fmt.Sprintf("sim: pool holds %d packets but inFlight = %d at cycle %d",
 			inUse, e.inFlight, e.now))
 	}
+	// Activity bookkeeping against ground truth (no-op when disabled).
+	e.verifyActivity()
 }

@@ -55,6 +55,13 @@ type RunOptions struct {
 	// single runs (paper-scale 8x8x8) and costs a little synchronization
 	// overhead on tiny networks.
 	Workers int
+	// DisableActivity turns off the engine's dirty-switch tracking and
+	// idle-cycle fast-forward, restoring the full every-switch walk of
+	// every cycle. Activity tracking is bit-identical to the full walk —
+	// a quiescent switch cannot mutate state or draw randomness — so this
+	// is purely an A/B and benchmarking escape hatch (the -no-activity
+	// flag of both CLIs), never a semantic knob.
+	DisableActivity bool
 	// Config carries the Table 2 microarchitecture; zero means
 	// DefaultConfig.
 	Config Config
@@ -209,6 +216,14 @@ func (e *engine) runBurst(o RunOptions) (*Result, error) {
 		}
 		if err := e.checkWatchdog(); err != nil {
 			return nil, err
+		}
+		// Idle-cycle fast-forward: with no queued packets and no traffic
+		// generation (all burst traffic preloads), nothing can happen until
+		// the next calendar event — jump straight to it. The skipped cycles
+		// are provably no-ops, so e.now passes through exactly the same
+		// observable sequence as per-cycle ticking.
+		if next, ok := e.fastForwardTarget(maxCycles); ok {
+			e.now = next - 1 // the loop increment lands on the event cycle
 		}
 	}
 	res := e.result(o)

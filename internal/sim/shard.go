@@ -1,5 +1,12 @@
 package sim
 
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
 // This file holds the sharded execution machinery of the cycle engine. A
 // cycle runs as three switch-parallel phases separated by cheap sequential
 // merge steps:
@@ -15,6 +22,12 @@ package sim
 //	   heads onto links; cross-switch arrivals stage in per-switch outboxes
 //	   mergeTransmit (sequential): route outboxes onto target calendars in
 //	   switch order, fold progress flags
+//
+// With activity tracking on (the default), the phases and merges walk only
+// the sorted dirty list of activity.go instead of the whole switch array;
+// the compaction at the end of the cycle drops the switches that went
+// quiescent. The iteration order is the ascending switch order of the full
+// walk either way.
 //
 // Ownership argument (why the phases are race-free):
 //
@@ -36,14 +49,28 @@ package sim
 //   - Calendars are per-switch; the only cross-switch event (a link
 //     arrival) travels through the source switch's outbox and is appended
 //     by the sequential merge in switch order.
+//   - The activity counters (activity.go) follow the same rule: a switch
+//     adjusts only its own counters inside a phase, and the active set
+//     itself changes only in the sequential steps.
 //
 // Because every per-switch computation depends only on switch-owned state
 // and the merges walk switches in index order, the run is bit-identical for
 // any worker count — the regression tests in sharded_test.go lock this in
-// for every mechanism.
+// for every mechanism, with activity tracking on and off.
 
-// workerPool runs phase closures on a fixed set of persistent goroutines.
-// Worker 0 is the caller itself, so workers == 1 costs nothing.
+// phasePool runs one phase body fn(w) for every worker id w in [0,
+// workers) and returns when all complete. Two implementations exist: the
+// channel-based workerPool and the spinning spinPool barrier.
+type phasePool interface {
+	run(fn func(w int))
+	close()
+}
+
+// workerPool runs phase closures on a fixed set of persistent goroutines,
+// parked on channels between phases. Worker 0 is the caller itself. One
+// channel round-trip per worker per phase makes it the right pool when the
+// machine is oversubscribed (workers > GOMAXPROCS would spin uselessly);
+// spinPool below is the fast path otherwise.
 type workerPool struct {
 	task []chan func()
 	done chan struct{}
@@ -86,28 +113,129 @@ func (p *workerPool) close() {
 	}
 }
 
-// startPool brings up the worker pool when the run asked for intra-run
-// parallelism; the returned stop function tears it down.
+// spinYieldEvery bounds busy-waiting: every this many spin iterations the
+// waiter yields its P so GC assists and (on small machines) the other
+// workers can run. Phases are microseconds apart, so waits are short.
+const spinYieldEvery = 256
+
+// spinSleepAfter caps how long a spinPool worker burns a core waiting for
+// the next phase. Back-to-back phases release well inside this budget;
+// when the engine stops dispatching for a while — the dirty list dropped
+// below the worker count and phases run inline, or the run is tearing
+// down — the worker degrades to brief sleeps, costing at most one
+// ~50-microsecond wake-up when pooled dispatch resumes instead of a core
+// for the whole quiet stretch.
+const spinSleepAfter = 64 * spinYieldEvery
+
+// spinPool is a spinning cyclic barrier: the extra workers busy-wait on a
+// generation word instead of parking on a channel, so releasing a phase is
+// one atomic store and collecting it is one atomic counter — no scheduler
+// round-trip on either edge. The engine dispatches three phases per
+// simulated cycle; on small networks with many workers the channel
+// round-trips of workerPool dominate the phase cost, which is what this
+// barrier removes. Correctness of the handoff: run publishes fn with plain
+// stores before the gen.Add release, and workers read it after observing
+// the new generation (acquire), so fn is visible; arrived is reset before
+// the release while no worker is between generations.
+type spinPool struct {
+	extra   int32 // workers beyond the caller
+	fn      func(w int)
+	gen     atomic.Uint32
+	arrived atomic.Int32
+	stop    atomic.Bool
+	wg      sync.WaitGroup
+}
+
+func newSpinPool(extra int) *spinPool {
+	p := &spinPool{extra: int32(extra)}
+	p.wg.Add(extra)
+	for i := 0; i < extra; i++ {
+		w := i + 1
+		go func() {
+			defer p.wg.Done()
+			last := uint32(0)
+			for {
+				for spins := 1; p.gen.Load() == last; spins++ {
+					if spins%spinYieldEvery == 0 {
+						if spins >= spinSleepAfter {
+							time.Sleep(50 * time.Microsecond)
+						} else {
+							runtime.Gosched()
+						}
+					}
+				}
+				last++
+				if p.stop.Load() {
+					return
+				}
+				p.fn(w)
+				p.arrived.Add(1)
+			}
+		}()
+	}
+	return p
+}
+
+func (p *spinPool) run(fn func(w int)) {
+	p.fn = fn
+	p.arrived.Store(0)
+	p.gen.Add(1)
+	fn(0)
+	for spins := 1; p.arrived.Load() != p.extra; spins++ {
+		if spins%spinYieldEvery == 0 {
+			runtime.Gosched()
+		}
+	}
+}
+
+func (p *spinPool) close() {
+	p.stop.Store(true)
+	p.gen.Add(1)
+	p.wg.Wait()
+}
+
+// activeEngineWorkers counts the phase-pool workers of every engine
+// currently running in this process. Concurrent engines are common — the
+// experiment grid pool runs many simulations at once — and a spinning
+// barrier is only safe while the combined worker population fits the Ps;
+// beyond that, spinners steal CPU from sibling engines' real work.
+var activeEngineWorkers atomic.Int64
+
+// startPool brings up the phase pool when the run asked for intra-run
+// parallelism; the returned stop function tears it down. The spinning
+// barrier is used while every worker in the process — this engine's plus
+// any concurrently running engines' — can own a P; otherwise (or with a
+// single worker) the channel pool's parking behaviour is the right
+// choice.
 func (e *engine) startPool() func() {
 	if e.workers <= 1 {
 		return func() {}
 	}
-	e.wp = newWorkerPool(e.workers - 1)
-	return e.wp.close
+	inUse := activeEngineWorkers.Add(int64(e.workers))
+	if inUse <= int64(runtime.GOMAXPROCS(0)) {
+		e.disp = newSpinPool(e.workers - 1)
+	} else {
+		e.disp = newWorkerPool(e.workers - 1)
+	}
+	return func() {
+		activeEngineWorkers.Add(-int64(e.workers))
+		e.disp.close()
+		e.disp = nil
+	}
 }
 
 // forEachSwitch applies fn to every switch, in index order when sequential
 // and chunked over the worker pool otherwise. fn must confine itself to
 // state owned by the switch in the current phase plus the caller's scratch.
 func (e *engine) forEachSwitch(fn func(sw int32, ws *workerScratch)) {
-	if e.wp == nil {
+	if e.disp == nil {
 		ws := &e.ws[0]
 		for sw := 0; sw < e.S; sw++ {
 			fn(int32(sw), ws)
 		}
 		return
 	}
-	e.wp.run(func(w int) {
+	e.disp.run(func(w int) {
 		lo := e.S * w / e.workers
 		hi := e.S * (w + 1) / e.workers
 		ws := &e.ws[w]
@@ -117,75 +245,136 @@ func (e *engine) forEachSwitch(fn func(sw int32, ws *workerScratch)) {
 	})
 }
 
+// forEachActive applies fn to every switch in the dirty set, in ascending
+// switch order per worker chunk — or to every switch when activity
+// tracking is off. Short lists skip the pool dispatch entirely; the choice
+// depends only on the (deterministic) dirty-set size, and chunk boundaries
+// never affect results because scratch state is per-switch.
+func (e *engine) forEachActive(fn func(sw int32, ws *workerScratch)) {
+	if e.act == nil {
+		e.forEachSwitch(fn)
+		return
+	}
+	list := e.act.active
+	if e.disp == nil || len(list) < e.workers {
+		ws := &e.ws[0]
+		for _, sw := range list {
+			fn(sw, ws)
+		}
+		return
+	}
+	e.disp.run(func(w int) {
+		lo := len(list) * w / e.workers
+		hi := len(list) * (w + 1) / e.workers
+		ws := &e.ws[w]
+		for _, sw := range list[lo:hi] {
+			fn(sw, ws)
+		}
+	})
+}
+
 // mergeRetire folds the per-switch retirement staging of this cycle into
 // the run totals: in-flight accounting, the packet free list, the optional
 // throughput series and the progress stamp. Walking switches in index order
-// keeps the free list (and so packet-id reuse) independent of scheduling.
+// keeps the free list (and so packet-id reuse) independent of scheduling;
+// only switches that ran the event phase can hold staging, so the dirty
+// list covers everything.
 func (e *engine) mergeRetire() {
-	for i := range e.sw {
-		ss := &e.sw[i]
-		if ss.retired != 0 {
-			e.inFlight -= ss.retired
-			e.totalDelivered += ss.delivered
-			e.lostPkts += ss.lost
-			ss.retired, ss.delivered, ss.lost = 0, 0, 0
+	if e.act != nil {
+		for _, sw := range e.act.active {
+			e.mergeRetireSwitch(sw)
 		}
-		if len(ss.freed) > 0 {
-			e.free = append(e.free, ss.freed...)
-			ss.freed = ss.freed[:0]
-		}
-		if ss.seriesPhits > 0 {
-			e.series.Record(e.now, ss.seriesPhits)
-			ss.seriesPhits = 0
-		}
-		if ss.progressed {
-			e.lastProgress = e.now
-			ss.progressed = false
-		}
+		return
+	}
+	for sw := range e.sw {
+		e.mergeRetireSwitch(int32(sw))
+	}
+}
+
+func (e *engine) mergeRetireSwitch(sw int32) {
+	ss := &e.sw[sw]
+	if ss.retired != 0 {
+		e.inFlight -= ss.retired
+		e.totalDelivered += ss.delivered
+		e.lostPkts += ss.lost
+		ss.retired, ss.delivered, ss.lost = 0, 0, 0
+	}
+	if len(ss.freed) > 0 {
+		e.free = append(e.free, ss.freed...)
+		ss.freed = ss.freed[:0]
+	}
+	if ss.seriesPhits > 0 {
+		e.series.Record(e.now, ss.seriesPhits)
+		ss.seriesPhits = 0
+	}
+	if ss.progressed {
+		e.lastProgress = e.now
+		ss.progressed = false
 	}
 }
 
 // mergeTransmit routes every switch's outbox onto the target calendars, in
 // switch order, and folds the progress stamps of the inject/allocate/
-// commit/transmit phases.
+// commit/transmit phases. Targets that were quiescent are (re)activated
+// here — the only place one switch creates work for another.
 func (e *engine) mergeTransmit() {
+	if e.act != nil {
+		for _, sw := range e.act.active {
+			e.mergeTransmitSwitch(sw)
+		}
+		return
+	}
+	for sw := range e.sw {
+		e.mergeTransmitSwitch(int32(sw))
+	}
+}
+
+func (e *engine) mergeTransmitSwitch(sw int32) {
+	ss := &e.sw[sw]
 	PV := int32(e.P * e.V)
-	for i := range e.sw {
-		ss := &e.sw[i]
-		for _, te := range ss.outbox {
-			tgt := te.ev.a / PV
-			slot := int64(tgt)*e.horizon + te.at%e.horizon
-			e.events[slot] = append(e.events[slot], te.ev)
+	for _, te := range ss.outbox {
+		tgt := te.ev.a / PV
+		slot := int64(tgt)*e.horizon + te.at%e.horizon
+		e.events[slot] = append(e.events[slot], te.ev)
+		if e.act != nil {
+			e.act.evWork[tgt]++
+			e.actActivate(tgt)
 		}
-		ss.outbox = ss.outbox[:0]
-		if ss.progressed {
-			e.lastProgress = e.now
-			ss.progressed = false
-		}
+	}
+	ss.outbox = ss.outbox[:0]
+	if ss.progressed {
+		e.lastProgress = e.now
+		ss.progressed = false
 	}
 }
 
 // stepCycle advances the engine by one cycle. generate runs between the
 // event drain and the switch phases (nil in burst mode, where all traffic
-// preloads).
+// preloads). The two actMergePending calls make freshly activated switches
+// visible exactly when the full walk would reach them: preloaded or
+// merge-activated switches before the event phase, newly generated-into
+// switches before inject/allocate; actCompact then retires the quiescent.
 func (e *engine) stepCycle(generate func()) {
-	e.forEachSwitch(func(sw int32, _ *workerScratch) {
+	e.actMergePending()
+	e.forEachActive(func(sw int32, _ *workerScratch) {
 		e.processEventsSwitch(sw)
 		e.processInReleasesSwitch(sw)
 	})
 	e.mergeRetire()
 	if generate != nil {
 		generate()
+		e.actMergePending()
 	}
-	e.forEachSwitch(func(sw int32, ws *workerScratch) {
+	e.forEachActive(func(sw int32, ws *workerScratch) {
 		e.injectSwitch(sw, ws)
 		e.allocateSwitch(sw, ws)
 	})
-	e.forEachSwitch(func(sw int32, _ *workerScratch) {
+	e.forEachActive(func(sw int32, _ *workerScratch) {
 		e.commitSwitch(sw)
 		e.transmitSwitch(sw)
 	})
 	e.mergeTransmit()
+	e.actCompact()
 }
 
 // foldWindowCounters folds the cumulative per-switch measurement counters

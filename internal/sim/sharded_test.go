@@ -46,25 +46,31 @@ func shardMech(t *testing.T, name string, nw *topo.Network) routing.Mechanism {
 // worker per pair of switches on the 4x4 test network.
 var shardWorkerCounts = []int{1, 4, 8}
 
-// runAtWorkers executes the same options at every worker count and asserts
-// the Results are bit-identical to the sequential run, including the
-// optional throughput series.
+// runAtWorkers executes the same options at every worker count — each with
+// activity tracking on and off — and asserts the Results are bit-identical
+// to the sequential full-walk run, including the optional throughput
+// series. This is the engine's determinism contract: neither the worker
+// count nor the dirty-switch tracking may change a single byte.
 func runAtWorkers(t *testing.T, name string, opts RunOptions) {
 	t.Helper()
 	var ref *Result
 	for _, w := range shardWorkerCounts {
-		o := opts
-		o.Workers = w
-		res, err := Run(o)
-		if err != nil {
-			t.Fatalf("%s workers=%d: %v", name, w, err)
-		}
-		if ref == nil {
-			ref = res
-			continue
-		}
-		if !reflect.DeepEqual(ref, res) {
-			t.Errorf("%s workers=%d diverged from sequential:\n  seq: %+v\n  par: %+v", name, w, ref, res)
+		for _, noAct := range []bool{false, true} {
+			o := opts
+			o.Workers = w
+			o.DisableActivity = noAct
+			res, err := Run(o)
+			if err != nil {
+				t.Fatalf("%s workers=%d activity=%v: %v", name, w, !noAct, err)
+			}
+			if ref == nil {
+				ref = res
+				continue
+			}
+			if !reflect.DeepEqual(ref, res) {
+				t.Errorf("%s workers=%d activity=%v diverged from sequential:\n  ref: %+v\n  got: %+v",
+					name, w, !noAct, ref, res)
+			}
 		}
 	}
 }
