@@ -496,12 +496,22 @@ func BenchmarkIdleDrain8x8x8(b *testing.B) {
 }
 
 // benchLowLoad measures open-loop cycle rate on a paper-scale network at
-// the low-load operating points of the figures' left halves. Generation
-// keeps ticking (no fast-forward in open loop), so this isolates the
-// dirty-set win: at 0.05 most switches still see a packet every few
-// cycles and the two engines run at parity; at 0.01 the dirty set is the
-// difference.
-func benchLowLoad(b *testing.B, load float64, noActivity bool) {
+// the low-load operating points of the figures' left halves — the regime
+// that dominates the wall-clock of the latency-vs-load sweeps. Three
+// engines compete:
+//
+//	Activity:   the geometric arrival calendar + dirty sets + idle-cycle
+//	            fast-forward (the default hyperx-sim/4 engine)
+//	LegacyGen:  per-cycle Bernoulli draws + dirty sets (the PR 4 activity
+//	            engine, -legacy-gen) — generation ticks every cycle, so
+//	            it can never fast-forward an open-loop stretch
+//	NoActivity: per-cycle draws + the full every-switch walk (the
+//	            -no-activity -legacy-gen baseline)
+//
+// At 0.05 most switches see a packet every few cycles and all three run
+// near parity; at 0.01 the arrival calendar's fast-forward is the
+// difference (acceptance: Activity >= 5x NoActivity and >= 2x LegacyGen).
+func benchLowLoad(b *testing.B, load float64, noActivity, legacyGen bool) {
 	b.Helper()
 	h := topo.MustHyperX(8, 8, 8)
 	nw := topo.NewNetwork(h, nil)
@@ -519,7 +529,7 @@ func benchLowLoad(b *testing.B, load float64, noActivity bool) {
 		if _, err := sim.Run(sim.RunOptions{
 			Net: nw, ServersPerSwitch: 8, Mechanism: mech, Pattern: pat,
 			Load: load, WarmupCycles: 0, MeasureCycles: cycles, Seed: 9,
-			Workers: 1, DisableActivity: noActivity,
+			Workers: 1, DisableActivity: noActivity, LegacyGeneration: legacyGen,
 		}); err != nil {
 			b.Fatal(err)
 		}
@@ -528,15 +538,19 @@ func benchLowLoad(b *testing.B, load float64, noActivity bool) {
 }
 
 func BenchmarkLowLoadCycleRate(b *testing.B) {
+	modes := []struct {
+		name             string
+		noAct, legacyGen bool
+	}{
+		{"Activity", false, false},
+		{"LegacyGen", false, true},
+		{"NoActivity", true, true},
+	}
 	for _, load := range []float64{0.05, 0.01} {
-		for _, noAct := range []bool{false, true} {
-			name := fmt.Sprintf("Load%.2f", load)
-			if noAct {
-				name += "-NoActivity"
-			} else {
-				name += "-Activity"
-			}
-			b.Run(name, func(b *testing.B) { benchLowLoad(b, load, noAct) })
+		for _, m := range modes {
+			b.Run(fmt.Sprintf("Load%.2f-%s", load, m.name), func(b *testing.B) {
+				benchLowLoad(b, load, m.noAct, m.legacyGen)
+			})
 		}
 	}
 }

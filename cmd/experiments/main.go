@@ -34,6 +34,7 @@
 //
 //	experiments -exp cache-gc -cache-dir ~/.hxcache  # prune stale engines, report per-figure coverage
 //	experiments -exp fig10 -csv-dir ./out            # also write out/fig10.csv
+//	experiments -exp fig10 -jsonl-dir ./out          # also write out/fig10.jsonl (one record per point)
 package main
 
 import (
@@ -113,6 +114,179 @@ func (p *progressPrinter) report(done, total int) {
 	fmt.Fprintln(os.Stderr, line+cacheSuffix())
 }
 
+// figCtx carries the per-invocation inputs every figure driver reads: the
+// scale and budget knobs, the shared topologies and escape roots, and the
+// structured-table sink (CSV/JSONL exports).
+type figCtx struct {
+	scale        experiments.Scale
+	budget       experiments.Budget
+	seed         uint64
+	workers      int
+	full         bool
+	h2, h3       *topo.HyperX
+	root2, root3 int32
+	// save exports one structured table to the configured -csv-dir and
+	// -jsonl-dir; it is a no-op when neither is set.
+	save func(name string, header []string, rows [][]string) error
+}
+
+// figure is one entry of the figure registry. The run() dispatch executes
+// every selected entry with emit=true (render, print, export); the
+// cache-gc coverage probe replays the `simulates` entries with emit=false,
+// which enumerates exactly the same simulation specs without producing any
+// output. Both consumers walk this single list, so adding a figure cannot
+// drift between the dispatch and the probe table.
+type figure struct {
+	name      string
+	simulates bool // enumerates cacheable simulation points
+	driver    func(c figCtx, emit bool) error
+}
+
+// figureRegistry lists every experiment in output order.
+func figureRegistry() []figure {
+	return []figure{
+		{"cost", false, func(c figCtx, emit bool) error {
+			out, err := experiments.RenderCost()
+			if err != nil {
+				return err
+			}
+			fmt.Print(out)
+			return nil
+		}},
+		{"table2", false, func(c figCtx, emit bool) error {
+			fmt.Print(experiments.RenderTable2())
+			return nil
+		}},
+		{"table3", false, func(c figCtx, emit bool) error {
+			rows := experiments.Table3Rows(c.workers, experiments.Topology2D(experiments.ScaleFull),
+				experiments.Topology3D(experiments.ScaleFull))
+			fmt.Print(experiments.RenderTable3Rows(rows))
+			h, crows := experiments.Table3CSV(rows)
+			return c.save("table3", h, crows)
+		}},
+		{"table4", false, func(c figCtx, emit bool) error {
+			fmt.Print(experiments.RenderTable4())
+			return nil
+		}},
+		{"fig1", false, func(c figCtx, emit bool) error {
+			// The paper sweeps an 8x8x8 with several random sequences.
+			step := 16
+			if c.full {
+				step = 64
+			}
+			points := experiments.Fig1(c.h3, []uint64{c.seed, c.seed + 1, c.seed + 2}, step, c.workers)
+			fmt.Print(experiments.RenderFig1(c.h3, points))
+			hd, rows := experiments.Fig1CSV(points)
+			return c.save("fig1", hd, rows)
+		}},
+		{"fig4", true, func(c figCtx, emit bool) error {
+			rows, err := experiments.Fig4(c.scale, c.budget, c.seed, c.workers)
+			if err != nil || !emit {
+				return err
+			}
+			fmt.Print(experiments.RenderSweep(fmt.Sprintf("Figure 4: 2D %s fault-free sweep", c.h2), rows))
+			hd, crows := experiments.SweepCSV(rows)
+			return c.save("fig4", hd, crows)
+		}},
+		{"fig5", true, func(c figCtx, emit bool) error {
+			rows, err := experiments.Fig5(c.scale, c.budget, c.seed, c.workers)
+			if err != nil || !emit {
+				return err
+			}
+			fmt.Print(experiments.RenderSweep(fmt.Sprintf("Figure 5: 3D %s fault-free sweep", c.h3), rows))
+			hd, crows := experiments.SweepCSV(rows)
+			return c.save("fig5", hd, crows)
+		}},
+		{"fig6", true, func(c figCtx, emit bool) error {
+			for _, h := range []*topo.HyperX{c.h2, c.h3} {
+				rows, err := experiments.Fig6(experiments.Fig6Config{
+					H: h, MaxFaults: fig6MaxFaults(c.full), Step: 10, Budget: c.budget, Seed: c.seed, Workers: c.workers,
+				})
+				if err != nil {
+					return err
+				}
+				if !emit {
+					continue
+				}
+				fmt.Print(experiments.RenderFig6(fmt.Sprintf("Figure 6: %s under random failures", h), rows))
+				hd, crows := experiments.Fig6CSV(rows)
+				if err := c.save(fmt.Sprintf("fig6-%dd", h.NDims()), hd, crows); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+		{"fig7", false, func(c figCtx, emit bool) error {
+			for _, hr := range []struct {
+				h    *topo.HyperX
+				root int32
+			}{{c.h2, c.root2}, {c.h3, c.root3}} {
+				out, err := experiments.RenderFig7(hr.h, hr.root)
+				if err != nil {
+					return err
+				}
+				fmt.Print(out)
+			}
+			return nil
+		}},
+		{"fig8", true, func(c figCtx, emit bool) error {
+			rows, err := experiments.Shapes(experiments.ShapesConfig{
+				H: c.h2, Budget: c.budget, Seed: c.seed, Root: c.root2, Workers: c.workers,
+			})
+			if err != nil || !emit {
+				return err
+			}
+			fmt.Print(experiments.RenderShapes(fmt.Sprintf("Figure 8: %s under fault shapes (root %d)", c.h2, c.root2), rows))
+			hd, crows := experiments.ShapesCSV(rows)
+			return c.save("fig8", hd, crows)
+		}},
+		{"fig9", true, func(c figCtx, emit bool) error {
+			rows, err := experiments.Shapes(experiments.ShapesConfig{
+				H: c.h3, Budget: c.budget, Seed: c.seed, Root: c.root3, Workers: c.workers,
+			})
+			if err != nil || !emit {
+				return err
+			}
+			fmt.Print(experiments.RenderShapes(fmt.Sprintf("Figure 9: %s under fault shapes (root %d)", c.h3, c.root3), rows))
+			hd, crows := experiments.ShapesCSV(rows)
+			return c.save("fig9", hd, crows)
+		}},
+		{"fig10", true, func(c figCtx, emit bool) error {
+			results, err := experiments.Fig10(experiments.Fig10Config{
+				H: c.h3, BurstPhits: fig10BurstPhits(c.full), Seed: c.seed, Root: c.root3, Workers: c.workers,
+			})
+			if err != nil || !emit {
+				return err
+			}
+			fmt.Print(experiments.RenderFig10(
+				fmt.Sprintf("Figure 10: completion time, RPN + Star faults on %s", c.h3), results))
+			hd, crows := experiments.Fig10CSV(results)
+			return c.save("fig10", hd, crows)
+		}},
+		{"section7", true, func(c figCtx, emit bool) error {
+			rows, err := experiments.Section7(c.seed, c.budget, c.workers)
+			if err != nil || !emit {
+				return err
+			}
+			fmt.Print(experiments.RenderSection7(rows))
+			hd, crows := experiments.Section7CSV(rows)
+			return c.save("section7", hd, crows)
+		}},
+		{"recovery", true, func(c figCtx, emit bool) error {
+			results, err := experiments.Recovery(experiments.RecoveryConfig{
+				H: c.h3, Seed: c.seed, Root: c.root3, Workers: c.workers,
+			})
+			if err != nil || !emit {
+				return err
+			}
+			fmt.Print(experiments.RenderRecovery(
+				fmt.Sprintf("Extension: live link failures with BFS table rebuild on %s", c.h3), results))
+			hd, crows := experiments.RecoveryCSV(results)
+			return c.save("recovery", hd, crows)
+		}},
+	}
+}
+
 func main() {
 	var exps multiFlag
 	flag.Var(&exps, "exp", "experiment to run: table2|table3|table4|fig1|fig4|fig5|fig6|fig7|fig8|fig9|fig10|recovery|cost|section7|all (repeatable); cache-gc prunes and audits a -cache-dir instead of running anything")
@@ -125,9 +299,12 @@ func main() {
 	serveAddr := flag.String("serve", "", "serve mode: listen on this address and execute every simulation point on connected -worker processes")
 	workerAddr := flag.String("worker", "", "worker mode: connect to a -serve address and run jobs for it (-workers sets the slot count; -exp is ignored)")
 	csvDir := flag.String("csv-dir", "", "also write one CSV per figure/table into this directory (lossless floats, diffable)")
+	jsonlDir := flag.String("jsonl-dir", "", "also write one JSONL file per figure/table into this directory (one schema-stable record per grid point, byte-stable on re-export)")
 	noActivity := flag.Bool("no-activity", false, "disable the engine's dirty-switch tracking and idle-cycle fast-forward (A/B baseline; results are identical either way)")
+	legacyGen := flag.Bool("legacy-gen", false, "use the legacy per-cycle open-loop generation (engine "+sim.LegacyEngineVersion+") instead of the geometric arrival calendar; statistically equivalent but bit-different results, cached and distributed under the legacy version tag")
 	flag.Parse()
 	experiments.SetEngineActivity(!*noActivity)
+	sim.SetLegacyGeneration(*legacyGen)
 
 	workers, err := cliutil.ResolveWorkers(*workersFlag)
 	if err != nil {
@@ -193,11 +370,30 @@ func main() {
 		budget = experiments.PaperBudget()
 	}
 
+	registry := figureRegistry()
+	known := make(map[string]bool, len(registry)+2)
+	known["all"], known["cache-gc"] = true, true
+	for _, fig := range registry {
+		known[fig.name] = true
+	}
 	want := make(map[string]bool)
 	for _, e := range exps {
+		if !known[e] {
+			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", e)
+			os.Exit(2)
+		}
 		want[e] = true
 	}
 	all := want["all"]
+
+	h2 := experiments.Topology2D(scale)
+	h3 := experiments.Topology3D(scale)
+	ctx := figCtx{
+		scale: scale, budget: budget, seed: *seed, workers: workers, full: *full,
+		h2: h2, h3: h3, root2: centerSwitch(h2), root3: centerSwitch(h3),
+		save: tableSaver(*csvDir, *jsonlDir),
+	}
+
 	if want["cache-gc"] {
 		// Maintenance, not an experiment: never part of -exp all, and it
 		// refuses to share an invocation with real experiments rather
@@ -210,188 +406,56 @@ func main() {
 			fmt.Fprintln(os.Stderr, "experiments: -exp cache-gc requires -cache-dir")
 			os.Exit(2)
 		}
-		if err := runCacheGC(store, scale, budget, *seed, workers, *full); err != nil {
+		if err := runCacheGC(store, registry, ctx); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: cache-gc: %v\n", err)
 			os.Exit(1)
 		}
 		return
 	}
-	// saveCSV writes one structured table per figure when -csv-dir is set;
-	// the text rendering on stdout is unaffected.
-	saveCSV := func(name string, header []string, rows [][]string) error {
-		if *csvDir == "" {
-			return nil
+	for _, fig := range registry {
+		if !all && !want[fig.name] {
+			continue
 		}
-		path, err := experiments.WriteCSV(*csvDir, name, header, rows)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(os.Stderr, "csv: wrote %s\n", path)
-		return nil
-	}
-	run := func(name string, fn func() error) {
-		if !all && !want[name] {
-			return
-		}
-		if err := fn(); err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+		if err := fig.driver(ctx, true); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", fig.name, err)
 			os.Exit(1)
 		}
 		fmt.Println()
 	}
+}
 
-	h2 := experiments.Topology2D(scale)
-	h3 := experiments.Topology3D(scale)
-	root2 := centerSwitch(h2)
-	root3 := centerSwitch(h3)
-
-	run("cost", func() error {
-		out, err := experiments.RenderCost()
-		if err != nil {
-			return err
-		}
-		fmt.Print(out)
-		return nil
-	})
-	run("table2", func() error {
-		fmt.Print(experiments.RenderTable2())
-		return nil
-	})
-	run("table3", func() error {
-		rows := experiments.Table3Rows(workers, experiments.Topology2D(experiments.ScaleFull),
-			experiments.Topology3D(experiments.ScaleFull))
-		fmt.Print(experiments.RenderTable3Rows(rows))
-		h, crows := experiments.Table3CSV(rows)
-		return saveCSV("table3", h, crows)
-	})
-	run("table4", func() error {
-		fmt.Print(experiments.RenderTable4())
-		return nil
-	})
-	run("fig1", func() error {
-		// The paper sweeps an 8x8x8 with several random sequences.
-		h := experiments.Topology3D(scale)
-		step := 16
-		if *full {
-			step = 64
-		}
-		points := experiments.Fig1(h, []uint64{*seed, *seed + 1, *seed + 2}, step, workers)
-		fmt.Print(experiments.RenderFig1(h, points))
-		hd, rows := experiments.Fig1CSV(points)
-		return saveCSV("fig1", hd, rows)
-	})
-	run("fig4", func() error {
-		rows, err := experiments.Fig4(scale, budget, *seed, workers)
-		if err != nil {
-			return err
-		}
-		fmt.Print(experiments.RenderSweep(fmt.Sprintf("Figure 4: 2D %s fault-free sweep", h2), rows))
-		hd, crows := experiments.SweepCSV(rows)
-		return saveCSV("fig4", hd, crows)
-	})
-	run("fig5", func() error {
-		rows, err := experiments.Fig5(scale, budget, *seed, workers)
-		if err != nil {
-			return err
-		}
-		fmt.Print(experiments.RenderSweep(fmt.Sprintf("Figure 5: 3D %s fault-free sweep", h3), rows))
-		hd, crows := experiments.SweepCSV(rows)
-		return saveCSV("fig5", hd, crows)
-	})
-	run("fig6", func() error {
-		for _, h := range []*topo.HyperX{h2, h3} {
-			rows, err := experiments.Fig6(experiments.Fig6Config{
-				H: h, MaxFaults: fig6MaxFaults(*full), Step: 10, Budget: budget, Seed: *seed, Workers: workers,
-			})
+// tableSaver builds the figCtx.save sink for the configured export
+// directories; the text rendering on stdout is unaffected either way.
+func tableSaver(csvDir, jsonlDir string) func(name string, header []string, rows [][]string) error {
+	return func(name string, header []string, rows [][]string) error {
+		if csvDir != "" {
+			path, err := experiments.WriteCSV(csvDir, name, header, rows)
 			if err != nil {
 				return err
 			}
-			fmt.Print(experiments.RenderFig6(fmt.Sprintf("Figure 6: %s under random failures", h), rows))
-			hd, crows := experiments.Fig6CSV(rows)
-			if err := saveCSV(fmt.Sprintf("fig6-%dd", h.NDims()), hd, crows); err != nil {
-				return err
-			}
+			fmt.Fprintf(os.Stderr, "csv: wrote %s\n", path)
 		}
-		return nil
-	})
-	run("fig7", func() error {
-		for _, hr := range []struct {
-			h    *topo.HyperX
-			root int32
-		}{{h2, root2}, {h3, root3}} {
-			out, err := experiments.RenderFig7(hr.h, hr.root)
+		if jsonlDir != "" {
+			path, err := experiments.WriteJSONL(jsonlDir, name, header, rows)
 			if err != nil {
 				return err
 			}
-			fmt.Print(out)
+			fmt.Fprintf(os.Stderr, "jsonl: wrote %s\n", path)
 		}
 		return nil
-	})
-	run("fig8", func() error {
-		rows, err := experiments.Shapes(experiments.ShapesConfig{
-			H: h2, Budget: budget, Seed: *seed, Root: root2, Workers: workers,
-		})
-		if err != nil {
-			return err
-		}
-		fmt.Print(experiments.RenderShapes(fmt.Sprintf("Figure 8: %s under fault shapes (root %d)", h2, root2), rows))
-		hd, crows := experiments.ShapesCSV(rows)
-		return saveCSV("fig8", hd, crows)
-	})
-	run("fig9", func() error {
-		rows, err := experiments.Shapes(experiments.ShapesConfig{
-			H: h3, Budget: budget, Seed: *seed, Root: root3, Workers: workers,
-		})
-		if err != nil {
-			return err
-		}
-		fmt.Print(experiments.RenderShapes(fmt.Sprintf("Figure 9: %s under fault shapes (root %d)", h3, root3), rows))
-		hd, crows := experiments.ShapesCSV(rows)
-		return saveCSV("fig9", hd, crows)
-	})
-	run("fig10", func() error {
-		results, err := experiments.Fig10(experiments.Fig10Config{
-			H: h3, BurstPhits: fig10BurstPhits(*full), Seed: *seed, Root: root3, Workers: workers,
-		})
-		if err != nil {
-			return err
-		}
-		fmt.Print(experiments.RenderFig10(
-			fmt.Sprintf("Figure 10: completion time, RPN + Star faults on %s", h3), results))
-		hd, crows := experiments.Fig10CSV(results)
-		return saveCSV("fig10", hd, crows)
-	})
-	run("section7", func() error {
-		rows, err := experiments.Section7(*seed, budget, workers)
-		if err != nil {
-			return err
-		}
-		fmt.Print(experiments.RenderSection7(rows))
-		hd, crows := experiments.Section7CSV(rows)
-		return saveCSV("section7", hd, crows)
-	})
-	run("recovery", func() error {
-		results, err := experiments.Recovery(experiments.RecoveryConfig{
-			H: h3, Seed: *seed, Root: root3, Workers: workers,
-		})
-		if err != nil {
-			return err
-		}
-		fmt.Print(experiments.RenderRecovery(
-			fmt.Sprintf("Extension: live link failures with BFS table rebuild on %s", h3), results))
-		hd, crows := experiments.RecoveryCSV(results)
-		return saveCSV("recovery", hd, crows)
-	})
+	}
 }
 
 // runCacheGC is the `-exp cache-gc` maintenance command: it prunes every
 // cache entry the running engine version cannot address (older engine
-// subtrees and pre-versioning flat shards), then replays each figure's
-// spec enumeration in cache-probe mode — no simulation, no write-backs —
-// and reports the per-figure hit/miss tally, i.e. how much of a real run
-// at the current flags (-full, -seed) would come from the cache.
-func runCacheGC(store *cache.Store, scale experiments.Scale, budget experiments.Budget,
-	seed uint64, workers int, full bool) error {
+// subtrees and pre-versioning flat shards), then replays each simulating
+// figure's spec enumeration in cache-probe mode — no simulation, no
+// write-backs, no output — and reports the per-figure hit/miss tally,
+// i.e. how much of a real run at the current flags (-full, -seed,
+// -legacy-gen) would come from the cache. The probe walks the same figure
+// registry the run() dispatch does, so it always enumerates exactly the
+// specs a real run at the same flags would.
+func runCacheGC(store *cache.Store, registry []figure, c figCtx) error {
 	removed, err := store.GC()
 	if err != nil {
 		return err
@@ -401,58 +465,20 @@ func runCacheGC(store *cache.Store, scale experiments.Scale, budget experiments.
 		return err
 	}
 	fmt.Printf("cache-gc: %s: pruned %d stale entries, %d remain (engine %s)\n",
-		store.Dir(), removed, entries, sim.EngineVersion)
+		store.Dir(), removed, entries, sim.ActiveEngineVersion())
 
 	experiments.SetProgress(nil)
 	experiments.SetCacheProbe(true)
 	defer experiments.SetCacheProbe(false)
 
-	h2 := experiments.Topology2D(scale)
-	h3 := experiments.Topology3D(scale)
-	root2, root3 := centerSwitch(h2), centerSwitch(h3)
-	figures := []struct {
-		name  string
-		probe func() error
-	}{
-		{"fig4", func() error { _, err := experiments.Fig4(scale, budget, seed, workers); return err }},
-		{"fig5", func() error { _, err := experiments.Fig5(scale, budget, seed, workers); return err }},
-		{"fig6", func() error {
-			for _, h := range []*topo.HyperX{h2, h3} {
-				if _, err := experiments.Fig6(experiments.Fig6Config{
-					H: h, MaxFaults: fig6MaxFaults(full), Step: 10, Budget: budget, Seed: seed, Workers: workers,
-				}); err != nil {
-					return err
-				}
-			}
-			return nil
-		}},
-		{"fig8", func() error {
-			_, err := experiments.Shapes(experiments.ShapesConfig{
-				H: h2, Budget: budget, Seed: seed, Root: root2, Workers: workers})
-			return err
-		}},
-		{"fig9", func() error {
-			_, err := experiments.Shapes(experiments.ShapesConfig{
-				H: h3, Budget: budget, Seed: seed, Root: root3, Workers: workers})
-			return err
-		}},
-		{"fig10", func() error {
-			_, err := experiments.Fig10(experiments.Fig10Config{
-				H: h3, BurstPhits: fig10BurstPhits(full), Seed: seed, Root: root3, Workers: workers})
-			return err
-		}},
-		{"section7", func() error { _, err := experiments.Section7(seed, budget, workers); return err }},
-		{"recovery", func() error {
-			_, err := experiments.Recovery(experiments.RecoveryConfig{
-				H: h3, Seed: seed, Root: root3, Workers: workers})
-			return err
-		}},
-	}
 	fmt.Printf("cache coverage at the current flags (graph-only experiments have no cacheable points):\n")
 	var totalHits, totalMisses int64
-	for _, fig := range figures {
+	for _, fig := range registry {
+		if !fig.simulates {
+			continue
+		}
 		h0, m0 := store.Stats()
-		if err := fig.probe(); err != nil {
+		if err := fig.driver(c, false); err != nil {
 			return fmt.Errorf("%s: %w", fig.name, err)
 		}
 		h1, m1 := store.Stats()
@@ -480,9 +506,8 @@ func reportCache(store *cache.Store) {
 }
 
 // fig6MaxFaults and fig10BurstPhits are the per-scale knobs of the fault
-// sweep and the completion-time experiment. The run() drivers and the
-// cache-gc coverage probe both read them, so the probe always enumerates
-// exactly the specs a real run at the same flags would.
+// sweep and the completion-time experiment, shared by the registry's
+// drivers in both run and probe modes.
 func fig6MaxFaults(full bool) int {
 	if full {
 		return 100

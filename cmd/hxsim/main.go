@@ -38,9 +38,11 @@ func main() {
 		runWorkersFlag = flag.Int("run-workers", -1, "intra-run workers per simulation (-1 = adaptive, 0 = one per CPU); results are identical for any value")
 		cacheDirFlag   = flag.String("cache-dir", "", "content-addressed result cache directory; repeated runs of the same point hit the cache")
 		noActivityFlag = flag.Bool("no-activity", false, "disable the engine's dirty-switch tracking and idle-cycle fast-forward (A/B baseline; results are identical either way)")
+		legacyGenFlag  = flag.Bool("legacy-gen", false, "use the legacy per-cycle open-loop generation (engine "+hyperx.LegacyEngineVersion+") instead of the geometric arrival calendar; statistically equivalent but bit-different results, cached under the legacy version tag")
 	)
 	flag.Parse()
 	hyperx.SetEngineActivity(!*noActivityFlag)
+	hyperx.SetLegacyGeneration(*legacyGenFlag)
 
 	workers, err := cliutil.ResolveWorkers(*workersFlag)
 	check(err)

@@ -58,14 +58,15 @@ func Open(dir string) (*Store, error) {
 // Dir returns the store's root directory.
 func (s *Store) Dir() string { return s.dir }
 
-// path places an entry under the running engine version's directory and
-// shards by the first two key characters to keep directory listings
-// manageable on paper-scale grids (tens of thousands of entries).
+// path places an entry under the *active* engine version's directory
+// (ActiveEngineVersion: the legacy generation engine stores under its own
+// tag) and shards by the first two key characters to keep directory
+// listings manageable on paper-scale grids (tens of thousands of entries).
 func (s *Store) path(key string) (string, error) {
 	if len(key) < 3 {
 		return "", fmt.Errorf("cache: key %q too short", key)
 	}
-	return filepath.Join(s.dir, engineDir(sim.EngineVersion), key[:2], key[2:]+".res"), nil
+	return filepath.Join(s.dir, engineDir(sim.ActiveEngineVersion()), key[:2], key[2:]+".res"), nil
 }
 
 // Get returns the cached result for key, or ok == false on a miss. A
@@ -147,23 +148,30 @@ func countEntries(dir string) (int, error) {
 	return n, err
 }
 
-// GC prunes every entry the running engine version cannot use: the
-// subtrees of other engine versions and any legacy flat-layout shard
-// directories (from stores written before entries were grouped by engine
-// version — the current engine cannot address those paths either). It
-// returns the number of entry files removed. Only subtrees that look
-// cache-owned — nothing inside but .res entries, leftover .tmp- files
-// and shard directories — are touched, so a -cache-dir pointed at a
-// directory holding unrelated data loses none of it. Concurrent writers
-// of the *current* version are never disturbed.
+// GC prunes every entry this build treats as stale: the subtrees of
+// unknown engine versions and any legacy flat-layout shard directories
+// (from stores written before entries were grouped by engine version).
+// The subtree of sim.EngineVersion — the build's primary engine — is
+// ALWAYS kept, even when the process runs -legacy-gen: a maintenance
+// command run with an A/B flag must never destroy the default engine's
+// warmed cache. The deprecated LegacyEngineVersion subtree, by contrast,
+// is kept only while -legacy-gen is active and is otherwise reported
+// stale and pruned. GC returns the number of entry files removed. Only
+// subtrees that look cache-owned — nothing inside but .res entries,
+// leftover .tmp- files and shard directories — are touched, so a
+// -cache-dir pointed at a directory holding unrelated data loses none of
+// it. Concurrent writers of the kept versions are never disturbed.
 func (s *Store) GC() (removed int, err error) {
-	keep := engineDir(sim.EngineVersion)
+	keep := map[string]bool{
+		engineDir(sim.EngineVersion):         true,
+		engineDir(sim.ActiveEngineVersion()): true,
+	}
 	entries, err := os.ReadDir(s.dir)
 	if err != nil {
 		return 0, fmt.Errorf("cache: %w", err)
 	}
 	for _, de := range entries {
-		if !de.IsDir() || de.Name() == keep {
+		if !de.IsDir() || keep[de.Name()] {
 			continue
 		}
 		sub := filepath.Join(s.dir, de.Name())

@@ -162,6 +162,53 @@ func TestStoreGC(t *testing.T) {
 	}
 }
 
+// TestStoreGCLegacyMode: under -legacy-gen the active version is
+// hyperx-sim/3, entries read and write there — and GC must STILL keep the
+// primary engine's subtree. A maintenance command run with an A/B flag
+// must never destroy the default engine's warmed cache. Conversely, a
+// default-mode GC treats the deprecated legacy subtree as stale.
+func TestStoreGCLegacyMode(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	primaryKey := testKey(4)
+	if err := s.Put(primaryKey, &sim.Result{AcceptedLoad: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	sim.SetLegacyGeneration(true)
+	defer sim.SetLegacyGeneration(false)
+	legacyKey := testKey(5)
+	if err := s.Put(legacyKey, &sim.Result{AcceptedLoad: 0.25}); err != nil {
+		t.Fatal(err)
+	}
+	// Legacy-mode GC keeps BOTH subtrees (nothing stale to prune).
+	removed, err := s.GC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 0 {
+		t.Errorf("legacy-mode GC removed %d entries, want 0", removed)
+	}
+	for _, sub := range []string{engineDir(sim.EngineVersion), engineDir(sim.LegacyEngineVersion)} {
+		if _, err := os.Stat(filepath.Join(dir, sub)); err != nil {
+			t.Errorf("legacy-mode GC lost %s: %v", sub, err)
+		}
+	}
+	// Default-mode GC prunes the deprecated legacy subtree.
+	sim.SetLegacyGeneration(false)
+	if removed, err = s.GC(); err != nil || removed != 1 {
+		t.Errorf("default-mode GC removed %d entries (err %v), want 1", removed, err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, engineDir(sim.LegacyEngineVersion))); !os.IsNotExist(err) {
+		t.Error("default-mode GC kept the stale legacy subtree")
+	}
+	if got, ok, _ := s.Get(primaryKey); !ok || got.AcceptedLoad != 0.5 {
+		t.Error("primary-engine entry lost")
+	}
+}
+
 func TestStoreErrors(t *testing.T) {
 	if _, err := Open(""); err == nil {
 		t.Error("empty dir accepted")

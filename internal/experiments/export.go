@@ -1,8 +1,11 @@
 package experiments
 
 import (
+	"bytes"
 	"encoding/csv"
+	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -15,28 +18,23 @@ import (
 // unchanged grid — e.g. from a warm result cache — produces byte-identical
 // files.
 
-// WriteCSV writes header+rows to dir/name.csv (creating dir if needed)
+// writeFileAtomic writes data to dir/filename (creating dir if needed)
 // via a temp file and rename, so a concurrent reader never sees a partial
 // table. It returns the written path.
-func WriteCSV(dir, name string, header []string, rows [][]string) (string, error) {
+func writeFileAtomic(dir, filename string, data []byte) (string, error) {
 	if dir == "" {
-		return "", fmt.Errorf("experiments: empty CSV directory")
+		return "", fmt.Errorf("experiments: empty export directory")
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return "", fmt.Errorf("experiments: %w", err)
 	}
-	path := filepath.Join(dir, name+".csv")
-	tmp, err := os.CreateTemp(dir, ".tmp-*.csv")
+	path := filepath.Join(dir, filename)
+	tmp, err := os.CreateTemp(dir, ".tmp-*"+filepath.Ext(filename))
 	if err != nil {
 		return "", fmt.Errorf("experiments: %w", err)
 	}
 	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	w := csv.NewWriter(tmp)
-	if err := w.Write(header); err != nil {
-		tmp.Close()
-		return "", fmt.Errorf("experiments: %w", err)
-	}
-	if err := w.WriteAll(rows); err != nil {
+	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
 		return "", fmt.Errorf("experiments: %w", err)
 	}
@@ -47,6 +45,75 @@ func WriteCSV(dir, name string, header []string, rows [][]string) (string, error
 		return "", fmt.Errorf("experiments: %w", err)
 	}
 	return path, nil
+}
+
+// WriteCSV writes header+rows to dir/name.csv, atomically.
+func WriteCSV(dir, name string, header []string, rows [][]string) (string, error) {
+	var buf bytes.Buffer
+	w := csv.NewWriter(&buf)
+	if err := w.Write(header); err != nil {
+		return "", fmt.Errorf("experiments: %w", err)
+	}
+	if err := w.WriteAll(rows); err != nil {
+		return "", fmt.Errorf("experiments: %w", err)
+	}
+	return writeFileAtomic(dir, name+".csv", buf.Bytes())
+}
+
+// WriteJSONL writes header+rows to dir/name.jsonl as one JSON object per
+// row — the streaming-consumer companion of WriteCSV. Records are
+// schema-stable: every object starts with a "figure" key naming the
+// table, followed by the header's columns in header order, so consumers
+// can mix figures in one stream and key on a fixed shape. Values reuse
+// the CSV cells: numeric and boolean cells emit as JSON numbers/booleans,
+// everything else as strings. Construction is fully deterministic (same
+// atomic temp-file-and-rename as WriteCSV), so re-exporting an unchanged
+// grid is byte-identical.
+func WriteJSONL(dir, name string, header []string, rows [][]string) (string, error) {
+	var buf bytes.Buffer
+	for _, row := range rows {
+		if len(row) != len(header) {
+			return "", fmt.Errorf("experiments: JSONL row has %d cells, header has %d", len(row), len(header))
+		}
+		buf.WriteString(`{"figure":`)
+		buf.Write(jsonlValue(name))
+		for i, h := range header {
+			buf.WriteByte(',')
+			buf.Write(jsonlValue(h))
+			buf.WriteByte(':')
+			buf.Write(jsonlCell(row[i]))
+		}
+		buf.WriteString("}\n")
+	}
+	return writeFileAtomic(dir, name+".jsonl", buf.Bytes())
+}
+
+// jsonlCell types a CSV cell for JSONL: cells produced by csvF/csvI are
+// finite shortest-form numbers and re-render to themselves, so they emit
+// as JSON numbers; "true"/"false" emit as booleans; everything else
+// (names, labels, and any non-finite float rendering) is a JSON string.
+func jsonlCell(cell string) []byte {
+	if cell == "true" || cell == "false" {
+		return []byte(cell)
+	}
+	if n, err := strconv.ParseInt(cell, 10, 64); err == nil && strconv.FormatInt(n, 10) == cell {
+		return []byte(cell)
+	}
+	if f, err := strconv.ParseFloat(cell, 64); err == nil &&
+		!math.IsInf(f, 0) && !math.IsNaN(f) && strconv.FormatFloat(f, 'g', -1, 64) == cell {
+		return []byte(cell)
+	}
+	return jsonlValue(cell)
+}
+
+// jsonlValue renders a JSON string (names are plain ASCII, but escaping is
+// delegated to encoding/json so any cell stays valid JSON).
+func jsonlValue(s string) []byte {
+	b, err := json.Marshal(s)
+	if err != nil { // cannot happen for a string
+		return []byte(`""`)
+	}
+	return b
 }
 
 // csvF renders a float64 in its shortest lossless form, so exported grids

@@ -10,21 +10,33 @@
 //
 // Protocol (one JSON object per line, both directions):
 //
-//	worker -> server  {"type":"hello","slots":N,"engine":"<sim.EngineVersion>"}
+//	worker -> server  {"type":"hello","slots":N,"engine":"<version>"}
+//	server -> worker  {"type":"hello-ack","engine":"<version>","bye":true}
 //	server -> worker  {"type":"job","id":7,"spec":{...}}        (up to N outstanding)
 //	worker -> server  {"type":"result","id":7,"result":"<base64>"}
 //	worker -> server  {"type":"result","id":7,"error":"..."}    (job failed)
 //	server -> worker  {"type":"bye"}                            (graceful shutdown)
 //
-// A worker whose engine version differs is rejected at the handshake —
-// mixed engines would merge semantically divergent rows. A worker that
-// disconnects mid-job has its in-flight jobs requeued for other workers;
-// a job error is final (it is deterministic) and propagates to the caller.
+// The version both sides advertise is sim.ActiveEngineVersion() — a
+// -legacy-gen process is a different engine and must only pair with
+// -legacy-gen peers. A worker whose engine version differs is rejected at
+// the handshake — mixed engines would merge semantically divergent rows.
+// A worker that disconnects mid-job has its in-flight jobs requeued for
+// other workers; a job error is final (it is deterministic) and
+// propagates to the caller.
+//
+// The hello-ack is the capability negotiation: it advertises that this
+// server ends runs with a "bye" frame. Pre-ack workers ignore the unknown
+// frame; a modern worker that never saw an ack knows it is talking to a
+// legacy pre-bye server, whose normal end of run is a bare hangup — so a
+// clean EOF with no job outstanding ends the worker immediately instead
+// of burning the ~2-minute idle reconnect schedule.
 //
 // The "bye" frame distinguishes the server finishing its run from the
 // server (or the network) dying: WorkLoop treats a connection that ends
-// without bye as a fault and reconnects with capped exponential backoff,
-// so long fleets survive server restarts instead of silently shrinking.
+// without bye (after an ack promised one) as a fault and reconnects with
+// capped exponential backoff, so long fleets survive server restarts
+// instead of silently shrinking.
 package queue
 
 import (
@@ -49,6 +61,7 @@ type message struct {
 	Type   string          `json:"type"`
 	Slots  int             `json:"slots,omitempty"`
 	Engine string          `json:"engine,omitempty"`
+	Bye    bool            `json:"bye,omitempty"` // hello-ack: server ends runs with a bye frame
 	ID     int64           `json:"id,omitempty"`
 	Spec   json.RawMessage `json:"spec,omitempty"`
 	Result string          `json:"result,omitempty"`
@@ -205,11 +218,20 @@ func (s *Server) serveWorker(conn net.Conn) {
 	if err := readMessage(r, &hello); err != nil || hello.Type != "hello" || hello.Slots < 1 {
 		return
 	}
-	if hello.Engine != sim.EngineVersion {
+	if engine := sim.ActiveEngineVersion(); hello.Engine != engine {
 		wmu.Lock()
 		_ = writeMessage(conn, &message{Type: "error",
-			Error: fmt.Sprintf("engine version %q, server runs %q", hello.Engine, sim.EngineVersion)})
+			Error: fmt.Sprintf("engine version %q, server runs %q", hello.Engine, engine)})
 		wmu.Unlock()
+		return
+	}
+	// Capability negotiation: promise the bye frame. Sent before any job so
+	// a modern worker knows, for the whole session, that a hangup without
+	// bye is a fault; legacy workers ignore the unknown frame type.
+	wmu.Lock()
+	ackErr := writeMessage(conn, &message{Type: "hello-ack", Engine: sim.ActiveEngineVersion(), Bye: true})
+	wmu.Unlock()
+	if ackErr != nil {
 		return
 	}
 
@@ -342,9 +364,10 @@ var ErrRejected = errors.New("queue: server rejected worker")
 // schedule tolerates ~10 minutes of server downtime — a redeploy or host
 // reboot, not just a blip — before a worker declares the run lost. When
 // the last live session ended in a bare EOF with no job outstanding, the
-// shorter idle schedule (~2 minutes) applies: that shape is also what a
-// pre-bye server's normal end of run looks like, so the worker should
-// not spin for ten minutes against a server that simply finished.
+// shorter idle schedule (~2 minutes) applies — and when that session also
+// never saw a hello-ack (a pre-negotiation server, which will never send
+// bye), the worker does not reconnect at all: a clean hangup is exactly
+// that server's normal end of run.
 // Variables (not constants) so tests can compress the schedule.
 var (
 	reconnectBaseDelay   = 100 * time.Millisecond
@@ -367,10 +390,11 @@ func Work(addr string, slots int) error {
 // without the server's bye frame (server crash, network partition,
 // restart) is retried with capped exponential backoff rather than ending
 // the worker, so a restarted server finds its fleet intact. It returns
-// nil once a server completes a run (bye), the rejection error if the
-// handshake is refused (an engine mismatch will not fix itself), or the
-// last connection error after reconnectMaxDown consecutive attempts that
-// never heard from a server.
+// nil once a server completes a run (a bye frame, or a clean hangup from
+// a legacy server that never advertised bye support), the rejection error
+// if the handshake is refused (an engine mismatch will not fix itself),
+// or the last connection error after reconnectMaxDown consecutive
+// attempts that never heard from a server.
 func WorkLoop(addr string, slots int) error {
 	if slots < 1 {
 		return fmt.Errorf("queue: worker needs >= 1 slots, got %d", slots)
@@ -386,6 +410,17 @@ func WorkLoop(addr string, slots int) error {
 			up = true
 		})
 		if end.clean {
+			return nil
+		}
+		if end.idle && end.legacy {
+			// A clean hangup from a server that never advertised bye
+			// support IS that server's end of run: exit now instead of
+			// spinning through the idle reconnect schedule against a
+			// server that simply finished. Known trade-off: a pre-ack
+			// server that DOES send bye (the one release between bye and
+			// hello-ack) crashing at an idle moment looks identical, and
+			// the worker prefers a clean exit over a ten-minute spin —
+			// the ambiguity the ack exists to remove going forward.
 			return nil
 		}
 		if errors.Is(err, ErrRejected) {
@@ -420,6 +455,8 @@ type sessionEnd struct {
 	clean bool // the server sent bye: the run is over
 	idle  bool // bare EOF with no job outstanding (a pre-bye server's
 	// normal finish looks exactly like this)
+	legacy bool // no hello-ack seen: the server predates capability
+	// negotiation, so it will never send bye
 }
 
 // workOnce runs one worker session. A bare EOF (legacy hangup or a
@@ -436,7 +473,7 @@ func workOnce(addr string, slots int, onFrame func()) (end sessionEnd, err error
 	}
 	defer conn.Close()
 	var wmu sync.Mutex
-	if err := writeMessage(conn, &message{Type: "hello", Slots: slots, Engine: sim.EngineVersion}); err != nil {
+	if err := writeMessage(conn, &message{Type: "hello", Slots: slots, Engine: sim.ActiveEngineVersion()}); err != nil {
 		return end, fmt.Errorf("queue: %w", err)
 	}
 	r := bufio.NewReader(conn)
@@ -445,6 +482,7 @@ func workOnce(addr string, slots int, onFrame func()) (end sessionEnd, err error
 	sem := make(chan struct{}, slots)
 	var outstanding atomic.Int64 // jobs accepted but not yet answered
 	first := true
+	end.legacy = true // until a hello-ack proves otherwise
 	for {
 		var msg message
 		if err := readMessage(r, &msg); err != nil {
@@ -459,6 +497,10 @@ func workOnce(addr string, slots int, onFrame func()) (end sessionEnd, err error
 			onFrame()
 		}
 		switch msg.Type {
+		case "hello-ack":
+			if msg.Bye {
+				end.legacy = false // this server promises a bye frame
+			}
 		case "bye":
 			end.clean = true
 			return end, nil // server finished the run

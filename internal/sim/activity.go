@@ -150,25 +150,30 @@ func (e *engine) actCompact() {
 }
 
 // fastForwardTarget reports the next cycle at which the engine can do any
-// work, when every remaining obligation is a strictly-future calendar
-// event: no queued packets, no pending releases, no traffic generation
-// (the caller only asks in burst mode, where all traffic preloads). The
-// jump is bounded by the next scheduled fault and by maxCycles+1 so the
-// burst timeout fires at the same cycle as the per-cycle walk. It returns
-// false when the next cycle must execute anyway (an event or fault due at
-// now+1, or nothing pending at all).
+// work, when every remaining obligation is strictly in the future: no
+// queued packets, no pending releases, and the next traffic arrival (if
+// any) not yet due. nextGen is the next generation cycle — the open-loop
+// arrival calendar's earliest entry, or -1 in burst mode where all
+// traffic preloads. The jump is bounded by the next scheduled fault and
+// by the caller's bound (the burst timeout's maxCycles+1, or the open
+// loop's warmup/measurement boundary). It returns false when the next
+// cycle must execute anyway (an event, arrival or fault due at now+1, or
+// nothing pending at all).
 //
 // Jumping is bit-identical to ticking the skipped cycles because a cycle
-// with no due events, no queued packets and no generation mutates nothing
-// and draws no randomness; pending input-port releases cannot outlive the
-// jump since every release is scheduled at or before its paired
-// crossbar-completion event and both use <=-now tests.
-func (e *engine) fastForwardTarget(maxCycles int64) (int64, bool) {
+// with no due events, no queued packets and no due arrival mutates
+// nothing and draws no randomness; pending input-port releases cannot
+// outlive the jump since every release is scheduled at or before its
+// paired crossbar-completion event and both use <=-now tests.
+func (e *engine) fastForwardTarget(bound, nextGen int64) (int64, bool) {
 	a := e.act
-	if a == nil || a.queuedSum != 0 || len(a.active) == 0 {
+	if a == nil || a.queuedSum != 0 {
 		return 0, false
 	}
-	best := int64(-1)
+	best := nextGen // -1 when the caller has no generation pending
+	if best >= 0 && best <= e.now+1 {
+		return 0, false
+	}
 	for _, sw := range a.active {
 		base := int64(sw) * e.horizon
 		for off := int64(1); off < e.horizon; off++ {
@@ -190,8 +195,8 @@ func (e *engine) fastForwardTarget(maxCycles int64) (int64, bool) {
 	if e.nextFault < len(e.faultSchedule) && e.faultSchedule[e.nextFault].Cycle < best {
 		best = e.faultSchedule[e.nextFault].Cycle
 	}
-	if m := maxCycles + 1; m < best {
-		best = m
+	if bound < best {
+		best = bound
 	}
 	if best <= e.now+1 {
 		return 0, false

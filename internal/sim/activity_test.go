@@ -28,7 +28,10 @@ func runBytes(t *testing.T, o RunOptions) []byte {
 // random small topologies, mechanisms, open-loop and burst modes, series
 // buckets and mid-run fault schedules, the activity-tracked engine (with
 // its dirty sets and idle-cycle fast-forward) produces byte-for-byte the
-// Result of the full-walk engine, at several worker counts.
+// Result of the full-walk engine, at several worker counts — for the
+// geometric arrival-calendar engine AND the -legacy-gen per-cycle engine
+// (each self-consistent; the two are bit-different from each other by
+// design).
 func TestActivityOnOffBitIdentical(t *testing.T) {
 	dimChoices := [][]int{{3, 3}, {4, 4}, {2, 2, 2}, {3, 3, 3}}
 	check := func(seed uint64) bool {
@@ -58,33 +61,37 @@ func TestActivityOnOffBitIdentical(t *testing.T) {
 				{Cycle: 600 + int64(r.Intn(200)), Edge: seq[1]},
 			}
 		}
-		var ref []byte
-		for _, workers := range []int{1, 4} {
-			for _, noAct := range []bool{false, true} {
-				// Each run gets a private network and mechanism: fault
-				// schedules mutate the network's fault set.
-				nw := topo.NewNetwork(h, topo.NewFaultSet())
-				mech, err := core.New(nw, base, 4)
-				if err != nil {
-					t.Logf("seed %d: %v", seed, err)
-					return false
-				}
-				pat, err := traffic.NewRandomServerPermutation(h.Switches()*per, seed)
-				if err != nil {
-					return false
-				}
-				run := o
-				run.Net, run.Mechanism, run.Pattern = nw, mech, pat
-				run.Workers = workers
-				run.DisableActivity = noAct
-				got := runBytes(t, run)
-				if ref == nil {
-					ref = got
-					continue
-				}
-				if !bytes.Equal(ref, got) {
-					t.Logf("seed %d (%v): workers=%d activity=%v diverged", seed, dims, workers, !noAct)
-					return false
+		var ref [2][]byte
+		for li, legacy := range []bool{false, true} {
+			for _, workers := range []int{1, 4} {
+				for _, noAct := range []bool{false, true} {
+					// Each run gets a private network and mechanism: fault
+					// schedules mutate the network's fault set.
+					nw := topo.NewNetwork(h, topo.NewFaultSet())
+					mech, err := core.New(nw, base, 4)
+					if err != nil {
+						t.Logf("seed %d: %v", seed, err)
+						return false
+					}
+					pat, err := traffic.NewRandomServerPermutation(h.Switches()*per, seed)
+					if err != nil {
+						return false
+					}
+					run := o
+					run.Net, run.Mechanism, run.Pattern = nw, mech, pat
+					run.Workers = workers
+					run.DisableActivity = noAct
+					run.LegacyGeneration = legacy
+					got := runBytes(t, run)
+					if ref[li] == nil {
+						ref[li] = got
+						continue
+					}
+					if !bytes.Equal(ref[li], got) {
+						t.Logf("seed %d (%v): legacy=%v workers=%d activity=%v diverged",
+							seed, dims, legacy, workers, !noAct)
+						return false
+					}
 				}
 			}
 		}
@@ -159,36 +166,51 @@ func TestFastForwardTarget(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := e.fastForwardTarget(1000); ok {
+	if _, ok := e.fastForwardTarget(1001, -1); ok {
 		t.Fatal("fast-forward offered on an empty engine")
+	}
+	// With no events but a future arrival pending, the arrival is the target.
+	if next, ok := e.fastForwardTarget(1001, 40); !ok || next != 40 {
+		t.Fatalf("arrival-only target = (%d, %v), want (40, true)", next, ok)
+	}
+	// An arrival due next cycle means there is nothing to skip.
+	if _, ok := e.fastForwardTarget(1001, 1); ok {
+		t.Fatal("fast-forward offered with an arrival due next cycle")
 	}
 	// One event 10 cycles out on switch 2, nothing queued anywhere.
 	e.scheduleSw(2, 10, event{kind: evCredit, a: 2 * int32(e.P*e.V)})
 	e.actActivate(2)
 	e.actCompact()
-	next, ok := e.fastForwardTarget(1000)
+	next, ok := e.fastForwardTarget(1001, -1)
 	if !ok || next != 10 {
 		t.Fatalf("fastForwardTarget = (%d, %v), want (10, true)", next, ok)
 	}
+	// A nearer arrival beats the event; a later one loses to it.
+	if next, ok = e.fastForwardTarget(1001, 6); !ok || next != 6 {
+		t.Fatalf("arrival-bounded target = (%d, %v), want (6, true)", next, ok)
+	}
+	if next, ok = e.fastForwardTarget(1001, 30); !ok || next != 10 {
+		t.Fatalf("event-bounded target = (%d, %v), want (10, true)", next, ok)
+	}
 	// A nearer fault bounds the jump.
 	e.faultSchedule = []FaultEvent{{Cycle: 7, Edge: topo.Edge{U: 0, V: 1}}}
-	if next, ok = e.fastForwardTarget(1000); !ok || next != 7 {
+	if next, ok = e.fastForwardTarget(1001, -1); !ok || next != 7 {
 		t.Fatalf("fault-bounded target = (%d, %v), want (7, true)", next, ok)
 	}
-	// The burst timeout bounds it too.
+	// The caller's bound (burst timeout, warm/measure boundary) caps it too.
 	e.faultSchedule = nil
-	if next, ok = e.fastForwardTarget(4); !ok || next != 5 {
-		t.Fatalf("timeout-bounded target = (%d, %v), want (5, true)", next, ok)
+	if next, ok = e.fastForwardTarget(5, -1); !ok || next != 5 {
+		t.Fatalf("bound-capped target = (%d, %v), want (5, true)", next, ok)
 	}
 	// Queued work anywhere forbids jumping entirely.
 	e.act.queuedSum = 1
-	if _, ok = e.fastForwardTarget(1000); ok {
+	if _, ok = e.fastForwardTarget(1001, -1); ok {
 		t.Fatal("fast-forward offered despite queued work")
 	}
 	e.act.queuedSum = 0
 	// An event due next cycle means there is nothing to skip.
 	e.scheduleSw(2, 1, event{kind: evCredit, a: 2 * int32(e.P*e.V)})
-	if _, ok = e.fastForwardTarget(1000); ok {
+	if _, ok = e.fastForwardTarget(1001, -1); ok {
 		t.Fatal("fast-forward offered with an event due next cycle")
 	}
 }

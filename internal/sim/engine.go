@@ -120,6 +120,28 @@ type engine struct {
 	sw []swState
 	ws []workerScratch
 
+	// Open-loop geometric generation (arrivals.go): the per-server arrival
+	// calendar and the cached sampling constants. nil/zero in burst mode
+	// and under RunOptions.LegacyGeneration.
+	arrQ               []arrival
+	genProb            float64
+	logOneMinusGenProb float64
+
+	// Per-switch queued-packet counts by phase category: input VCs
+	// (allocation), output buffers (transmission) and injection queues
+	// (injection). They refine the activity engine's quWork so a dirty
+	// switch — e.g. one just waiting out a serialization busy-until —
+	// skips the port/VC scans of phases whose count is zero, instead of
+	// probing P*V rings to find nothing. A skipped scan is provably a
+	// no-op (empty rings grant nothing, transmit nothing, inject nothing,
+	// and draw no randomness), so results are bit-identical; the
+	// CheckInvariants audit recomputes all three from the rings. Each
+	// counter is switch-owned in exactly the phases that mutate its
+	// queues, mirroring the actQu ownership argument.
+	swInPkts  []int32
+	swOutPkts []int32
+	swInjPkts []int32
+
 	// Mid-run fault schedule.
 	faultSchedule []FaultEvent
 	nextFault     int
@@ -271,6 +293,10 @@ func newEngine(o RunOptions) (*engine, error) {
 	e.horizon = int64(e.cfg.PacketPhits+e.cfg.LinkLatency) + e.cfg.xferCycles() + int64(e.cfg.XbarLatency) + 2
 	e.events = make([][]event, int64(e.S)*e.horizon)
 
+	e.swInPkts = make([]int32, e.S)
+	e.swOutPkts = make([]int32, e.S)
+	e.swInjPkts = make([]int32, e.S)
+
 	e.sw = make([]swState, e.S)
 	for sw := range e.sw {
 		e.sw[sw].tie.Seed(rng.StreamSeed(o.Seed, tieStreamBase+uint64(sw)))
@@ -339,6 +365,7 @@ func (e *engine) generate(src int32) bool {
 	e.mech.Init(&pkt.st, src/int32(e.K), dst/int32(e.K), e.r)
 	e.injQ[src].push(id)
 	sw := src / int32(e.K)
+	e.swInjPkts[sw]++
 	e.actQu(sw, 1)
 	e.actActivate(sw)
 	e.inFlight++
@@ -364,6 +391,7 @@ func (e *engine) processEventsSwitch(sw int32) {
 		switch ev.kind {
 		case evArrive:
 			e.inQ[ev.a].push(ev.pkt)
+			e.swInPkts[sw]++
 			e.actQu(sw, 1)
 		case evXferDone:
 			e.outReserved[ev.a]--
@@ -377,6 +405,7 @@ func (e *engine) processEventsSwitch(sw int32) {
 				continue
 			}
 			e.outQ[ev.a].push(ev.pkt, ev.vc)
+			e.swOutPkts[sw]++
 			e.actQu(sw, 1)
 			// The input-port inflight counter was decremented when the
 			// input released the packet (evCredit below shares the timing),
@@ -417,6 +446,9 @@ func (e *engine) deliverSw(ss *swState, id int32) {
 // injectSwitch launches head packets of switch sw's server queues onto
 // their injection links.
 func (e *engine) injectSwitch(sw int32, ws *workerScratch) {
+	if e.act != nil && e.swInjPkts[sw] == 0 {
+		return // every injection queue is empty: the scan below would no-op
+	}
 	ss := &e.sw[sw]
 	V := e.V
 	for s := 0; s < e.K; s++ {
@@ -440,6 +472,7 @@ func (e *engine) injectSwitch(sw int32, ws *workerScratch) {
 			continue // no space at the switch; retry next cycle
 		}
 		q.pop()
+		e.swInjPkts[sw]--
 		e.actQu(sw, -1)
 		invc := base + int32(bestVC)
 		e.credits[invc]--
@@ -488,6 +521,9 @@ func (e *engine) penaltyCost(p int32) int64 {
 func (e *engine) allocateSwitch(sw int32, ws *workerScratch) {
 	ss := &e.sw[sw]
 	ss.granted = ss.granted[:0]
+	if e.act != nil && e.swInPkts[sw] == 0 {
+		return // every input VC is empty: no head packets, no requests
+	}
 	V := e.V
 	speedup := int8(e.cfg.XbarSpeedup)
 	gpBase := sw * int32(e.P)
@@ -624,6 +660,7 @@ func (e *engine) commitSwitch(sw int32) {
 			e.credSum[dn/V]--
 		}
 		e.inQ[rq.invc].pop()
+		e.swInPkts[sw]--
 		e.actQu(sw, -1)
 		e.inBusyUntil[rq.invc] = e.now + xfer
 		e.inInflight[rq.inPort]++
@@ -678,6 +715,9 @@ func (e *engine) processInReleasesSwitch(sw int32) {
 // ejection channels. Link arrivals land on a neighbor's calendar, so they
 // stage in the switch's outbox for the deterministic merge.
 func (e *engine) transmitSwitch(sw int32) {
+	if e.act != nil && e.swOutPkts[sw] == 0 {
+		return // every output buffer is empty: nothing to serialize
+	}
 	ss := &e.sw[sw]
 	serial := int64(e.cfg.PacketPhits)
 	arriveDelay := serial + int64(e.cfg.LinkLatency)
@@ -690,6 +730,7 @@ func (e *engine) transmitSwitch(sw int32) {
 			continue
 		}
 		id, vc := q.pop()
+		e.swOutPkts[sw]--
 		e.actQu(sw, -1)
 		e.outBusy[gport] = e.now + serial
 		e.outVCCount[gport*V+int32(vc)]--

@@ -77,6 +77,7 @@ func (e *engine) failLink(edge topo.Edge) error {
 		q := &e.outQ[gp]
 		for q.len() > 0 {
 			id, vc := q.pop()
+			e.swOutPkts[side.sw]--
 			e.actQu(side.sw, -1)
 			e.outVCCount[gp*int32(e.V)+int32(vc)]--
 			e.losePacket(id)

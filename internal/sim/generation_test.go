@@ -1,0 +1,185 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/routing"
+	"repro/internal/topo"
+	"repro/internal/traffic"
+)
+
+// mechanismsUnderTest builds the paper's six mechanisms directly from the
+// routing/core packages (the experiments factory would be an import
+// cycle), each constructor returning a fresh mechanism on a private
+// fault-free network over h.
+func mechanismsUnderTest(t *testing.T, h *topo.HyperX) []struct {
+	name  string
+	build func() (routing.Mechanism, *topo.Network)
+} {
+	t.Helper()
+	ladder := func(alg func(*topo.Network) (routing.Algorithm, error), paths int, name string) func() (routing.Mechanism, *topo.Network) {
+		return func() (routing.Mechanism, *topo.Network) {
+			nw := topo.NewNetwork(h, nil)
+			a, err := alg(nw)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := routing.NewLadder(a, 4, paths, name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return m, nw
+		}
+	}
+	minimal := func(nw *topo.Network) (routing.Algorithm, error) { return routing.NewMinimal(nw) }
+	valiant := func(nw *topo.Network) (routing.Algorithm, error) { return routing.NewValiant(nw) }
+	polarized := func(nw *topo.Network) (routing.Algorithm, error) { return routing.NewPolarized(nw) }
+	sure := func(routes core.BaseRoutes) func() (routing.Mechanism, *topo.Network) {
+		return func() (routing.Mechanism, *topo.Network) {
+			nw := topo.NewNetwork(h, nil)
+			m, err := core.New(nw, routes, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return m, nw
+		}
+	}
+	return []struct {
+		name  string
+		build func() (routing.Mechanism, *topo.Network)
+	}{
+		{"Minimal", ladder(minimal, 2, "Minimal")},
+		{"Valiant", ladder(valiant, 1, "Valiant")},
+		{"Polarized", ladder(polarized, 1, "Polarized")},
+		{"OmniWAR", func() (routing.Mechanism, *topo.Network) {
+			nw := topo.NewNetwork(h, nil)
+			m, err := routing.NewOmniWAR(nw)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return m, nw
+		}},
+		{"OmniSP", sure(core.OmniRoutes)},
+		{"PolSP", sure(core.PolarizedRoutes)},
+	}
+}
+
+// runOpenLoopEngine runs an open-loop configuration through the real
+// runOpenLoop but keeps the engine inspectable, so tests can read the
+// per-server generation counters the Result folds into a single Jain
+// index.
+func runOpenLoopEngine(t *testing.T, o RunOptions) (*engine, *Result) {
+	t.Helper()
+	if o.Config == (Config{}) {
+		o.Config = DefaultConfig()
+	}
+	e, err := newEngine(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.warmStart = o.WarmupCycles
+	e.warmEnd = o.WarmupCycles + o.MeasureCycles
+	res, err := e.runOpenLoop(o)
+	if err != nil {
+		t.Fatalf("runOpenLoop (legacy=%v): %v", o.LegacyGeneration, err)
+	}
+	return e, res
+}
+
+// TestGeometricGenerationEquivalence is the statistical re-validation of
+// the hyperx-sim/4 bump: for every mechanism, the geometric arrival
+// calendar and the legacy per-cycle Bernoulli draws must agree on the
+// marginal traffic process — every server's measurement-window arrival
+// count lies within binomial confidence bounds of m*p for BOTH engines,
+// and the Jain fairness of generated load matches between them. The
+// engines are bit-different by design (that is the bump), so the
+// comparison is distributional, not byte-wise.
+func TestGeometricGenerationEquivalence(t *testing.T) {
+	h := topo.MustHyperX(4, 4)
+	const (
+		per     = 2
+		load    = 0.2
+		measure = 6000
+		z       = 5.5 // per-server false-positive ~2e-8; ~400 trials total
+	)
+	pat, err := traffic.NewUniform(h.Switches() * per)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	p := load / float64(cfg.PacketPhits)
+	mean := measure * p
+	margin := z * math.Sqrt(measure*p*(1-p))
+	for _, mc := range mechanismsUnderTest(t, h) {
+		t.Run(mc.name, func(t *testing.T) {
+			jain := make(map[bool]float64)
+			for _, legacy := range []bool{false, true} {
+				mech, nw := mc.build()
+				e, res := runOpenLoopEngine(t, RunOptions{
+					Net: nw, ServersPerSwitch: per, Mechanism: mech, Pattern: pat,
+					Load: load, WarmupCycles: 300, MeasureCycles: measure,
+					Seed: 1234, LegacyGeneration: legacy, Config: cfg,
+				})
+				if res.StalledGenerations != 0 {
+					t.Fatalf("legacy=%v: %d stalled generations perturb the binomial law at load %.2f",
+						legacy, res.StalledGenerations, load)
+				}
+				for g, phits := range e.genPhits {
+					count := float64(phits) / float64(cfg.PacketPhits)
+					if math.Abs(count-mean) > margin {
+						t.Errorf("legacy=%v: server %d generated %.0f window packets, want %.1f ± %.1f",
+							legacy, g, count, mean, margin)
+					}
+				}
+				jain[legacy] = res.JainIndex
+			}
+			if d := math.Abs(jain[false] - jain[true]); d > 0.02 {
+				t.Errorf("Jain index diverges: geometric %.4f vs legacy %.4f", jain[false], jain[true])
+			}
+			if jain[false] < 0.95 || jain[true] < 0.95 {
+				t.Errorf("Jain index implausibly unfair: geometric %.4f, legacy %.4f", jain[false], jain[true])
+			}
+		})
+	}
+}
+
+// TestGeometricTotalGenerationBounds checks the aggregate law at a second
+// operating point (very low load, the fast-forward regime): total window
+// generation across all servers within binomial bounds for both engines.
+func TestGeometricTotalGenerationBounds(t *testing.T) {
+	h := topo.MustHyperX(4, 4)
+	const (
+		per     = 2
+		load    = 0.01
+		measure = 40000
+	)
+	pat, err := traffic.NewUniform(h.Switches() * per)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	p := load / float64(cfg.PacketPhits)
+	n := float64(h.Switches()*per) * measure
+	mean := n * p
+	margin := 5.5 * math.Sqrt(n*p*(1-p))
+	for _, legacy := range []bool{false, true} {
+		nw := topo.NewNetwork(h, nil)
+		mech, err := core.New(nw, core.PolarizedRoutes, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(RunOptions{
+			Net: nw, ServersPerSwitch: per, Mechanism: mech, Pattern: pat,
+			Load: load, WarmupCycles: 0, MeasureCycles: measure,
+			Seed: 99, LegacyGeneration: legacy, Config: cfg,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := float64(res.GeneratedPackets); math.Abs(got-mean) > margin {
+			t.Errorf("legacy=%v: %.0f total window packets, want %.0f ± %.0f", legacy, got, mean, margin)
+		}
+	}
+}

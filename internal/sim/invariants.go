@@ -53,6 +53,28 @@ func (e *engine) verifyInvariants() {
 		panic(fmt.Sprintf("sim: pool holds %d packets but inFlight = %d at cycle %d",
 			inUse, e.inFlight, e.now))
 	}
+	// Per-switch phase-skip counters against the rings they summarize: a
+	// drifted counter would silently skip a phase scan with real work in
+	// it, which is a determinism bug, not just a perf bug.
+	for sw := 0; sw < e.S; sw++ {
+		var in, out, inj int32
+		for p := 0; p < e.P; p++ {
+			gp := sw*e.P + p
+			for vc := 0; vc < V; vc++ {
+				in += int32(e.inQ[gp*V+vc].len())
+			}
+			out += int32(e.outQ[gp].len())
+		}
+		for s := 0; s < e.K; s++ {
+			inj += int32(e.injQ[sw*e.K+s].len())
+		}
+		if e.swInPkts[sw] != in || e.swOutPkts[sw] != out || e.swInjPkts[sw] != inj {
+			panic(fmt.Sprintf("sim: switch %d queue counters are (in %d, out %d, inj %d), actual (%d, %d, %d) at cycle %d",
+				sw, e.swInPkts[sw], e.swOutPkts[sw], e.swInjPkts[sw], in, out, inj, e.now))
+		}
+	}
 	// Activity bookkeeping against ground truth (no-op when disabled).
 	e.verifyActivity()
+	// Arrival-calendar integrity (no-op in burst and legacy modes).
+	e.verifyArrivals()
 }

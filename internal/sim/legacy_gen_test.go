@@ -1,0 +1,242 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/hex"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/topo"
+	"repro/internal/traffic"
+)
+
+// The hex blobs below are Result codec bytes produced by the hyperx-sim/3
+// engine (the last commit before the geometric-arrival bump) for the
+// configurations of legacyGoldenRuns. RunOptions.LegacyGeneration must
+// reproduce them bit-exactly: the escape hatch is only honest if it IS
+// the old engine, not an approximation of it.
+var legacyGolden = map[string]string{
+	"openloop-polsp":   "01000000000000e03f96fc62c92f96dc3f95b35bf8d5985640d17cae3f5e06f33f2cdb7c39c0b2ed3f0000000000000000a8ec3075b9fdd13fc900000000000000cf00000000000000000000000000000000000000000000000000000000000000f40100000000000000000000000000000000000000000000",
+	"openloop-lowload": "017b14ae47e17a943f4e1be8b4814e8b3f0000000000405140000000000000f03f000000000000e03f0000000000000000ea72fb830c957d3f0c000000000000000c00000000000000000000000000000000000000000000000000000000000000520300000000000000000000000000000000000000000000",
+	"openloop-faults":  "019a9999999999d93ff1ac6824e09bd73ff3b4d01dbbda544033be3f523099f33fe719d5835873ee3f0000000000000000ba1f86ec52b9cf3ff900000000000000fd00000000000000000000000000000000000000000000000100000000000000bc0200000000000000000000000000000000000000000000",
+}
+
+// legacyGoldenRuns enumerates the golden configurations; each call builds
+// private state so runs never share a mutated network.
+func legacyGoldenRuns(t *testing.T) map[string]RunOptions {
+	t.Helper()
+	h := topo.MustHyperX(3, 3)
+	opts := make(map[string]RunOptions)
+	mk := func(base core.BaseRoutes, o RunOptions) RunOptions {
+		nw := topo.NewNetwork(h, topo.NewFaultSet())
+		mech, err := core.New(nw, base, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pat, err := traffic.NewRandomServerPermutation(h.Switches()*2, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o.Net, o.Mechanism, o.Pattern = nw, mech, pat
+		o.ServersPerSwitch = 2
+		return o
+	}
+	opts["openloop-polsp"] = mk(core.PolarizedRoutes, RunOptions{
+		Load: 0.5, WarmupCycles: 100, MeasureCycles: 400, Seed: 42,
+	})
+	opts["openloop-lowload"] = mk(core.PolarizedRoutes, RunOptions{
+		Load: 0.02, WarmupCycles: 50, MeasureCycles: 800, Seed: 7,
+	})
+	seq := topo.RandomFaultSequence(h, 42)
+	opts["openloop-faults"] = mk(core.OmniRoutes, RunOptions{
+		Load: 0.4, WarmupCycles: 100, MeasureCycles: 600, Seed: 42,
+		FaultSchedule: []FaultEvent{{Cycle: 250, Edge: seq[0]}},
+	})
+	return opts
+}
+
+// TestLegacyGenerationGoldenBytes pins -legacy-gen to the pre-bump
+// engine's actual output: byte-for-byte equality with hyperx-sim/3 codec
+// bytes captured before the geometric calendar landed. It also asserts
+// the geometric engine DIFFERS on the same configurations — if it ever
+// matched, the version bump (and the legacy escape hatch) would be dead
+// weight to remove.
+func TestLegacyGenerationGoldenBytes(t *testing.T) {
+	for name, golden := range legacyGolden {
+		t.Run(name, func(t *testing.T) {
+			want, err := hex.DecodeString(golden)
+			if err != nil {
+				t.Fatal(err)
+			}
+			o := legacyGoldenRuns(t)[name]
+			o.LegacyGeneration = true
+			res, err := Run(o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := res.AppendBinary(nil); !bytes.Equal(got, want) {
+				t.Errorf("legacy engine diverged from the hyperx-sim/3 golden bytes:\n got %x\nwant %x", got, want)
+			}
+			o = legacyGoldenRuns(t)[name]
+			o.LegacyGeneration = false
+			geo, err := Run(o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if bytes.Equal(geo.AppendBinary(nil), want) {
+				t.Errorf("geometric engine unexpectedly byte-identical to the legacy golden run")
+			}
+		})
+	}
+}
+
+// handcraftedCalendarEngine builds an open-loop engine whose arrival
+// calendar is fully under test control: every server's first arrival is
+// pinned to `base`, except the overrides. The overrides must not exceed
+// base and the calendar keeps one entry per server, so the heap invariant
+// and the CheckInvariants audit both hold.
+func handcraftedCalendarEngine(t *testing.T, o RunOptions, base int64, overrides map[int32]int64) *engine {
+	t.Helper()
+	if o.Config == (Config{}) {
+		o.Config = DefaultConfig()
+	}
+	e, err := newEngine(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.warmStart = o.WarmupCycles
+	e.warmEnd = o.WarmupCycles + o.MeasureCycles
+	e.initArrivals(o.Load / float64(e.cfg.PacketPhits))
+	for i := range e.arrQ {
+		e.arrQ[i] = arrival{at: base, server: int32(i)}
+	}
+	for server, at := range overrides {
+		e.arrQ[server] = arrival{at: at, server: server}
+	}
+	// Full build-heap: correct for any override values.
+	for i := len(e.arrQ)/2 - 1; i >= 0; i-- {
+		e.arrSiftDown(i)
+	}
+	return e
+}
+
+// fastForwardFixture is the shared shape of the boundary tests: a 3x3
+// network under PolSP with CheckInvariants on (so the arrival-calendar
+// and activity audits run during the tests themselves).
+func fastForwardFixture(t *testing.T, o RunOptions) RunOptions {
+	t.Helper()
+	h := topo.MustHyperX(3, 3)
+	nw := topo.NewNetwork(h, topo.NewFaultSet())
+	mech, err := core.New(nw, core.PolarizedRoutes, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pat, err := traffic.NewUniform(h.Switches() * 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Net, o.Mechanism, o.Pattern = nw, mech, pat
+	o.ServersPerSwitch = 2
+	cfg := DefaultConfig()
+	cfg.CheckInvariants = true
+	o.Config = cfg
+	return o
+}
+
+// TestFastForwardArrivalAtWarmEnd: an arrival due exactly at the
+// measurement end must never fire — the run is over at that cycle — and
+// one due a cycle earlier must. The fast-forward jump that covers most of
+// the run cannot blur that edge.
+func TestFastForwardArrivalAtWarmEnd(t *testing.T) {
+	const end = 2000
+	base := RunOptions{Load: 0.05, WarmupCycles: 0, MeasureCycles: end, Seed: 3}
+
+	o := fastForwardFixture(t, base)
+	e := handcraftedCalendarEngine(t, o, end, nil)
+	res, err := e.runOpenLoop(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GeneratedPackets != 0 {
+		t.Errorf("arrival at warmEnd generated %d packets, want 0", res.GeneratedPackets)
+	}
+	if res.Cycles != end {
+		t.Errorf("run lasted %d cycles, want %d", res.Cycles, end)
+	}
+
+	o = fastForwardFixture(t, base)
+	e = handcraftedCalendarEngine(t, o, end, map[int32]int64{0: end - 1})
+	res, err = e.runOpenLoop(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GeneratedPackets != 1 {
+		t.Errorf("arrival at warmEnd-1 generated %d packets, want exactly 1", res.GeneratedPackets)
+	}
+}
+
+// TestFastForwardFaultInSkippedStretch: a fault scheduled deep inside an
+// otherwise idle stretch must fire at its exact cycle — the jump stops on
+// it — and the whole run must stay byte-identical to the full per-cycle
+// walk (-no-activity), which cannot fast-forward at all.
+func TestFastForwardFaultInSkippedStretch(t *testing.T) {
+	h := topo.MustHyperX(3, 3)
+	seq := topo.RandomFaultSequence(h, 17)
+	base := RunOptions{
+		Load: 0.05, WarmupCycles: 0, MeasureCycles: 2500, Seed: 11,
+		FaultSchedule: []FaultEvent{{Cycle: 700, Edge: seq[0]}},
+	}
+	var ref []byte
+	for _, noAct := range []bool{false, true} {
+		o := fastForwardFixture(t, base)
+		o.DisableActivity = noAct
+		// All traffic arrives at cycle 1500: the fault at 700 sits in the
+		// middle of a stretch the activity engine fast-forwards across.
+		e := handcraftedCalendarEngine(t, o, 1500, nil)
+		res, err := e.runOpenLoop(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.FaultsApplied != 1 {
+			t.Fatalf("activity=%v: %d faults applied, want 1", !noAct, res.FaultsApplied)
+		}
+		if res.GeneratedPackets == 0 {
+			t.Fatalf("activity=%v: the post-fault arrivals never generated", !noAct)
+		}
+		got := res.AppendBinary(nil)
+		if ref == nil {
+			ref = got
+		} else if !bytes.Equal(ref, got) {
+			t.Error("fast-forwarding across the fault diverged from the full walk")
+		}
+	}
+}
+
+// TestFastForwardAcrossWarmupBoundary: a jump launched before warmStart is
+// clamped to it, and traffic arriving after the boundary counts in the
+// window exactly as under the full walk.
+func TestFastForwardAcrossWarmupBoundary(t *testing.T) {
+	// The microscopic load makes re-sampled second arrivals land far beyond
+	// the run, so exactly one arrival per server fires.
+	base := RunOptions{Load: 1e-9, WarmupCycles: 500, MeasureCycles: 1500, Seed: 23}
+	var ref []byte
+	for _, noAct := range []bool{false, true} {
+		o := fastForwardFixture(t, base)
+		o.DisableActivity = noAct
+		e := handcraftedCalendarEngine(t, o, 1200, nil)
+		res, err := e.runOpenLoop(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.GeneratedPackets != int64(e.S*e.K) {
+			t.Fatalf("activity=%v: %d window packets, want %d (all arrivals are in-window)",
+				!noAct, res.GeneratedPackets, e.S*e.K)
+		}
+		got := res.AppendBinary(nil)
+		if ref == nil {
+			ref = got
+		} else if !bytes.Equal(ref, got) {
+			t.Error("fast-forwarding across warmStart diverged from the full walk")
+		}
+	}
+}

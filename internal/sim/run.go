@@ -62,6 +62,14 @@ type RunOptions struct {
 	// is purely an A/B and benchmarking escape hatch (the -no-activity
 	// flag of both CLIs), never a semantic knob.
 	DisableActivity bool
+	// LegacyGeneration restores the pre-hyperx-sim/4 open-loop generation:
+	// one Bernoulli draw per server per cycle instead of the geometric
+	// arrival calendar. The two produce statistically equivalent traffic
+	// but consume the generation RNG differently, so — unlike the knobs
+	// above — this IS semantic: results carry LegacyEngineVersion and the
+	// legacy engine never fast-forwards idle open-loop stretches. The
+	// CLIs' -legacy-gen flag (SetLegacyGeneration) plumbs through here.
+	LegacyGeneration bool
 	// Config carries the Table 2 microarchitecture; zero means
 	// DefaultConfig.
 	Config Config
@@ -153,18 +161,30 @@ func Run(o RunOptions) (*Result, error) {
 }
 
 // runOpenLoop is the standard warmup+measurement experiment with Bernoulli
-// generation at the offered load.
+// generation at the offered load. By default the Bernoulli draws are
+// aggregated into the per-server geometric arrival calendar (arrivals.go),
+// which also lets idle stretches fast-forward like burst mode: with no
+// queued work, nothing can happen before the earliest of the next arrival,
+// the next calendar event, the next scheduled fault and the warmup/measure
+// boundary. LegacyGeneration keeps the per-cycle draw over every server
+// (and therefore never fast-forwards — every cycle consumes randomness).
 func (e *engine) runOpenLoop(o RunOptions) (*Result, error) {
 	defer e.startPool()()
 	genProb := o.Load / float64(e.cfg.PacketPhits)
 	end := e.warmEnd
-	nServers := int32(e.S * e.K)
-	gen := func() {
-		for g := int32(0); g < nServers; g++ {
-			if e.r.Float64() < genProb {
-				e.generate(g)
+	gen := e.generateArrivals
+	if o.LegacyGeneration {
+		nServers := int32(e.S * e.K)
+		gen = func() {
+			for g := int32(0); g < nServers; g++ {
+				if e.r.Float64() < genProb {
+					e.generate(g)
+				}
 			}
 		}
+	} else if e.arrQ == nil {
+		// Tests may pre-seed a handcrafted calendar; a real Run never does.
+		e.initArrivals(genProb)
 	}
 	for e.now = 0; e.now < end; e.now++ {
 		if err := e.applyDueFaults(); err != nil {
@@ -176,6 +196,27 @@ func (e *engine) runOpenLoop(o RunOptions) (*Result, error) {
 		}
 		if err := e.checkWatchdog(); err != nil {
 			return nil, err
+		}
+		if !o.LegacyGeneration {
+			// Idle-cycle fast-forward: a cycle with no due events, no queued
+			// packets and no due arrival mutates nothing and draws no
+			// randomness, so jumping over the stretch is invisible. The warmup
+			// boundary bounds the jump only out of caution (nothing triggers
+			// at warmStart itself); the measurement end bounds it because the
+			// run is over there.
+			bound := end
+			if e.now < e.warmStart && e.warmStart < bound {
+				bound = e.warmStart
+			}
+			if next, ok := e.fastForwardTarget(bound, e.nextArrivalCycle()); ok {
+				e.now = next - 1 // the loop increment lands on the target
+				if e.inFlight == 0 {
+					// Per-cycle ticking would have stamped progress on every
+					// skipped (empty-network) cycle; replicate the last stamp
+					// so the watchdog never sees the jump as a stall.
+					e.lastProgress = e.now
+				}
+			}
 		}
 	}
 	return e.result(o), nil
@@ -221,8 +262,10 @@ func (e *engine) runBurst(o RunOptions) (*Result, error) {
 		// generation (all burst traffic preloads), nothing can happen until
 		// the next calendar event — jump straight to it. The skipped cycles
 		// are provably no-ops, so e.now passes through exactly the same
-		// observable sequence as per-cycle ticking.
-		if next, ok := e.fastForwardTarget(maxCycles); ok {
+		// observable sequence as per-cycle ticking. The bound maxCycles+1
+		// lets the burst timeout fire at the same cycle as per-cycle
+		// ticking would.
+		if next, ok := e.fastForwardTarget(maxCycles+1, -1); ok {
 			e.now = next - 1 // the loop increment lands on the event cycle
 		}
 	}
