@@ -1,0 +1,139 @@
+// Package analyzertest is the offline stand-in for
+// golang.org/x/tools/go/analysis/analysistest: it runs one analyzer over a
+// fixture directory and matches its diagnostics against `// want "regexp"`
+// comments. Every diagnostic must be expected by a want comment on its
+// line, and every want comment must be matched by a diagnostic — so both
+// false positives and false negatives fail the test, and deleting a
+// determinism guard (say, the sort call of a seeded negative fixture)
+// makes the fixture's lint expectations fail.
+package analyzertest
+
+import (
+	"fmt"
+	"go/ast"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/analyzers/framework"
+	"repro/internal/analyzers/load"
+)
+
+// sharedLoader caches type-checked dependencies (including the std
+// library closure) across fixture runs in one test binary.
+var (
+	loaderOnce   sync.Once
+	sharedLoader *load.Loader
+	loaderMu     sync.Mutex
+)
+
+func getLoader() *load.Loader {
+	loaderOnce.Do(func() { sharedLoader = load.New("") })
+	return sharedLoader
+}
+
+// want is one expectation parsed from a fixture comment.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// wantRE finds a want clause anywhere in a comment, so expectations can
+// ride on lines whose comment is itself under test (markers, allows).
+var wantRE = regexp.MustCompile("(?:^|[ \t])want[ \t]+([\"`].*)$")
+
+// Run loads dir as a fixture package with the given import path, applies
+// the analyzer, and diffs diagnostics against the fixture's want comments.
+func Run(t *testing.T, dir, importPath string, a *framework.Analyzer) {
+	t.Helper()
+	loaderMu.Lock()
+	defer loaderMu.Unlock()
+	l := getLoader()
+	pkg, err := l.CheckDir(dir, importPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	diags, err := framework.Run(l.Fset, pkg.Syntax, pkg.Types, pkg.TypesInfo, []*framework.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+
+	wants, err := collectWants(l, pkg.Syntax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		if !matchWant(wants, d) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// collectWants parses `// want "re1" "re2"` comments from the fixture.
+func collectWants(l *load.Loader, files []*ast.File) ([]*want, error) {
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				m := wantRE.FindStringSubmatch(text)
+				if m == nil {
+					continue
+				}
+				pos := l.Fset.Position(c.Pos())
+				for _, quoted := range splitQuoted(m[1]) {
+					re, err := regexp.Compile(quoted)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want pattern %q: %w", pos.Filename, pos.Line, quoted, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+// splitQuoted extracts the backtick- or double-quoted segments of a want
+// comment's payload.
+func splitQuoted(s string) []string {
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if len(s) == 0 {
+			return out
+		}
+		quote := s[0]
+		if quote != '"' && quote != '`' {
+			return out
+		}
+		end := strings.IndexByte(s[1:], quote)
+		if end < 0 {
+			return out
+		}
+		out = append(out, s[1:1+end])
+		s = s[end+2:]
+	}
+}
+
+// matchWant marks and reports a want expectation covering the diagnostic.
+func matchWant(wants []*want, d framework.Diagnostic) bool {
+	for _, w := range wants {
+		if w.matched || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+			continue
+		}
+		if w.re.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}

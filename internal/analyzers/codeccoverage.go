@@ -1,0 +1,199 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"reflect"
+	"strconv"
+
+	"repro/internal/analyzers/framework"
+)
+
+// codecTarget declares one serialized struct and the functions that must
+// each reference every exported field.
+type codecTarget struct {
+	pkg      string   // package path the struct and codec live in
+	typeName string   // struct type name
+	encode   []string // encode-side functions/methods (all must cover every field)
+	decode   []string // decode-side; empty means decoding is reflective (encoding/json), checked via tag presence instead
+	exempt   map[string]string
+}
+
+// codecTargets is the registry of codec-covered structs. The two real
+// entries guard the result cache's on-disk format and the job spec's
+// content address; the fixture entry exercises the analyzer's tests.
+var codecTargets = []codecTarget{
+	{
+		pkg:      "repro/internal/sim",
+		typeName: "Result",
+		encode:   []string{"AppendBinary"},
+		decode:   []string{"DecodeResult"},
+	},
+	{
+		pkg:      "repro/internal/experiments",
+		typeName: "JobSpec",
+		encode:   []string{"AppendCanonical"},
+		// JSON transport decodes reflectively; the tag-presence check below
+		// pins every field to a stable wire name instead.
+		decode: nil,
+		exempt: map[string]string{
+			"Label": "presentation only; deliberately excluded from the canonical encoding and hash",
+		},
+	},
+	{
+		pkg:      "codeccoverage",
+		typeName: "Wire",
+		encode:   []string{"encodeWire"},
+		decode:   []string{"decodeWire"},
+		exempt:   map[string]string{"Note": "fixture exemption"},
+	},
+	{
+		pkg:      "codeccoverage",
+		typeName: "WireJSON",
+		encode:   []string{"encodeWireJSON"},
+		decode:   nil, // reflective: json-tag presence is the decode check
+	},
+}
+
+// CodecCoverage asserts that every exported field of a codec-serialized
+// struct is referenced by each of its encode and decode functions. Adding
+// a field to sim.Result without extending AppendBinary AND DecodeResult —
+// or to experiments.JobSpec without extending AppendCanonical — would
+// silently corrupt the content-addressed cache: two semantically different
+// values would encode (or hash) identically. With this check, the new
+// field fails lint until both codec halves handle it (or it is registered
+// as exempt, with the reason in the registry). Structs whose decode side
+// is reflective (encoding/json) instead require an explicit json tag on
+// every exported field, pinning the wire name.
+var CodecCoverage = &framework.Analyzer{
+	Name: "codeccoverage",
+	Doc:  "asserts codec encode/decode functions reference every exported field of the serialized structs",
+	Run:  runCodecCoverage,
+}
+
+func runCodecCoverage(pass *framework.Pass) error {
+	for _, tgt := range codecTargets {
+		if tgt.pkg != pass.Pkg.Path() {
+			continue
+		}
+		checkCodecTarget(pass, tgt)
+	}
+	return nil
+}
+
+func checkCodecTarget(pass *framework.Pass, tgt codecTarget) {
+	obj := pass.Pkg.Scope().Lookup(tgt.typeName)
+	if obj == nil {
+		pass.Reportf(pass.Files[0].Pos(), "codec target %s.%s not found in package", tgt.pkg, tgt.typeName)
+		return
+	}
+	st, ok := obj.Type().Underlying().(*types.Struct)
+	if !ok {
+		pass.Reportf(pass.Files[0].Pos(), "codec target %s is not a struct", tgt.typeName)
+		return
+	}
+
+	// Exported fields, keyed by their types.Var identity so selections
+	// resolve exactly, plus the declaration position for reporting.
+	fields := make(map[*types.Var]bool)
+	var ordered []*types.Var
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if !f.Exported() {
+			continue
+		}
+		if _, ok := tgt.exempt[f.Name()]; ok {
+			continue
+		}
+		fields[f] = true
+		ordered = append(ordered, f)
+	}
+
+	funcs := codecFuncBodies(pass)
+	check := func(side string, names []string) {
+		for _, name := range names {
+			body, found := funcs[name]
+			if !found {
+				pass.Reportf(pass.Files[0].Pos(), "codec %s function %s of %s not found in package", side, name, tgt.typeName)
+				continue
+			}
+			covered := fieldsReferenced(pass, body, fields)
+			for _, f := range ordered {
+				if !covered[f] {
+					pass.Reportf(f.Pos(),
+						"exported field %s.%s is not referenced by codec %s function %s: extend the codec (and bump its version) or register an exemption in codecTargets",
+						tgt.typeName, f.Name(), side, name)
+				}
+			}
+		}
+	}
+	check("encode", tgt.encode)
+	if len(tgt.decode) > 0 {
+		check("decode", tgt.decode)
+	} else {
+		checkJSONTags(pass, tgt, st)
+	}
+}
+
+// codecFuncBodies maps every function and method name of the package to
+// its body.
+func codecFuncBodies(pass *framework.Pass) map[string]*ast.BlockStmt {
+	out := make(map[string]*ast.BlockStmt)
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				out[fd.Name.Name] = fd.Body
+			}
+		}
+	}
+	return out
+}
+
+// fieldsReferenced walks a body and records which of the given struct
+// fields are selected anywhere in it.
+func fieldsReferenced(pass *framework.Pass, body *ast.BlockStmt, fields map[*types.Var]bool) map[*types.Var]bool {
+	covered := make(map[*types.Var]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.SelectorExpr:
+			if sel, ok := pass.TypesInfo.Selections[x]; ok && sel.Kind() == types.FieldVal {
+				if v, ok := sel.Obj().(*types.Var); ok && fields[v] {
+					covered[v] = true
+				}
+			}
+		case *ast.CompositeLit:
+			// Result{A: ..., B: ...} in a decode function counts too.
+			for _, elt := range x.Elts {
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					if id, ok := kv.Key.(*ast.Ident); ok {
+						if v, ok := pass.TypesInfo.Uses[id].(*types.Var); ok && fields[v] {
+							covered[v] = true
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return covered
+}
+
+// checkJSONTags requires an explicit json tag (not "-") on every exported,
+// non-exempt field of a reflectively decoded struct.
+func checkJSONTags(pass *framework.Pass, tgt codecTarget, st *types.Struct) {
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if !f.Exported() {
+			continue
+		}
+		if _, ok := tgt.exempt[f.Name()]; ok {
+			continue
+		}
+		tag := reflect.StructTag(st.Tag(i)).Get("json")
+		if tag == "" || tag == "-" {
+			pass.Reportf(f.Pos(),
+				"exported field %s.%s of the reflectively decoded struct has no json tag (got %s): pin the wire name explicitly",
+				tgt.typeName, f.Name(), strconv.Quote(tag))
+		}
+	}
+}

@@ -1,0 +1,172 @@
+// Package framework is a minimal, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis API surface the hxlint suite needs. The
+// container this repository builds in has no module proxy access, so the
+// real x/tools dependency is unavailable; the types below keep the same
+// shape (Analyzer, Pass, Diagnostic) so the suite can be ported to the
+// upstream framework by swapping the import when the dependency becomes
+// available.
+//
+// Beyond the x/tools shape, the framework owns one repo-specific contract:
+// the `//hx:allow <analyzer> <reason>` suppression comment. A diagnostic is
+// suppressed when a well-formed allow comment for its analyzer sits on the
+// same line or on the line directly above; an allow comment without a
+// reason never suppresses anything and is itself reported, so every
+// silenced finding carries a written justification.
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check, mirroring analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in //hx:allow
+	// suppressions. It must be a single lowercase word.
+	Name string
+	// Doc is the one-paragraph description printed by `hxlint -help`.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// Pass carries one analyzed package to an Analyzer's Run function,
+// mirroring analysis.Pass.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// AllowPrefix starts a suppression comment: //hx:allow <analyzer> <reason>.
+const AllowPrefix = "hx:allow"
+
+// allowSite is one parsed //hx:allow comment.
+type allowSite struct {
+	analyzer string
+	reason   string
+	pos      token.Position
+}
+
+// Run applies the given analyzers to one package and returns the surviving
+// diagnostics: findings matched by a reasoned //hx:allow are dropped,
+// reasonless //hx:allow comments are reported as findings of their own,
+// and the result is sorted by position for stable output.
+func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var raw []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			diags:     &raw,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path(), err)
+		}
+	}
+
+	allows, malformed := collectAllows(fset, files)
+	kept := malformed
+	for _, d := range raw {
+		if !suppressed(d, allows) {
+			kept = append(kept, d)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return kept, nil
+}
+
+// collectAllows parses every //hx:allow comment of the files, returning the
+// well-formed suppressions and a diagnostic for each reasonless one.
+func collectAllows(fset *token.FileSet, files []*ast.File) (allows []allowSite, malformed []Diagnostic) {
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				// A nested "//" starts a comment-within-the-comment (test
+				// fixtures put `// want ...` expectations there); it is
+				// never part of the suppression reason.
+				if idx := strings.Index(text, "//"); idx >= 0 {
+					text = text[:idx]
+				}
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, AllowPrefix) {
+					continue
+				}
+				fields := strings.Fields(strings.TrimPrefix(text, AllowPrefix))
+				pos := fset.Position(c.Pos())
+				if len(fields) < 2 {
+					malformed = append(malformed, Diagnostic{
+						Pos:      pos,
+						Analyzer: "hxallow",
+						Message:  "//hx:allow needs an analyzer name and a reason: //hx:allow <analyzer> <reason>",
+					})
+					continue
+				}
+				allows = append(allows, allowSite{
+					analyzer: fields[0],
+					reason:   strings.Join(fields[1:], " "),
+					pos:      pos,
+				})
+			}
+		}
+	}
+	return allows, malformed
+}
+
+// suppressed reports whether a reasoned //hx:allow for the diagnostic's
+// analyzer sits on the diagnostic's line or the line directly above it.
+func suppressed(d Diagnostic, allows []allowSite) bool {
+	for _, a := range allows {
+		if a.analyzer != d.Analyzer || a.pos.Filename != d.Pos.Filename {
+			continue
+		}
+		if a.pos.Line == d.Pos.Line || a.pos.Line == d.Pos.Line-1 {
+			return true
+		}
+	}
+	return false
+}

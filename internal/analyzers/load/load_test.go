@@ -1,0 +1,44 @@
+package load
+
+import "testing"
+
+// TestLoadModule type-checks the whole module (and so its standard-library
+// dependency closure) from source.
+func TestLoadModule(t *testing.T) {
+	l := New("")
+	pkgs, err := l.Load("repro/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("expected the module's packages, got %d", len(pkgs))
+	}
+	seen := map[string]bool{}
+	for _, p := range pkgs {
+		seen[p.ImportPath] = true
+		if !p.InModule {
+			t.Errorf("%s: not marked in-module", p.ImportPath)
+		}
+		if len(p.Syntax) == 0 || p.TypesInfo == nil || p.Types == nil {
+			t.Errorf("%s: missing syntax or type info", p.ImportPath)
+		}
+	}
+	for _, want := range []string{"repro", "repro/internal/sim", "repro/internal/topo"} {
+		if !seen[want] {
+			t.Errorf("package %s not loaded", want)
+		}
+	}
+}
+
+// TestCheckDirLoadsImportsOnDemand checks fixture-style loading: a package
+// outside the module importing both std and module packages.
+func TestCheckDirLoadsImportsOnDemand(t *testing.T) {
+	l := New("")
+	p, err := l.CheckDir("testdata/smoke", "smoke")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Types == nil || p.TypesInfo == nil {
+		t.Fatal("missing type info")
+	}
+}

@@ -1,0 +1,15 @@
+// Package smoke exercises on-demand import loading in CheckDir: one
+// standard-library import the module itself does not use, one module
+// package.
+package smoke
+
+import (
+	"math/rand"
+
+	"repro/internal/rng"
+)
+
+// Roll mixes both imports so neither is unused.
+func Roll() int {
+	return rand.Intn(6) + rng.New(1).Intn(6)
+}

@@ -1,0 +1,284 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analyzers/framework"
+)
+
+// MapRange flags `range` statements over maps in the determinism-sensitive
+// packages: Go randomizes map iteration order, so any map walk on a path
+// that feeds Result bytes, cache keys, golden output or topology
+// construction is a nondeterminism bug (the PR 3 Torus/Dragonfly Edges()
+// class). A walk is accepted without annotation in two shapes the checker
+// can prove order-insensitive:
+//
+//   - sorted afterwards: the loop only appends to slices, and every such
+//     slice is later passed to a sort (a `sort`/`slices` package call, or
+//     any function whose name contains "Sort", e.g. topo.SortEdges) in the
+//     same function;
+//   - commutative body: every statement only writes map entries, deletes
+//     map entries, or accumulates integers/booleans (+=, |=, ++, --) —
+//     bitwise-exact regardless of order. Float accumulation does NOT
+//     qualify: float addition is not associative, so summing in map order
+//     is nondeterministic in the low bits.
+//
+// Anything else needs `//hx:allow maprange <reason>`.
+var MapRange = &framework.Analyzer{
+	Name: "maprange",
+	Doc:  "flags order-nondeterministic map iteration on determinism-sensitive paths",
+	Run:  runMapRange,
+}
+
+func runMapRange(pass *framework.Pass) error {
+	if !inScope(pass.Pkg.Path(), "maprange", deterministicPackages) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		var stack []ast.Node
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok || !isMapType(pass.TypesInfo.TypeOf(rng.X)) {
+				return true
+			}
+			if commutativeBody(pass.TypesInfo, rng.Body) {
+				return true
+			}
+			if appended := appendTargets(pass.TypesInfo, rng.Body); len(appended) > 0 &&
+				allSortedAfter(pass.TypesInfo, stack, rng, appended) {
+				return true
+			}
+			pass.Reportf(rng.Pos(),
+				"map iteration order is nondeterministic here: sort the collected keys, make the body order-insensitive, or annotate //hx:allow maprange <reason>")
+			return true
+		})
+	}
+	return nil
+}
+
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// commutativeBody reports whether every statement of the loop body is an
+// order-insensitive sink: map writes, deletes, integer/boolean
+// accumulation, and control flow composed of the same.
+func commutativeBody(info *types.Info, body *ast.BlockStmt) bool {
+	for _, st := range body.List {
+		if !commutativeStmt(info, st) {
+			return false
+		}
+	}
+	return true
+}
+
+func commutativeStmt(info *types.Info, st ast.Stmt) bool {
+	switch s := st.(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range s.Lhs {
+			if !commutativeLHS(info, lhs, s.Tok) {
+				return false
+			}
+		}
+		return true
+	case *ast.IncDecStmt:
+		return isIntType(info.TypeOf(s.X))
+	case *ast.ExprStmt:
+		call, ok := s.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		return ok && id.Name == "delete" && info.Uses[id] != nil && info.Uses[id].Parent() == types.Universe
+	case *ast.IfStmt:
+		if s.Init != nil && !commutativeStmt(info, s.Init) {
+			return false
+		}
+		if !commutativeBody(info, s.Body) {
+			return false
+		}
+		switch e := s.Else.(type) {
+		case nil:
+			return true
+		case *ast.BlockStmt:
+			return commutativeBody(info, e)
+		case *ast.IfStmt:
+			return commutativeStmt(info, e)
+		}
+		return false
+	case *ast.BranchStmt:
+		return s.Tok == token.CONTINUE || s.Tok == token.BREAK
+	case *ast.BlockStmt:
+		return commutativeBody(info, s)
+	case *ast.EmptyStmt:
+		return true
+	}
+	return false
+}
+
+// commutativeLHS accepts map-entry writes with any operator, declarations
+// of loop-local temporaries (`:=`), and integer/boolean accumulation onto
+// anything else.
+func commutativeLHS(info *types.Info, lhs ast.Expr, tok token.Token) bool {
+	if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+		return true
+	}
+	if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok && isMapType(info.TypeOf(ix.X)) {
+		return true
+	}
+	switch tok {
+	case token.DEFINE:
+		return true // new binding scoped to the loop body
+	case token.ADD_ASSIGN, token.SUB_ASSIGN:
+		return isIntType(info.TypeOf(lhs))
+	case token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+		t := info.TypeOf(lhs)
+		return isIntType(t) || isBoolType(t)
+	}
+	return false
+}
+
+func isIntType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+func isBoolType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsBoolean != 0
+}
+
+// appendTargets returns the variables the loop body grows with
+// `x = append(x, ...)`, keyed by object. Any other effect disqualifies the
+// body from the sorted-after exemption (nil result).
+func appendTargets(info *types.Info, body *ast.BlockStmt) map[*types.Var]bool {
+	targets := make(map[*types.Var]bool)
+	ok := true
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, isAssign := n.(*ast.AssignStmt)
+		if !isAssign {
+			if _, bad := n.(*ast.IncDecStmt); bad {
+				ok = false
+			}
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, isIdent := ast.Unparen(lhs).(*ast.Ident)
+			if !isIdent {
+				ok = false
+				return false
+			}
+			v, _ := info.Uses[id].(*types.Var)
+			if v == nil {
+				v, _ = info.Defs[id].(*types.Var)
+			}
+			if v == nil {
+				if id.Name != "_" {
+					ok = false
+				}
+				continue
+			}
+			if i < len(as.Rhs) && isAppendOf(info, as.Rhs[i], v) {
+				targets[v] = true
+			} else {
+				ok = false
+			}
+		}
+		return true
+	})
+	if !ok {
+		return nil
+	}
+	return targets
+}
+
+// isAppendOf reports whether e is `append(v, ...)`.
+func isAppendOf(info *types.Info, e ast.Expr, v *types.Var) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" || info.Uses[id] == nil || info.Uses[id].Parent() != types.Universe {
+		return false
+	}
+	base, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	return ok && info.Uses[base] == v
+}
+
+// allSortedAfter reports whether every appended variable is an argument of
+// a sorting call located after the range statement in the enclosing
+// function.
+func allSortedAfter(info *types.Info, stack []ast.Node, rng *ast.RangeStmt, appended map[*types.Var]bool) bool {
+	var encl ast.Node
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			encl = stack[i]
+		}
+		if encl != nil {
+			break
+		}
+	}
+	if encl == nil {
+		return false
+	}
+	sorted := make(map[*types.Var]bool)
+	ast.Inspect(encl, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() || !isSortCall(info, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(an ast.Node) bool {
+				if id, ok := an.(*ast.Ident); ok {
+					if v, ok := info.Uses[id].(*types.Var); ok && appended[v] {
+						sorted[v] = true
+					}
+				}
+				return true
+			})
+		}
+		return true
+	})
+	for v := range appended {
+		if !sorted[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// isSortCall recognizes calls that establish a canonical order: anything
+// from the sort or slices packages, or a function whose name contains
+// "Sort" (the repo convention, e.g. topo.SortEdges).
+func isSortCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return false
+	}
+	if pkg := fn.Pkg(); pkg != nil && (pkg.Path() == "sort" || pkg.Path() == "slices") {
+		return true
+	}
+	return containsSort(fn.Name())
+}
+
+func containsSort(name string) bool {
+	for i := 0; i+4 <= len(name); i++ {
+		if eq := name[i : i+4]; eq == "Sort" || eq == "sort" {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,128 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"repro/internal/analyzers/framework"
+)
+
+// rngPkg is the repository's only legitimate randomness source.
+const rngPkg = "repro/internal/rng"
+
+// blessedRNGPackages may construct rng generators: these are the layers
+// that own a (seed, jobIndex) or per-shard stream derivation. Everything
+// else must receive a *rng.Rand (or a seed) from a caller, so the chain
+// from the experiment seed to every random draw stays auditable.
+var blessedRNGPackages = []string{
+	rngPkg,
+	"repro/internal/sim",
+	"repro/internal/traffic",
+	"repro/internal/experiments",
+	"repro/internal/topo",
+}
+
+// RNGDiscipline enforces the seeding contract: all randomness flows from
+// repro/internal/rng streams derived from the experiment seed. It flags
+//
+//   - any import of math/rand or math/rand/v2 (globally seeded, not
+//     reproducible across processes, and its Source is a different
+//     algorithm than the engine's recorded xoshiro256** streams);
+//   - time.Now (or any time-derived call) anywhere in the arguments of a
+//     generator constructor or re-seed — wall-clock seeds destroy
+//     reproducibility by construction;
+//   - construction or re-seeding of rng generators (rng.New, rng.NewStream,
+//     rng.StreamSeed, (*rng.Rand).Seed) outside the blessed stream-owning
+//     packages (sim, traffic, experiments, topo, rng itself).
+//
+// Test files are outside hxlint's scope, so tests may keep ad-hoc
+// generators.
+var RNGDiscipline = &framework.Analyzer{
+	Name: "rngdiscipline",
+	Doc:  "flags math/rand, wall-clock seeds, and rng stream construction outside the blessed packages",
+	Run:  runRNGDiscipline,
+}
+
+func runRNGDiscipline(pass *framework.Pass) error {
+	pkgPath := pass.Pkg.Path()
+	blessed := false
+	for _, p := range blessedRNGPackages {
+		if pkgPath == p {
+			blessed = true
+		}
+	}
+	// Fixture convention: packages under the analyzer's name are unblessed
+	// unless their path ends in /blessed.
+	if strings.HasSuffix(pkgPath, "/blessed") {
+		blessed = true
+	}
+
+	for _, file := range pass.Files {
+		for _, imp := range file.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(imp.Pos(),
+					"import of %s: all randomness must come from %s seeded streams (per-shard / (seed, jobIndex) derived)", path, rngPkg)
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			kind := rngSeedCallKind(pass, call)
+			if kind == "" {
+				return true
+			}
+			if pos, found := findTimeDerived(pass, call.Args); found {
+				pass.Reportf(pos,
+					"wall-clock value seeds %s: seeds must derive from the experiment seed, never from time", kind)
+			}
+			if !blessed {
+				pass.Reportf(call.Pos(),
+					"%s constructs a random stream outside the blessed packages (%s): accept a *rng.Rand or a seed from the caller instead",
+					kind, strings.Join(blessedRNGPackages, ", "))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// rngSeedCallKind classifies a call as generator construction/seeding and
+// returns a human-readable name for it, or "".
+func rngSeedCallKind(pass *framework.Pass, call *ast.CallExpr) string {
+	fn := calleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != rngPkg {
+		return ""
+	}
+	switch fn.Name() {
+	case "New", "NewStream", "StreamSeed", "Seed":
+		return "rng." + fn.Name()
+	}
+	return ""
+}
+
+// findTimeDerived looks for a call into package time (time.Now and
+// friends) anywhere inside the given expressions.
+func findTimeDerived(pass *framework.Pass, exprs []ast.Expr) (pos token.Pos, found bool) {
+	var at ast.Node
+	for _, e := range exprs {
+		ast.Inspect(e, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || at != nil {
+				return at == nil
+			}
+			if fn := calleeFunc(pass.TypesInfo, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "time" {
+				at = call
+				return false
+			}
+			return true
+		})
+	}
+	if at == nil {
+		return token.NoPos, false
+	}
+	return at.Pos(), true
+}

@@ -1,0 +1,252 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analyzers/framework"
+)
+
+// parallelPhaseMarker marks a phase dispatch site: the statement directly
+// below the comment must be a call taking a function literal, and that
+// literal's body is the root of the shard-safety check.
+const parallelPhaseMarker = "hx:parallel-phase"
+
+// ShardSafe enforces the engine's phase ownership contract: code running
+// inside a switch-parallel phase (every function statically reachable from
+// a function literal at a `//hx:parallel-phase` dispatch site) must
+// confine its writes to switch-owned state. Concretely it flags, in
+// phase-reachable code:
+//
+//   - writes (assignment, ++/--) to package-level variables;
+//   - calls to mutating methods (Add, Store, Swap, CompareAndSwap, Or,
+//     And) on package-level variables — the sync/atomic write surface;
+//   - direct writes to fields of the dispatching type (the receiver type
+//     of the method containing the marker), e.g. `e.now = ...`: engine
+//     totals may only be folded in the sequential merge steps.
+//
+// Indexed writes (e.events[slot] = ..., e.credits[vc]--) stay allowed: the
+// index encodes which switch owns the entry, which is exactly the
+// ownership argument documented in internal/sim/shard.go and is checked at
+// runtime by the bit-identity regressions, not statically. Reachability
+// follows direct calls within the package; calls through interfaces
+// (e.g. routing.Mechanism) and into other packages are out of static
+// scope and rely on those APIs' documented contracts (Scratch,
+// switch-local *rng.Rand receivers).
+var ShardSafe = &framework.Analyzer{
+	Name: "shardsafe",
+	Doc:  "flags shared-state writes in code reachable from //hx:parallel-phase dispatch sites",
+	Run:  runShardSafe,
+}
+
+func runShardSafe(pass *framework.Pass) error {
+	roots, rootLits, engineTypes := collectPhaseRoots(pass)
+	if len(roots) == 0 && len(rootLits) == 0 {
+		return nil
+	}
+
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					decls[fn] = fd
+				}
+			}
+		}
+	}
+
+	// Breadth-first closure over direct, statically resolved calls within
+	// this package.
+	reached := make(map[*types.Func]bool)
+	var bodies []ast.Node
+	var queue []*types.Func
+	enqueue := func(fn *types.Func) {
+		if fn != nil && !reached[fn] && decls[fn] != nil {
+			reached[fn] = true
+			queue = append(queue, fn)
+		}
+	}
+	for fn := range roots {
+		enqueue(fn)
+	}
+	for _, lit := range rootLits {
+		bodies = append(bodies, lit.Body)
+	}
+	for len(queue) > 0 || len(bodies) > 0 {
+		var body ast.Node
+		if len(queue) > 0 {
+			fn := queue[0]
+			queue = queue[1:]
+			body = decls[fn].Body
+			checkPhaseBody(pass, decls[fn].Name.Name, body, engineTypes)
+		} else {
+			body = bodies[0]
+			bodies = bodies[1:]
+			checkPhaseBody(pass, "parallel-phase literal", body, engineTypes)
+		}
+		ast.Inspect(body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				enqueue(calleeFunc(pass.TypesInfo, call))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// collectPhaseRoots finds every //hx:parallel-phase marker, resolves the
+// call statement directly below it, and returns the functions called from
+// (and the bodies of) its function-literal arguments, plus the set of
+// dispatching receiver types ("engine" types whose direct field writes are
+// forbidden in phases).
+func collectPhaseRoots(pass *framework.Pass) (map[*types.Func]bool, []*ast.FuncLit, map[types.Type]bool) {
+	roots := make(map[*types.Func]bool)
+	var rootLits []*ast.FuncLit
+	engineTypes := make(map[types.Type]bool)
+
+	for _, file := range pass.Files {
+		var markers []token.Pos // position of each marker comment's line end
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if text := c.Text; len(text) >= 2+len(parallelPhaseMarker) &&
+					text[2:2+len(parallelPhaseMarker)] == parallelPhaseMarker {
+					markers = append(markers, c.End())
+				}
+			}
+		}
+		if len(markers) == 0 {
+			continue
+		}
+		matched := make(map[int]bool)
+		var enclosing []*ast.FuncDecl
+		ast.Inspect(file, func(n ast.Node) bool {
+			if fd, ok := n.(*ast.FuncDecl); ok {
+				enclosing = append(enclosing, fd)
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			markerLine := -1
+			callLine := pass.Fset.Position(call.Pos()).Line
+			for i, m := range markers {
+				if !matched[i] && pass.Fset.Position(m).Line == callLine-1 {
+					markerLine = i
+					break
+				}
+			}
+			if markerLine < 0 {
+				return true
+			}
+			matched[markerLine] = true
+			for _, arg := range call.Args {
+				lit, ok := ast.Unparen(arg).(*ast.FuncLit)
+				if !ok {
+					continue
+				}
+				rootLits = append(rootLits, lit)
+				ast.Inspect(lit.Body, func(bn ast.Node) bool {
+					if c, ok := bn.(*ast.CallExpr); ok {
+						if fn := calleeFunc(pass.TypesInfo, c); fn != nil {
+							roots[fn] = true
+						}
+					}
+					return true
+				})
+			}
+			if len(enclosing) > 0 {
+				if fd := enclosing[len(enclosing)-1]; fd.Recv != nil && len(fd.Recv.List) == 1 {
+					t := pass.TypesInfo.TypeOf(fd.Recv.List[0].Type)
+					if p, ok := t.(*types.Pointer); ok {
+						t = p.Elem()
+					}
+					if t != nil {
+						engineTypes[t] = true
+					}
+				}
+			}
+			return true
+		})
+		for i, m := range markers {
+			if !matched[i] {
+				pass.Reportf(m, "//hx:parallel-phase marker is not directly above a dispatch call taking a function literal")
+			}
+		}
+	}
+	return roots, rootLits, engineTypes
+}
+
+// atomicMutators is the write surface of sync/atomic values.
+var atomicMutators = map[string]bool{
+	"Add": true, "Store": true, "Swap": true,
+	"CompareAndSwap": true, "Or": true, "And": true,
+}
+
+// checkPhaseBody flags the forbidden write shapes inside one
+// phase-reachable function body.
+func checkPhaseBody(pass *framework.Pass, where string, body ast.Node, engineTypes map[types.Type]bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			if s.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range s.Lhs {
+				checkPhaseWrite(pass, where, lhs, engineTypes)
+			}
+		case *ast.IncDecStmt:
+			checkPhaseWrite(pass, where, s.X, engineTypes)
+		case *ast.CallExpr:
+			sel, ok := ast.Unparen(s.Fun).(*ast.SelectorExpr)
+			if !ok || !atomicMutators[sel.Sel.Name] {
+				return true
+			}
+			if root := rootIdent(sel.X); root != nil && isPkgLevelVar(pass.TypesInfo.Uses[root], pass.Pkg) {
+				pass.Reportf(s.Pos(),
+					"%s mutates package-level %s inside a switch-parallel phase (reached via %s); shared counters may only change in sequential merge steps",
+					sel.Sel.Name, root.Name, where)
+			}
+		}
+		return true
+	})
+}
+
+func checkPhaseWrite(pass *framework.Pass, where string, lhs ast.Expr, engineTypes map[types.Type]bool) {
+	lhs = ast.Unparen(lhs)
+	if root := rootIdent(lhs); root != nil && isPkgLevelVar(pass.TypesInfo.Uses[root], pass.Pkg) {
+		pass.Reportf(lhs.Pos(),
+			"write to package-level %s inside a switch-parallel phase (reached via %s); move it to a sequential merge step",
+			root.Name, where)
+		return
+	}
+	// Direct (non-indexed) field write on the dispatching engine type:
+	// x.f = v or x.f.g = v where x is engine-typed. Indexed paths
+	// (x.f[i] = v) encode per-switch ownership and are allowed.
+	sel, ok := lhs.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	base := sel.X
+	for {
+		if inner, ok := ast.Unparen(base).(*ast.SelectorExpr); ok {
+			base = inner.X
+			continue
+		}
+		break
+	}
+	id, ok := ast.Unparen(base).(*ast.Ident)
+	if !ok {
+		return
+	}
+	t := pass.TypesInfo.TypeOf(id)
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if t != nil && engineTypes[t] {
+		pass.Reportf(lhs.Pos(),
+			"direct write to engine field %s.%s inside a switch-parallel phase (reached via %s); engine totals fold in sequential merge steps, switch state lives under an indexed per-switch entry",
+			id.Name, sel.Sel.Name, where)
+	}
+}

@@ -1,0 +1,31 @@
+package analyzers
+
+import (
+	"repro/internal/analyzers/framework"
+	"repro/internal/analyzers/load"
+)
+
+// RunSuite loads the packages the patterns match and applies the whole
+// suite to every module package among them, returning the surviving
+// diagnostics sorted by position. It is the programmatic form of
+// `hxlint <patterns>`, shared by cmd/hxlint and the self-hosting test.
+func RunSuite(patterns ...string) ([]framework.Diagnostic, error) {
+	l := load.New("")
+	pkgs, err := l.Load(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	suite := All()
+	var diags []framework.Diagnostic
+	for _, p := range pkgs {
+		if !p.InModule {
+			continue // dependencies are type-checked but never lint subjects
+		}
+		ds, err := framework.Run(l.Fset, p.Syntax, p.Types, p.TypesInfo, suite)
+		if err != nil {
+			return nil, err
+		}
+		diags = append(diags, ds...)
+	}
+	return diags, nil
+}

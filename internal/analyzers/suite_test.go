@@ -1,0 +1,57 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"repro/internal/analyzers"
+	"repro/internal/analyzers/analyzertest"
+)
+
+// The fixture tests assert, per analyzer, at least one positive finding
+// (want) and at least one allowed (negative) shape, including reasoned
+// //hx:allow suppressions. The harness fails on both unexpected and
+// missing diagnostics, so weakening a fixture's determinism guard (for
+// example deleting the sort.Ints call behind sortedViaHelper, or the
+// sort.Strings in keys) turns a negative case into an unexpected finding
+// and fails the test.
+
+func TestMapRange(t *testing.T) {
+	analyzertest.Run(t, "testdata/src/maprange", "maprange", analyzers.MapRange)
+}
+
+func TestRNGDiscipline(t *testing.T) {
+	analyzertest.Run(t, "testdata/src/rngdiscipline", "rngdiscipline", analyzers.RNGDiscipline)
+}
+
+func TestRNGDisciplineBlessed(t *testing.T) {
+	analyzertest.Run(t, "testdata/src/rngdiscipline/blessed", "rngdiscipline/blessed", analyzers.RNGDiscipline)
+}
+
+func TestShardSafe(t *testing.T) {
+	analyzertest.Run(t, "testdata/src/shardsafe", "shardsafe", analyzers.ShardSafe)
+}
+
+func TestUnstableSort(t *testing.T) {
+	analyzertest.Run(t, "testdata/src/unstablesort", "unstablesort", analyzers.UnstableSort)
+}
+
+func TestCodecCoverage(t *testing.T) {
+	analyzertest.Run(t, "testdata/src/codeccoverage", "codeccoverage", analyzers.CodecCoverage)
+}
+
+// TestSuiteSelfHostClean runs the whole suite over the whole module — the
+// exact check CI's lint job performs with `go run ./cmd/hxlint ./...` —
+// and requires zero findings, so the repo can never merge code that its
+// own determinism contracts flag.
+func TestSuiteSelfHostClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("self-host lint type-checks the full module; skipped in -short")
+	}
+	diags, err := analyzers.RunSuite("repro/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("self-host finding: %s", d)
+	}
+}

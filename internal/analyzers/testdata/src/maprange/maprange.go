@@ -1,0 +1,89 @@
+// Package maprange is the fixture for the maprange analyzer: each
+// function is one positive (want) or negative (allowed) iteration shape.
+package maprange
+
+import "sort"
+
+// keys is allowed: the collected keys are sorted before use.
+func keys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// sortedViaHelper is allowed: the repo convention accepts any *Sort* call.
+func sortedViaHelper(m map[int]bool) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	return sortInts(out)
+}
+
+func sortInts(xs []int) []int {
+	sort.Ints(xs)
+	return xs
+}
+
+// sumInts is allowed: integer accumulation is bitwise order-insensitive.
+func sumInts(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// invert is allowed: the body only writes entries of another map.
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// unsortedKeys leaks map order into the returned slice.
+func unsortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `map iteration order is nondeterministic`
+		out = append(out, k)
+	}
+	return out
+}
+
+// sumFloats is order-sensitive: float addition is not associative.
+func sumFloats(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m { // want `map iteration order is nondeterministic`
+		total += v
+	}
+	return total
+}
+
+// sideEffects calls out of the loop in map order.
+func sideEffects(m map[string]int, sink func(string)) {
+	for k := range m { // want `map iteration order is nondeterministic`
+		sink(k)
+	}
+}
+
+// allowed demonstrates a reasoned suppression.
+func allowed(m map[string]int, sink func(string)) {
+	//hx:allow maprange fixture sink is order-insensitive by contract
+	for k := range m {
+		sink(k)
+	}
+}
+
+// reasonless shows that a bare allow suppresses nothing and is itself
+// reported.
+func reasonless(m map[string]int, sink func(string)) {
+	//hx:allow maprange // want `needs an analyzer name and a reason`
+	for k := range m { // want `map iteration order is nondeterministic`
+		sink(k)
+	}
+}

@@ -1,0 +1,21 @@
+// Package blessed is the fixture for rngdiscipline's blessed side: a
+// package allowed to construct seeded streams (fixture paths ending in
+// /blessed model repro/internal/{sim,traffic,experiments,topo,rng}).
+package blessed
+
+import (
+	"time"
+
+	"repro/internal/rng"
+)
+
+// perShard is the blessed pattern: a stream derived from the experiment
+// seed and a stable substream id.
+func perShard(seed, shard uint64) *rng.Rand {
+	return rng.NewStream(seed, shard)
+}
+
+// reseed is still wrong even here: no seed may come from the wall clock.
+func reseed(r *rng.Rand) {
+	r.Seed(uint64(time.Now().UnixNano())) // want `wall-clock value seeds rng.Seed`
+}

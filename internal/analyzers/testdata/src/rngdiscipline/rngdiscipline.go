@@ -1,0 +1,39 @@
+// Package rngdiscipline is the fixture for the rngdiscipline analyzer:
+// an UNBLESSED package (it is not one of the stream-owning layers), so
+// stream construction here is a finding even with a proper seed.
+package rngdiscipline
+
+import (
+	"math/rand" // want `import of math/rand: all randomness must come from repro/internal/rng`
+	"time"
+
+	"repro/internal/rng"
+)
+
+// ambient draws from the globally seeded generator.
+func ambient() int {
+	return rand.Intn(6)
+}
+
+// mint constructs a stream outside the blessed packages.
+func mint(seed uint64) *rng.Rand {
+	return rng.New(seed) // want `constructs a random stream outside the blessed packages`
+}
+
+// clockSeed is doubly wrong: unblessed construction from the wall clock.
+func clockSeed() *rng.Rand {
+	return rng.New(uint64(time.Now().UnixNano())) // want `wall-clock value seeds rng.New` `constructs a random stream outside the blessed packages`
+}
+
+// derive is allowed: deriving a seed VALUE is construction too, but the
+// suppression documents why this one is fine.
+func derive(seed uint64) uint64 {
+	//hx:allow rngdiscipline fixture forwards a derived seed to a blessed constructor
+	return rng.StreamSeed(seed, 7)
+}
+
+// consume is allowed everywhere: using a stream someone blessed handed
+// over is exactly the contract.
+func consume(r *rng.Rand) int {
+	return r.Intn(6)
+}

@@ -1,0 +1,75 @@
+// Package shardsafe is the fixture for the shardsafe analyzer: a
+// miniature of the engine's three-phase dispatch, with violations in
+// phase-reachable code and the same writes legal in sequential code.
+package shardsafe
+
+import "sync/atomic"
+
+var totalRetired int
+var genCounter atomic.Int64
+
+type swState struct{ retired int }
+
+type engine struct {
+	sw   []swState
+	now  int64
+	done int64
+}
+
+func (e *engine) forEach(fn func(sw int)) {
+	for i := range e.sw {
+		fn(i)
+	}
+}
+
+func (e *engine) step() {
+	//hx:parallel-phase
+	e.forEach(func(sw int) {
+		e.phaseOK(sw)
+		e.phaseBad(sw)
+	})
+	e.merge() // sequential: unmarked, so its writes are legal
+}
+
+// phaseOK confines itself to indexed per-switch state.
+func (e *engine) phaseOK(sw int) {
+	e.sw[sw].retired++
+}
+
+// phaseBad commits every forbidden write shape.
+func (e *engine) phaseBad(sw int) {
+	totalRetired++    // want `write to package-level totalRetired inside a switch-parallel phase`
+	e.now = int64(sw) // want `direct write to engine field e.now inside a switch-parallel phase`
+	genCounter.Add(1) // want `Add mutates package-level genCounter inside a switch-parallel phase`
+	e.helper()
+}
+
+// helper is only reachable transitively, through phaseBad.
+func (e *engine) helper() {
+	e.done++ // want `direct write to engine field e.done inside a switch-parallel phase`
+}
+
+// allowedPhase shows a reasoned suppression on phase-reachable code.
+func (e *engine) allowedPhase() {
+	//hx:allow shardsafe fixture counter is guarded by an external lock
+	totalRetired++
+}
+
+func (e *engine) stepAllowed() {
+	//hx:parallel-phase
+	e.forEach(func(sw int) {
+		e.allowedPhase()
+	})
+}
+
+// merge runs sequentially between phases: the same writes are legal here.
+func (e *engine) merge() {
+	e.now++
+	totalRetired++
+	genCounter.Add(1)
+}
+
+func strayMarker() {
+	//hx:parallel-phase // want `marker is not directly above a dispatch call`
+	totalRetired = 0
+}

@@ -1,0 +1,43 @@
+// Package unstablesort is the fixture for the unstablesort analyzer.
+package unstablesort
+
+import "sort"
+
+type edge struct{ u, v int }
+
+// sortEdges is allowed: a two-key compare is a tie-break chain.
+func sortEdges(edges []edge) {
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].u != edges[j].u {
+			return edges[i].u < edges[j].u
+		}
+		return edges[i].v < edges[j].v
+	})
+}
+
+// sortInts is allowed: equal whole elements are interchangeable.
+func sortInts(xs []int) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+}
+
+// sortByOneKey leaks the execution-dependent pre-sort order of equal
+// elements.
+func sortByOneKey(edges []edge) {
+	sort.Slice(edges, func(i, j int) bool { return edges[i].u < edges[j].u }) // want `orders by a single key`
+}
+
+// sortStableByOneKey is allowed: stability pins equals to input order.
+func sortStableByOneKey(edges []edge) {
+	sort.SliceStable(edges, func(i, j int) bool { return edges[i].u < edges[j].u })
+}
+
+// sortOpaque hides the less function from the checker.
+func sortOpaque(edges []edge, less func(i, j int) bool) {
+	sort.Slice(edges, less) // want `less function the checker cannot inspect`
+}
+
+// sortAllowed demonstrates a reasoned suppression.
+func sortAllowed(edges []edge) {
+	//hx:allow unstablesort fixture input is already deduplicated on u
+	sort.Slice(edges, func(i, j int) bool { return edges[i].u < edges[j].u })
+}

@@ -1,0 +1,133 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analyzers/framework"
+)
+
+// UnstableSort flags sort.Slice calls in the determinism-sensitive
+// packages whose less function cannot be shown to induce a total order.
+// sort.Slice is unstable: elements that compare equal land in an
+// unspecified relative order, so a less function that orders by a single
+// struct field leaks the pre-sort order — which on merge and arbiter paths
+// is scheduling- or map-order-dependent — into results. A call is accepted
+// when the less function
+//
+//   - compares the elements themselves (`s[i] < s[j]`: equal elements are
+//     interchangeable bit-for-bit), or
+//   - compares two or more distinct keys (a tie-break chain, e.g. the
+//     (U, V) compare of topo.SortEdges).
+//
+// Everything else — single-field compares, computed keys, named less
+// functions the checker cannot see through — needs sort.SliceStable (order
+// of equals then comes from the deterministic input order) or an
+// `//hx:allow unstablesort <reason>`.
+var UnstableSort = &framework.Analyzer{
+	Name: "unstablesort",
+	Doc:  "flags sort.Slice less functions without a total order (no tie-break on a unique key)",
+	Run:  runUnstableSort,
+}
+
+func runUnstableSort(pass *framework.Pass) error {
+	if !inScope(pass.Pkg.Path(), "unstablesort", deterministicPackages) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sort" || fn.Name() != "Slice" || len(call.Args) != 2 {
+				return true
+			}
+			lit, ok := ast.Unparen(call.Args[1]).(*ast.FuncLit)
+			if !ok {
+				pass.Reportf(call.Pos(),
+					"sort.Slice with a less function the checker cannot inspect: use sort.SliceStable, inline the comparison, or annotate //hx:allow unstablesort <reason>")
+				return true
+			}
+			switch keys, wholeElement := lessKeys(pass.TypesInfo, lit); {
+			case wholeElement, keys >= 2:
+				// total order: interchangeable equals or a tie-break chain
+			default:
+				pass.Reportf(call.Pos(),
+					"sort.Slice less function orders by a single key: equal elements keep an execution-dependent order; add a tie-break on a unique key or use sort.SliceStable")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// lessKeys inspects a less function literal func(i, j int) bool and
+// counts the distinct comparison keys (selector paths compared between
+// index i and index j), also reporting whether any comparison is over the
+// whole element (s[i] vs s[j] directly).
+func lessKeys(info *types.Info, lit *ast.FuncLit) (keys int, wholeElement bool) {
+	if lit.Type.Params == nil {
+		return 0, false
+	}
+	params := make(map[types.Object]bool)
+	for _, f := range lit.Type.Params.List {
+		for _, name := range f.Names {
+			if obj := info.Defs[name]; obj != nil {
+				params[obj] = true
+			}
+		}
+	}
+	seen := make(map[string]bool)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || !isComparison(be) {
+			return true
+		}
+		lpath, lok := keyPath(info, params, be.X)
+		rpath, rok := keyPath(info, params, be.Y)
+		if !lok || !rok || lpath != rpath {
+			return true
+		}
+		if lpath == "" {
+			wholeElement = true
+		}
+		if !seen[lpath] {
+			seen[lpath] = true
+			keys++
+		}
+		return true
+	})
+	return keys, wholeElement
+}
+
+func isComparison(be *ast.BinaryExpr) bool {
+	switch be.Op.String() {
+	case "<", ">", "<=", ">=", "==", "!=":
+		return true
+	}
+	return false
+}
+
+// keyPath reduces an expression of the shape base[idx].Sel1.Sel2 (idx one
+// of the less params) to its selector path ("" for the bare element);
+// anything else is not a recognizable key.
+func keyPath(info *types.Info, params map[types.Object]bool, e ast.Expr) (string, bool) {
+	path := ""
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			path = "." + x.Sel.Name + path
+			e = x.X
+		case *ast.IndexExpr:
+			id, ok := ast.Unparen(x.Index).(*ast.Ident)
+			if ok && params[info.Uses[id]] {
+				return path, true
+			}
+			return "", false
+		default:
+			return "", false
+		}
+	}
+}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"slices"
 	"strings"
 
 	"repro/internal/topo"
@@ -72,7 +73,13 @@ func RenderFig1(h *topo.HyperX, points []Fig1Point) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Figure 1: diameter vs random link failures on %s (%d links)\n", h, h.Links())
 	trans := Fig1Transitions(points)
-	for seed, list := range trans {
+	seeds := make([]uint64, 0, len(trans))
+	for seed := range trans {
+		seeds = append(seeds, seed)
+	}
+	slices.Sort(seeds)
+	for _, seed := range seeds {
+		list := trans[seed]
 		fmt.Fprintf(&b, "  seed %d:\n", seed)
 		for _, p := range list {
 			if p.Disconnected {

@@ -356,6 +356,7 @@ func (e *engine) mergeTransmitSwitch(sw int32) {
 // switches before inject/allocate; actCompact then retires the quiescent.
 func (e *engine) stepCycle(generate func()) {
 	e.actMergePending()
+	//hx:parallel-phase
 	e.forEachActive(func(sw int32, _ *workerScratch) {
 		e.processEventsSwitch(sw)
 		e.processInReleasesSwitch(sw)
@@ -365,10 +366,12 @@ func (e *engine) stepCycle(generate func()) {
 		generate()
 		e.actMergePending()
 	}
+	//hx:parallel-phase
 	e.forEachActive(func(sw int32, ws *workerScratch) {
 		e.injectSwitch(sw, ws)
 		e.allocateSwitch(sw, ws)
 	})
+	//hx:parallel-phase
 	e.forEachActive(func(sw int32, _ *workerScratch) {
 		e.commitSwitch(sw)
 		e.transmitSwitch(sw)

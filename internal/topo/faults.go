@@ -74,6 +74,7 @@ func (f *FaultSet) Edges() []Edge {
 func (f *FaultSet) Clone() *FaultSet {
 	c := &FaultSet{}
 	if f != nil {
+		//hx:allow maprange Add only inserts into the clone's set; membership is order-insensitive
 		for e := range f.dead {
 			c.Add(e.U, e.V)
 		}

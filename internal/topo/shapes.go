@@ -100,7 +100,7 @@ func CrossFaults(h *HyperX, center int32, m int) ([]Edge, error) {
 	for e := range set {
 		edges = append(edges, e)
 	}
-	return edges, nil
+	return SortEdges(edges), nil
 }
 
 // ShapeKind names a structured fault configuration.
