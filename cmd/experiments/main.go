@@ -289,7 +289,7 @@ func figureRegistry() []figure {
 
 func main() {
 	var exps multiFlag
-	flag.Var(&exps, "exp", "experiment to run: table2|table3|table4|fig1|fig4|fig5|fig6|fig7|fig8|fig9|fig10|recovery|cost|section7|all (repeatable); cache-gc prunes and audits a -cache-dir instead of running anything")
+	flag.Var(&exps, "exp", "experiment to run: table2|table3|table4|fig1|fig4|fig5|fig6|fig7|fig8|fig9|fig10|recovery|cost|section7|all (repeatable); cache-gc prunes and audits a -cache-dir instead of running anything; bench runs the engine wall-clock A/B harness and writes -bench-out")
 	full := flag.Bool("full", false, "use the paper's full-size networks and long windows")
 	seed := flag.Uint64("seed", 1, "random seed")
 	workersFlag := flag.Int("workers", 0, "parallel simulation workers (0 = one per CPU); results are identical for any value")
@@ -298,6 +298,7 @@ func main() {
 	cacheDir := flag.String("cache-dir", "", "content-addressed result cache directory; re-runs recompute only changed points")
 	serveAddr := flag.String("serve", "", "serve mode: listen on this address and execute every simulation point on connected -worker processes")
 	workerAddr := flag.String("worker", "", "worker mode: connect to a -serve address and run jobs for it (-workers sets the slot count; -exp is ignored)")
+	benchOut := flag.String("bench-out", "BENCH_7.json", "output path for the -exp bench JSON report")
 	csvDir := flag.String("csv-dir", "", "also write one CSV per figure/table into this directory (lossless floats, diffable)")
 	jsonlDir := flag.String("jsonl-dir", "", "also write one JSONL file per figure/table into this directory (one schema-stable record per grid point, byte-stable on re-export)")
 	noActivity := flag.Bool("no-activity", false, "disable the engine's dirty-switch tracking and idle-cycle fast-forward (A/B baseline; results are identical either way)")
@@ -371,8 +372,8 @@ func main() {
 	}
 
 	registry := figureRegistry()
-	known := make(map[string]bool, len(registry)+2)
-	known["all"], known["cache-gc"] = true, true
+	known := make(map[string]bool, len(registry)+3)
+	known["all"], known["cache-gc"], known["bench"] = true, true, true
 	for _, fig := range registry {
 		known[fig.name] = true
 	}
@@ -394,6 +395,27 @@ func main() {
 		save: tableSaver(*csvDir, *jsonlDir),
 	}
 
+	if want["bench"] {
+		// A wall-clock harness, not an experiment: timing pairs would be
+		// meaningless interleaved with grid simulations, so it refuses to
+		// share an invocation (and is never part of -exp all).
+		if len(want) > 1 {
+			fmt.Fprintln(os.Stderr, "experiments: -exp bench cannot be combined with other experiments")
+			os.Exit(2)
+		}
+		rep, err := experiments.Bench(*seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(experiments.RenderBench(rep))
+		if err := experiments.WriteBench(*benchOut, rep); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "bench: wrote %s\n", *benchOut)
+		return
+	}
 	if want["cache-gc"] {
 		// Maintenance, not an experiment: never part of -exp all, and it
 		// refuses to share an invocation with real experiments rather

@@ -246,7 +246,18 @@ func checkPhaseWrite(pass *framework.Pass, where string, lhs ast.Expr, engineTyp
 	}
 	if t != nil && engineTypes[t] {
 		pass.Reportf(lhs.Pos(),
-			"direct write to engine field %s.%s inside a switch-parallel phase (reached via %s); engine totals fold in sequential merge steps, switch state lives under an indexed per-switch entry",
-			id.Name, sel.Sel.Name, where)
+			"direct write to engine field %s inside a switch-parallel phase (reached via %s); engine totals fold in sequential merge steps, switch state lives under an indexed per-switch entry",
+			fieldPath(sel), where)
 	}
+}
+
+// fieldPath renders a selector chain (e.act.min) for diagnostics.
+func fieldPath(e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return fieldPath(x.X) + "." + x.Sel.Name
+	}
+	return "?"
 }

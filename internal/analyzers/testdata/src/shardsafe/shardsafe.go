@@ -10,8 +10,17 @@ var genCounter atomic.Int64
 
 type swState struct{ retired int }
 
+// actState is the miniature of the engine's activity/next-work
+// calendar: per-switch times indexed by switch ID, plus a cached
+// global minimum that only the sequential fold may refresh.
+type actState struct {
+	next []int64
+	min  int64
+}
+
 type engine struct {
 	sw   []swState
+	act  *actState
 	now  int64
 	done int64
 }
@@ -31,15 +40,19 @@ func (e *engine) step() {
 	e.merge() // sequential: unmarked, so its writes are legal
 }
 
-// phaseOK confines itself to indexed per-switch state.
+// phaseOK confines itself to indexed per-switch state: a switch may
+// publish its own next-work time (the index encodes ownership), it just
+// may not fold the shared minimum.
 func (e *engine) phaseOK(sw int) {
 	e.sw[sw].retired++
+	e.act.next[sw] = e.now + 1
 }
 
 // phaseBad commits every forbidden write shape.
 func (e *engine) phaseBad(sw int) {
 	totalRetired++    // want `write to package-level totalRetired inside a switch-parallel phase`
 	e.now = int64(sw) // want `direct write to engine field e.now inside a switch-parallel phase`
+	e.act.min = 0     // want `direct write to engine field e.act.min inside a switch-parallel phase`
 	genCounter.Add(1) // want `Add mutates package-level genCounter inside a switch-parallel phase`
 	e.helper()
 }

@@ -90,7 +90,20 @@ type Subnetwork struct {
 	ud    []int32 // ud[t*n+x]: black-only Up/Down distance x -> t
 	ddr   []int32 // ddr[t*n+x]: descent-DAG distance x -> t (RulePhased)
 	uddr  []int32 // uddr[t*n+x]: up-prefix + descent distance (RulePhased)
+	// nbr[x*radix+p] is PortNeighbor(x, p) when the link is alive, -1 when
+	// it has failed: one load replaces two coordinate decodes and a
+	// fault-set probe in the candidate scan, and the subnetwork is rebuilt
+	// whole on every fault, so the table can never go stale.
+	nbr   []int32
+	radix int
 	n     int
+	// pk interleaves (ud, ddr, uddr) as pk[(t*n+x)*3 .. +2] so the
+	// candidate scan touches one cache line per neighbor instead of one
+	// line in each of three n*n arrays — the scan is the hottest loop of
+	// the simulator and the three separate rows were three misses per
+	// port. Built from the finished tables at construction (RulePhased and
+	// RuleTree only); a read-optimized copy, never mutated.
+	pk []int32
 }
 
 // Build constructs the escape subnetwork of nw rooted at root using
@@ -113,12 +126,29 @@ func BuildWithRule(nw *topo.Network, root int32, rule Rule) (*Subnetwork, error)
 	if g.BFS(root, s.level) != n {
 		return nil, fmt.Errorf("escape: network is disconnected (%d faults)", nw.Faults.Len())
 	}
+	s.radix = nw.H.SwitchRadix()
+	s.nbr = make([]int32, n*s.radix)
+	for x := int32(0); x < int32(n); x++ {
+		for p := 0; p < s.radix; p++ {
+			if nw.PortAlive(x, p) {
+				s.nbr[int(x)*s.radix+p] = nw.H.PortNeighbor(x, p)
+			} else {
+				s.nbr[int(x)*s.radix+p] = -1
+			}
+		}
+	}
 	s.ud = make([]int32, n*n)
 	s.computeBlackUpDown(g)
 	if rule == RulePhased || rule == RuleTree {
 		s.ddr = make([]int32, n*n)
 		s.uddr = make([]int32, n*n)
 		s.computePhased(g)
+		s.pk = make([]int32, 3*n*n)
+		for i := 0; i < n*n; i++ {
+			s.pk[i*3] = s.ud[i]
+			s.pk[i*3+1] = s.ddr[i]
+			s.pk[i*3+2] = s.uddr[i]
+		}
 	}
 	return s, nil
 }
@@ -305,32 +335,44 @@ func (s *Subnetwork) Candidates(cur, dst int32, phase int8, buf []routing.PortCa
 	if s.rule == RuleUDTable {
 		return s.udTableCandidates(cur, dst, buf)
 	}
-	h := s.nw.H
-	n := s.n
-	udRow := s.ud[int(dst)*n:]
-	ddrRow := s.ddr[int(dst)*n:]
-	uddrRow := s.uddr[int(dst)*n:]
+	// One interleaved row per target: pk[x*3..+2] = (ud, ddr, uddr). The
+	// branch structure mirrors descentEdge inline — ln is already loaded,
+	// so the DAG test costs only compares.
+	pk := s.pk[int(dst)*s.n*3:]
 	lc := s.level[cur]
-	for p := 0; p < h.SwitchRadix(); p++ {
-		if !s.nw.PortAlive(cur, p) {
-			continue
+	cb := int(cur) * 3
+	udCur, ddrCur, uddrCur := pk[cb], pk[cb+1], pk[cb+2]
+	nbr := s.nbr[int(cur)*s.radix : int(cur+1)*s.radix]
+	for p, next := range nbr {
+		if next < 0 {
+			continue // failed link
 		}
-		next := h.PortNeighbor(cur, p)
 		ln := s.level[next]
-		if phase == PhaseUp && ln == lc-1 && uddrRow[next] < uddrRow[cur] {
+		nb := int(next) * 3
+		if phase == PhaseUp && ln == lc-1 && pk[nb+2] < uddrCur {
 			buf = append(buf, routing.PortCandidate{Port: p, Penalty: routing.PenaltyEscapeUp})
 			continue
 		}
-		if !s.descentEdge(cur, next) || ddrRow[next] >= topo.Unreachable {
+		// descentEdge(cur, next): a Down link (one level deeper) or — except
+		// under RuleTree — a same-level shortcut oriented by increasing id.
+		if ln == lc {
+			if s.rule == RuleTree || cur >= next {
+				continue
+			}
+		} else if ln != lc+1 {
 			continue
 		}
-		if phase == PhaseDown && ddrRow[next] >= ddrRow[cur] {
+		ddrN := pk[nb+1]
+		if ddrN >= topo.Unreachable {
+			continue
+		}
+		if phase == PhaseDown && ddrN >= ddrCur {
 			continue // in the Down phase the descent distance must shrink
 		}
 		if ln > lc {
 			buf = append(buf, routing.PortCandidate{Port: p, Penalty: routing.PenaltyEscapeDown})
 		} else {
-			buf = append(buf, routing.PortCandidate{Port: p, Penalty: shortcutPenalty(udRow[cur] - udRow[next])})
+			buf = append(buf, routing.PortCandidate{Port: p, Penalty: shortcutPenalty(udCur - pk[nb])})
 		}
 	}
 	return buf
@@ -338,15 +380,14 @@ func (s *Subnetwork) Candidates(cur, dst int32, phase int8, buf []routing.PortCa
 
 // udTableCandidates implements the paper's literal rule.
 func (s *Subnetwork) udTableCandidates(cur, dst int32, buf []routing.PortCandidate) []routing.PortCandidate {
-	h := s.nw.H
 	row := s.ud[int(dst)*s.n:]
 	udCur := row[cur]
 	lc := s.level[cur]
-	for p := 0; p < h.SwitchRadix(); p++ {
-		if !s.nw.PortAlive(cur, p) {
-			continue
+	nbr := s.nbr[int(cur)*s.radix : int(cur+1)*s.radix]
+	for p, next := range nbr {
+		if next < 0 {
+			continue // failed link
 		}
-		next := h.PortNeighbor(cur, p)
 		delta := udCur - row[next]
 		if delta <= 0 {
 			continue

@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/traffic"
+)
+
+// The engine bench harness behind `experiments -exp bench`: wall-clock
+// A/B pairs of the activity-driven engine against the full-walk
+// -no-activity baseline on the regimes where the per-switch next-work
+// calendar matters, reported as a schema-stable JSON artifact so CI runs
+// leave a comparable perf trail. The *values* are wall-clock and vary
+// with the runner; only the schema and the benchmark set are stable.
+
+// BenchSchema tags the JSON report; bump only on a breaking shape change.
+const BenchSchema = "hyperx-bench/1"
+
+// BenchResult is one A/B pair of the report.
+type BenchResult struct {
+	Name string `json:"name"`
+	// Cycles simulated per run (identical for both engines: the pair is
+	// bit-identical by the activity contract).
+	Cycles               int64   `json:"cycles"`
+	CyclesPerSec         float64 `json:"cyclesPerSec"`
+	BaselineCyclesPerSec float64 `json:"baselineCyclesPerSec"`
+	Speedup              float64 `json:"speedup"`
+}
+
+// BenchReport is the top-level BENCH artifact.
+type BenchReport struct {
+	Schema     string        `json:"schema"`
+	Engine     string        `json:"engine"`
+	Benchmarks []BenchResult `json:"benchmarks"`
+}
+
+// benchCase is one entry of the fixed benchmark set. Open-loop cases pin
+// MeasureCycles; burst cases (BurstPackets > 0) run to completion and
+// report the completion cycle count.
+type benchCase struct {
+	name   string
+	load   float64
+	cycles int64
+	burst  int
+	faults int // sparse link failures spread through the run
+}
+
+// benchCases is the fixed benchmark set, in report order.
+func benchCases() []benchCase {
+	return []benchCase{
+		// The low-load left half of the latency sweeps (the acceptance
+		// regime of the next-work engine).
+		{name: "low-load-0.01", load: 0.01, cycles: 6000},
+		// So sparse the network almost always has packets mid-route when
+		// the engine wants to jump — isolates mid-flight skipping.
+		{name: "mid-flight-0.002", load: 0.002, cycles: 6000},
+		// A burst drain: dense start, long sparse tail.
+		{name: "burst-drain", burst: 4},
+		// The Figure 10 recovery regime: low load plus sparse live faults
+		// bounding the jumps.
+		{name: "sparse-fault-recovery", load: 0.01, cycles: 6000, faults: 3},
+	}
+}
+
+// Bench runs the fixed benchmark set on the paper-scale 8x8x8 network,
+// each case once per engine at Workers: 1 (single runs: the artifact is
+// an informative trail, not a timing gate).
+func Bench(seed uint64) (BenchReport, error) {
+	rep := BenchReport{Schema: BenchSchema, Engine: sim.ActiveEngineVersion()}
+	h := topo.MustHyperX(8, 8, 8)
+	faultSeq := topo.RandomFaultSequence(h, seed)
+	for _, c := range benchCases() {
+		var pair [2]struct {
+			cycles int64
+			rate   float64
+		}
+		for i, noActivity := range []bool{false, true} {
+			// Fresh network and mechanism per run: fault schedules
+			// accumulate failed links in the fault set.
+			nw := topo.NewNetwork(h, topo.NewFaultSet())
+			mech, err := core.New(nw, core.PolarizedRoutes, 4)
+			if err != nil {
+				return rep, err
+			}
+			pat, err := traffic.NewUniform(h.Switches() * 8)
+			if err != nil {
+				return rep, err
+			}
+			opts := sim.RunOptions{
+				Net: nw, ServersPerSwitch: 8, Mechanism: mech, Pattern: pat,
+				Seed: seed, Workers: 1, DisableActivity: noActivity,
+				// The full-walk baseline also ticks generation per cycle
+				// (-legacy-gen): the pre-calendar engine, as in the root
+				// BenchmarkLowLoadCycleRate matrix.
+				LegacyGeneration: noActivity,
+			}
+			if c.burst > 0 {
+				opts.BurstPackets = c.burst
+				opts.LegacyGeneration = false // burst runs generate nothing
+			} else {
+				opts.Load = c.load
+				opts.MeasureCycles = c.cycles
+			}
+			for f := 0; f < c.faults; f++ {
+				opts.FaultSchedule = append(opts.FaultSchedule, sim.FaultEvent{
+					Cycle: c.cycles * int64(f+1) / int64(c.faults+1),
+					Edge:  faultSeq[f],
+				})
+			}
+			start := time.Now()
+			res, err := sim.Run(opts)
+			if err != nil {
+				return rep, fmt.Errorf("bench %s: %w", c.name, err)
+			}
+			cycles := c.cycles
+			if c.burst > 0 {
+				cycles = res.Cycles
+			}
+			pair[i].cycles = cycles
+			pair[i].rate = float64(cycles) / time.Since(start).Seconds()
+		}
+		if pair[0].cycles != pair[1].cycles {
+			return rep, fmt.Errorf("bench %s: engines disagree on cycle count (%d vs %d)",
+				c.name, pair[0].cycles, pair[1].cycles)
+		}
+		rep.Benchmarks = append(rep.Benchmarks, BenchResult{
+			Name:                 c.name,
+			Cycles:               pair[0].cycles,
+			CyclesPerSec:         pair[0].rate,
+			BaselineCyclesPerSec: pair[1].rate,
+			Speedup:              pair[0].rate / pair[1].rate,
+		})
+	}
+	return rep, nil
+}
+
+// WriteBench writes the report as indented JSON (stable key order — the
+// schema is diffable across runs even though the values are wall-clock).
+func WriteBench(path string, rep BenchReport) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// RenderBench formats the report for stdout.
+func RenderBench(rep BenchReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Engine bench (%s, wall-clock, single runs)\n", rep.Engine)
+	fmt.Fprintf(&b, "  %-22s %10s %14s %14s %8s\n", "benchmark", "cycles", "cycles/s", "baseline c/s", "speedup")
+	for _, r := range rep.Benchmarks {
+		fmt.Fprintf(&b, "  %-22s %10d %14.0f %14.0f %7.1fx\n",
+			r.Name, r.Cycles, r.CyclesPerSec, r.BaselineCyclesPerSec, r.Speedup)
+	}
+	return b.String()
+}

@@ -51,16 +51,19 @@ func (p *PolarizedAlg) PortCandidates(cur int32, st *PacketState, buf []PortCand
 	if cur == st.Dst {
 		return buf
 	}
-	h := p.nw.H
-	ds0 := p.tab.D(st.Src, cur)
-	dt0 := p.tab.D(st.Dst, cur)
-	for port := 0; port < h.SwitchRadix(); port++ {
-		if !p.nw.PortAlive(cur, port) {
-			continue
+	tab := p.tab
+	n := tab.n
+	srcRow := tab.dist[int(st.Src)*n:]
+	dstRow := tab.dist[int(st.Dst)*n:]
+	nbr := tab.nbr[int(cur)*tab.radix : int(cur+1)*tab.radix]
+	ds0 := srcRow[cur]
+	dt0 := dstRow[cur]
+	for port, next := range nbr {
+		if next < 0 {
+			continue // failed link
 		}
-		next := h.PortNeighbor(cur, port)
-		ds := p.tab.D(st.Src, next) - ds0
-		dt := p.tab.D(st.Dst, next) - dt0
+		ds := srcRow[next] - ds0
+		dt := dstRow[next] - dt0
 		var penalty int32 = -1
 		switch {
 		case ds == 1 && dt == -1:

@@ -24,6 +24,14 @@ func requireHyperX(nw *topo.Network, alg string) (*topo.HyperX, error) {
 type Tables struct {
 	n    int
 	dist []int32 // row-major n*n live-graph distances
+	// nbr flattens the live topology: nbr[x*radix+p] is PortNeighbor(x, p)
+	// when the link is alive, -1 when it has failed. Port scans are the
+	// hottest loop of every distance-driven algorithm, and the table turns
+	// two coordinate decodes and a fault-set probe per port into one load;
+	// it is rebuilt with the distances on every fault, so it can never go
+	// stale.
+	nbr   []int32
+	radix int
 }
 
 // BuildTables computes distance tables for the live links of nw. It fails if
@@ -37,8 +45,23 @@ func BuildTables(nw *topo.Network) (*Tables, error) {
 			return nil, fmt.Errorf("routing: network is disconnected (%d faults)", nw.Faults.Len())
 		}
 	}
+	t.radix = nw.H.SwitchRadix()
+	t.nbr = make([]int32, t.n*t.radix)
+	for x := int32(0); x < int32(t.n); x++ {
+		for p := 0; p < t.radix; p++ {
+			if nw.PortAlive(x, p) {
+				t.nbr[int(x)*t.radix+p] = nw.H.PortNeighbor(x, p)
+			} else {
+				t.nbr[int(x)*t.radix+p] = -1
+			}
+		}
+	}
 	return t, nil
 }
+
+// LiveNeighbor returns PortNeighbor(x, p) from the flattened live-topology
+// table, or -1 when the link has failed.
+func (t *Tables) LiveNeighbor(x int32, p int) int32 { return t.nbr[int(x)*t.radix+p] }
 
 // N returns the number of switches covered by the tables.
 func (t *Tables) N() int { return t.n }

@@ -25,13 +25,13 @@ func runBytes(t *testing.T, o RunOptions) []byte {
 }
 
 // TestActivityOnOffBitIdentical is the tentpole property test: across
-// random small topologies, mechanisms, open-loop and burst modes, series
-// buckets and mid-run fault schedules, the activity-tracked engine (with
-// its dirty sets and idle-cycle fast-forward) produces byte-for-byte the
-// Result of the full-walk engine, at several worker counts — for the
-// geometric arrival-calendar engine AND the -legacy-gen per-cycle engine
-// (each self-consistent; the two are bit-different from each other by
-// design).
+// random small topologies, mechanisms, open-loop, burst and mid-flight-
+// skip modes, series buckets and mid-run fault schedules, the activity-
+// tracked engine (with its dirty sets, per-switch next-work times and
+// event-calendar fast-forward) produces byte-for-byte the Result of the
+// full-walk engine, at several worker counts — for the geometric
+// arrival-calendar engine AND the -legacy-gen per-cycle engine (each
+// self-consistent; the two are bit-different from each other by design).
 func TestActivityOnOffBitIdentical(t *testing.T) {
 	dimChoices := [][]int{{3, 3}, {4, 4}, {2, 2, 2}, {3, 3, 3}}
 	check := func(seed uint64) bool {
@@ -45,7 +45,7 @@ func TestActivityOnOffBitIdentical(t *testing.T) {
 		}
 		per := 2
 		o := RunOptions{ServersPerSwitch: per, Seed: seed}
-		switch r.Intn(3) {
+		switch r.Intn(4) {
 		case 0: // open loop
 			o.Load = 0.1 + 0.8*r.Float64()
 			o.WarmupCycles = int64(r.Intn(300))
@@ -53,13 +53,21 @@ func TestActivityOnOffBitIdentical(t *testing.T) {
 		case 1: // burst with a throughput series: exercises fast-forward
 			o.BurstPackets = 2 + r.Intn(6)
 			o.SeriesBucket = 100 + int64(r.Intn(400))
-		default: // open loop with a mid-run fault schedule
+		case 2: // open loop with a mid-run fault schedule
 			o.Load = 0.3 + 0.4*r.Float64()
 			o.MeasureCycles = 1200
 			o.FaultSchedule = []FaultEvent{
 				{Cycle: 200 + int64(r.Intn(200)), Edge: seq[0]},
 				{Cycle: 600 + int64(r.Intn(200)), Edge: seq[1]},
 			}
+		default:
+			// Mid-flight skips: load so sparse that most cycles between an
+			// injection and its delivery have every switch parked on a
+			// future next-work time, so the run jumps with packets in
+			// flight — the regime the event-calendar engine exists for.
+			o.Load = 0.005 + 0.02*r.Float64()
+			o.WarmupCycles = int64(r.Intn(200))
+			o.MeasureCycles = 2000 + int64(r.Intn(1500))
 		}
 		var ref [2][]byte
 		for li, legacy := range []bool{false, true} {
@@ -148,9 +156,10 @@ func TestActivityBookkeepingAudited(t *testing.T) {
 }
 
 // TestFastForwardTarget unit-tests the jump rule on a handcrafted engine:
-// the target is the earliest pending calendar event, bounded by the next
-// scheduled fault and the burst timeout, and refused outright while any
-// queued work exists.
+// the target is the cached minimum of the per-switch next-work times,
+// bounded by the next arrival, the next scheduled fault and the caller's
+// bound, and refused outright while any switch is hot (next-work at
+// now+1).
 func TestFastForwardTarget(t *testing.T) {
 	h := topo.MustHyperX(3, 3)
 	nw := topo.NewNetwork(h, nil)
@@ -166,8 +175,10 @@ func TestFastForwardTarget(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := e.fastForwardTarget(1001, -1); ok {
-		t.Fatal("fast-forward offered on an empty engine")
+	// An empty engine has nothing due before the caller's bound: jump
+	// straight to it.
+	if next, ok := e.fastForwardTarget(1001, -1); !ok || next != 1001 {
+		t.Fatalf("empty-engine target = (%d, %v), want (1001, true)", next, ok)
 	}
 	// With no events but a future arrival pending, the arrival is the target.
 	if next, ok := e.fastForwardTarget(1001, 40); !ok || next != 40 {
@@ -178,9 +189,21 @@ func TestFastForwardTarget(t *testing.T) {
 		t.Fatal("fast-forward offered with an arrival due next cycle")
 	}
 	// One event 10 cycles out on switch 2, nothing queued anywhere.
+	// Compaction only refolds and re-books switches on the due list, so
+	// each handcrafted component write below marks switch 2 due first — in
+	// the engine proper the writers are the switch's own phases, which
+	// only run when it is due. The due list is cleared afterwards so
+	// fastForwardTarget sees the state a jump decision sees: a cycle that
+	// ran nothing (it refreshes its stale-low cached bound from the wheel
+	// exactly then).
+	refold := func() {
+		e.act.nextWork[2] = e.now
+		e.act.due = append(e.act.due[:0], 2)
+		e.actCompact()
+		e.act.due = e.act.due[:0]
+	}
 	e.scheduleSw(2, 10, event{kind: evCredit, a: 2 * int32(e.P*e.V)})
-	e.actActivate(2)
-	e.actCompact()
+	refold()
 	next, ok := e.fastForwardTarget(1001, -1)
 	if !ok || next != 10 {
 		t.Fatalf("fastForwardTarget = (%d, %v), want (10, true)", next, ok)
@@ -202,14 +225,29 @@ func TestFastForwardTarget(t *testing.T) {
 	if next, ok = e.fastForwardTarget(5, -1); !ok || next != 5 {
 		t.Fatalf("bound-capped target = (%d, %v), want (5, true)", next, ok)
 	}
-	// Queued work anywhere forbids jumping entirely.
-	e.act.queuedSum = 1
+	// A hot switch — one whose allocate phase saw an eligible head and so
+	// must run again next cycle — vetoes jumping entirely.
+	e.act.inRetry[2] = e.now + 1
+	refold()
 	if _, ok = e.fastForwardTarget(1001, -1); ok {
-		t.Fatal("fast-forward offered despite queued work")
+		t.Fatal("fast-forward offered despite a hot switch")
 	}
-	e.act.queuedSum = 0
+	e.act.inRetry[2] = nwNever
+	refold()
+	if next, ok = e.fastForwardTarget(1001, -1); !ok || next != 10 {
+		t.Fatalf("target after cooling the hot switch = (%d, %v), want (10, true)", next, ok)
+	}
+	// A timed retry (a head waiting out a busy-until) is jumpable to, and
+	// beats a later event.
+	e.act.outRetry[2] = 4
+	refold()
+	if next, ok = e.fastForwardTarget(1001, -1); !ok || next != 4 {
+		t.Fatalf("busy-until target = (%d, %v), want (4, true)", next, ok)
+	}
+	e.act.outRetry[2] = nwNever
 	// An event due next cycle means there is nothing to skip.
 	e.scheduleSw(2, 1, event{kind: evCredit, a: 2 * int32(e.P*e.V)})
+	refold()
 	if _, ok = e.fastForwardTarget(1001, -1); ok {
 		t.Fatal("fast-forward offered with an event due next cycle")
 	}

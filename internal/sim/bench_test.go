@@ -151,7 +151,7 @@ func BenchmarkAllocationStep(b *testing.B) {
 					continue
 				}
 				if !rq.eject {
-					dn := e.dnInVC[rq.outPort] + int32(rq.vc)
+					dn := e.pq[rq.outPort].dnInVC + int32(rq.vc)
 					if e.credits[dn]-credUsed[dn] <= 0 {
 						continue
 					}

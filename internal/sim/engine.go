@@ -3,6 +3,7 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 
 	"repro/internal/metrics"
 	"repro/internal/rng"
@@ -86,16 +87,40 @@ type engine struct {
 	// RunOptions.DisableActivity selects the full-walk baseline.
 	act *activityState
 
-	// Static maps (dnInVC/portDead mutate on scheduled mid-run faults).
-	dnInVC   []int32 // per global link port: downstream input VC base, -1 if dead
-	portDead []bool  // per global port: link failed mid-run
+	// Static maps (pq[gp].dnInVC/portDead mutate on scheduled mid-run
+	// faults).
+	portDead []bool // per global port: link failed mid-run
+
+	// pq packs the three per-gport words the allocation cost function
+	// reads — total output occupancy (outQ.len()+outReserved), the port's
+	// credit sum, and the downstream input-VC base — into one 8-byte entry
+	// so each qCost call touches a single cache line instead of three
+	// arrays. qCost dominates the allocate phase and runs once per route
+	// candidate of every eligible head, so the scattered loads it issues
+	// are the per-cycle cost floor at low load.
+	pq []portq
 
 	// Input side.
 	inQ         []ring
 	inBusyUntil []int64
 	credits     []int16 // per input VC, as seen by its upstream sender
-	credSum     []int32 // per global port: sum of credits over its VCs
 	inInflight  []int8  // per global port: outgoing crossbar transfers
+	inOcc       []int8  // per global port: count of nonempty input VCs
+
+	// Per-switch port-occupancy bitmasks: bit p of inMask[sw] is set iff
+	// port p has a nonempty input VC (inOcc > 0), bit p of outMask[sw] iff
+	// port p's output buffer is nonempty. The allocation and transmission
+	// scans of the activity engine jump straight to the set bits instead of
+	// probing the full radix, which at low load is almost entirely empty.
+	// Maintained unconditionally (and audited against the rings), consulted
+	// only on the activity fast path; nil when the radix exceeds 64 ports.
+	inMask  []uint64
+	outMask []uint64
+
+	// penCost[p] caches penaltyCost for the small penalty constants, each
+	// entry evaluated with penaltyCost's own float expression so cached
+	// costs are bit-identical to computing them on demand.
+	penCost []int64
 
 	// Output side.
 	outQ        []pvring // per global port: (packet, VC) pairs
@@ -245,37 +270,48 @@ func newEngine(o RunOptions) (*engine, error) {
 		return nil, err
 	}
 	e.portDead = make([]bool, SP)
-	e.dnInVC = make([]int32, SP)
+	e.pq = make([]portq, SP)
 	for sw := int32(0); sw < int32(e.S); sw++ {
 		for p := 0; p < e.P; p++ {
 			gp := int(sw)*e.P + p
+			e.pq[gp].credSum = int16(e.V * e.cfg.InputBufPkts)
 			if p >= e.R || !e.nw.PortAlive(sw, p) {
-				e.dnInVC[gp] = -1
+				e.pq[gp].dnInVC = -1
 				continue
 			}
 			nbr := h.PortNeighbor(sw, p)
 			rev := h.PortTo(nbr, sw)
-			e.dnInVC[gp] = (nbr*int32(e.P) + int32(rev)) * int32(e.V)
+			e.pq[gp].dnInVC = (nbr*int32(e.P) + int32(rev)) * int32(e.V)
 			e.liveDirLinks++
 		}
 	}
 	e.inQ = make([]ring, SP*e.V)
+	inCap := e.cfg.InputBufPkts
+	inSlab := make([]int32, len(e.inQ)*inCap)
 	for i := range e.inQ {
-		e.inQ[i].init(e.cfg.InputBufPkts)
+		e.inQ[i].initBacked(inSlab[i*inCap : (i+1)*inCap])
 	}
 	e.inBusyUntil = make([]int64, SP*e.V)
 	e.credits = make([]int16, SP*e.V)
 	for i := range e.credits {
 		e.credits[i] = int16(e.cfg.InputBufPkts)
 	}
-	e.credSum = make([]int32, SP)
-	for i := range e.credSum {
-		e.credSum[i] = int32(e.V * e.cfg.InputBufPkts)
-	}
 	e.inInflight = make([]int8, SP)
+	e.inOcc = make([]int8, SP)
+	e.penCost = make([]int64, 128)
+	for p := range e.penCost {
+		e.penCost[p] = int64(e.cfg.PenaltyWeight * float64(p) / float64(e.cfg.PacketPhits))
+	}
 	e.outQ = make([]pvring, SP)
+	outCap := e.cfg.OutputBufPkts
+	outPktSlab := make([]int32, SP*outCap)
+	outVCSlab := make([]int8, SP*outCap)
 	for i := range e.outQ {
-		e.outQ[i].init(e.cfg.OutputBufPkts)
+		e.outQ[i].initBacked(outPktSlab[i*outCap:(i+1)*outCap], outVCSlab[i*outCap:(i+1)*outCap])
+	}
+	if e.P <= 64 {
+		e.inMask = make([]uint64, e.S)
+		e.outMask = make([]uint64, e.S)
 	}
 	e.outReserved = make([]int16, SP)
 	e.outVCCount = make([]int16, SP*e.V)
@@ -284,8 +320,10 @@ func newEngine(o RunOptions) (*engine, error) {
 
 	nServers := e.S * e.K
 	e.injQ = make([]ring, nServers)
+	injCap := max(e.cfg.InjQueuePkts, o.BurstPackets)
+	injSlab := make([]int32, nServers*injCap)
 	for i := range e.injQ {
-		e.injQ[i].init(max(e.cfg.InjQueuePkts, o.BurstPackets))
+		e.injQ[i].initBacked(injSlab[i*injCap : (i+1)*injCap])
 	}
 	e.injBusy = make([]int64, nServers)
 	e.genPhits = make([]int64, nServers)
@@ -308,7 +346,7 @@ func newEngine(o RunOptions) (*engine, error) {
 		e.ws[w].vcUsed = make([]int16, e.V)
 	}
 	if !o.DisableActivity {
-		e.act = newActivityState(e.S)
+		e.act = newActivityState(e.S, e.horizon+2)
 	}
 	return e, nil
 }
@@ -328,6 +366,7 @@ func (e *engine) scheduleSw(sw int32, delay int64, ev event) {
 	e.events[slot] = append(e.events[slot], ev)
 	if e.act != nil {
 		e.act.evWork[sw]++
+		e.actEvNext(sw, e.now+delay)
 	}
 }
 
@@ -367,7 +406,11 @@ func (e *engine) generate(src int32) bool {
 	sw := src / int32(e.K)
 	e.swInjPkts[sw]++
 	e.actQu(sw, 1)
-	e.actActivate(sw)
+	// Generation runs between the event and inject phases, so the switch
+	// must execute the rest of THIS cycle — exactly when the full walk
+	// would first see the new packet. The end-of-cycle compaction books
+	// the woken switch's next wheel visit.
+	e.actWake(sw)
 	e.inFlight++
 	if pkt.inWindow {
 		e.genPhits[src] += int64(e.cfg.PacketPhits)
@@ -380,7 +423,18 @@ func (e *engine) generate(src int32) bool {
 // in this phase (arrivals into its input VCs, transfers into its output
 // buffers, credits of its own input VCs, deliveries at its servers).
 func (e *engine) processEventsSwitch(sw int32) {
+	if a := e.act; a != nil && a.evWork[sw] == 0 {
+		// Not a single event of sw's is scheduled anywhere in the wheel, so
+		// this cycle's slot is provably empty: skip the slot load and the
+		// rescan. (The full walk below stays the plain reference the A/B
+		// bit-identity tests compare against.)
+		if a.evNext[sw] <= e.now {
+			a.evNext[sw] = nwNever
+		}
+		return
+	}
 	ss := &e.sw[sw]
+	gpBase := sw * int32(e.P)
 	slot := int64(sw)*e.horizon + e.now%e.horizon
 	evs := e.events[slot]
 	e.events[slot] = evs[:0]
@@ -390,19 +444,34 @@ func (e *engine) processEventsSwitch(sw int32) {
 	for _, ev := range evs {
 		switch ev.kind {
 		case evArrive:
-			e.inQ[ev.a].push(ev.pkt)
+			if q := &e.inQ[ev.a]; q.len() == 0 {
+				gp := ev.a / int32(e.V)
+				e.inOcc[gp]++
+				if e.inMask != nil {
+					e.inMask[sw] |= 1 << uint32(gp-gpBase)
+				}
+				q.push(ev.pkt)
+			} else {
+				q.push(ev.pkt)
+			}
 			e.swInPkts[sw]++
 			e.actQu(sw, 1)
 		case evXferDone:
+			// The reserve converts into a queued packet, so outTotal is
+			// unchanged — except on a dead port, where the packet is lost.
 			e.outReserved[ev.a]--
 			e.outInflight[ev.a]--
 			if e.portDead[ev.a] {
 				// The link failed while the packet crossed the switch.
+				e.pq[ev.a].outTotal--
 				e.outVCCount[ev.a*int32(e.V)+int32(ev.vc)]--
 				ss.lost++
 				ss.retired++
 				ss.freed = append(ss.freed, ev.pkt)
 				continue
+			}
+			if q := &e.outQ[ev.a]; q.len() == 0 && e.outMask != nil {
+				e.outMask[sw] |= 1 << uint32(ev.a-gpBase)
 			}
 			e.outQ[ev.a].push(ev.pkt, ev.vc)
 			e.swOutPkts[sw]++
@@ -412,10 +481,16 @@ func (e *engine) processEventsSwitch(sw int32) {
 			// so only the output side is handled here.
 		case evCredit:
 			e.credits[ev.a]++
-			e.credSum[ev.a/int32(e.V)]++
+			e.pq[ev.a/int32(e.V)].credSum++
 		case evDeliver:
 			e.deliverSw(ss, ev.pkt)
 		}
+	}
+	// If the drained slot was the cached earliest event, find the new one.
+	// Anything scheduled later this cycle (inject/commit) lowers the cache
+	// again through scheduleSw/actEvNext.
+	if a := e.act; a != nil && a.evNext[sw] <= e.now {
+		a.evNext[sw] = e.nextWheelEvent(sw)
 	}
 }
 
@@ -446,15 +521,28 @@ func (e *engine) deliverSw(ss *swState, id int32) {
 // injectSwitch launches head packets of switch sw's server queues onto
 // their injection links.
 func (e *engine) injectSwitch(sw int32, ws *workerScratch) {
-	if e.act != nil && e.swInjPkts[sw] == 0 {
+	a := e.act
+	if a != nil && e.swInjPkts[sw] == 0 {
+		a.injRetry[sw] = nwNever
 		return // every injection queue is empty: the scan below would no-op
 	}
 	ss := &e.sw[sw]
 	V := e.V
+	// injRetry: the earliest injection-link release over servers that still
+	// hold packets afterward. A head blocked on credits contributes nothing:
+	// its space frees only through this switch's own evCredit/evArrive event
+	// chain, which evNext already bounds (see the skip proof in activity.go).
+	retry := nwNever
 	for s := 0; s < e.K; s++ {
 		g := int(sw)*e.K + s
 		q := &e.injQ[g]
-		if q.len() == 0 || e.injBusy[g] > e.now {
+		if q.len() == 0 {
+			continue
+		}
+		if e.injBusy[g] > e.now {
+			if e.injBusy[g] < retry {
+				retry = e.injBusy[g]
+			}
 			continue
 		}
 		id := q.peek()
@@ -476,11 +564,25 @@ func (e *engine) injectSwitch(sw int32, ws *workerScratch) {
 		e.actQu(sw, -1)
 		invc := base + int32(bestVC)
 		e.credits[invc]--
-		e.credSum[invc/int32(V)]--
+		e.pq[invc/int32(V)].credSum--
 		e.injBusy[g] = e.now + int64(e.cfg.PacketPhits)
+		if q.len() > 0 && e.injBusy[g] < retry {
+			retry = e.injBusy[g]
+		}
 		e.scheduleSw(sw, int64(e.cfg.PacketPhits+e.cfg.LinkLatency), event{kind: evArrive, a: invc, pkt: id})
 		ss.progressed = true
 	}
+	if a != nil {
+		a.injRetry[sw] = retry
+	}
+}
+
+// portq packs the per-gport words of the allocation cost function (see
+// the engine field comment).
+type portq struct {
+	outTotal int16 // outQ.len() + outReserved
+	credSum  int16 // sum of credits over the port's input VCs
+	dnInVC   int32 // downstream input VC base of the link port, -1 if dead
 }
 
 // qCost computes the allocation cost Q of requesting (gport, vc): the
@@ -489,22 +591,29 @@ func (e *engine) injectSwitch(sw int32, ws *workerScratch) {
 // consumed credits of the downstream input buffer.
 func (e *engine) qCost(gport int32, vc int, eject bool) int64 {
 	V := int32(e.V)
-	outTotal := int64(e.outQ[gport].len()) + int64(e.outReserved[gport])
+	pq := &e.pq[gport]
+	outTotal := int64(pq.outTotal)
 	qs := int64(e.outVCCount[gport*V+int32(vc)])
 	if eject {
 		// No downstream credits: the server always sinks.
 		return qs + outTotal
 	}
-	dn := e.dnInVC[gport]
-	qs += int64(e.cfg.InputBufPkts) - int64(e.credits[dn+int32(vc)])
-	consumed := int64(V)*int64(e.cfg.InputBufPkts) - int64(e.credSum[gport])
+	qs += int64(e.cfg.InputBufPkts) - int64(e.credits[pq.dnInVC+int32(vc)])
+	consumed := int64(V)*int64(e.cfg.InputBufPkts) - int64(pq.credSum)
 	return qs + outTotal + consumed
 }
 
 // penaltyCost converts a penalty in phits to cost units (packets are the
 // occupancy unit, so penalties scale by the packet length), weighted by the
-// configured PenaltyWeight.
+// configured PenaltyWeight. The known penalty constants are all small, so
+// the float conversion is precomputed per value at engine construction —
+// with the identical expression, so costs (and therefore routes and cached
+// results) are bit-for-bit unchanged; out-of-range penalties from custom
+// mechanisms fall back to the direct computation.
 func (e *engine) penaltyCost(p int32) int64 {
+	if uint32(p) < uint32(len(e.penCost)) {
+		return e.penCost[p]
+	}
 	return int64(e.cfg.PenaltyWeight * float64(p) / float64(e.cfg.PacketPhits))
 }
 
@@ -521,24 +630,45 @@ func (e *engine) penaltyCost(p int32) int64 {
 func (e *engine) allocateSwitch(sw int32, ws *workerScratch) {
 	ss := &e.sw[sw]
 	ss.granted = ss.granted[:0]
-	if e.act != nil && e.swInPkts[sw] == 0 {
+	a := e.act
+	if a != nil && e.swInPkts[sw] == 0 {
+		a.inRetry[sw] = nwNever
 		return // every input VC is empty: no head packets, no requests
 	}
 	V := e.V
 	speedup := int8(e.cfg.XbarSpeedup)
 	gpBase := sw * int32(e.P)
 	nreq := 0
-	for p := 0; p < e.P; p++ {
+	// inRetry records WHY the queued heads could not advance. A head that
+	// reached bestRequest was *eligible*: it drew tie-break randomness. If
+	// arbitration then dropped it — it lost a slot race, or waits on a
+	// downstream credit only a remote switch can return — the full walk
+	// would draw for it again next cycle, so the switch must stay hot
+	// (now+1). If every eligible head was GRANTED, nothing draws before a
+	// provable local time: commit is about to make each granted VC busy
+	// until now+xfer, so a queued successor head retries then, and the
+	// other heads wait on busy-untils recorded here. Heads on saturated
+	// ports wake through a pending release, which relNext bounds.
+	retry := nwNever
+	nEligible := 0
+	scanPort := func(p int) {
 		gport := gpBase + int32(p)
 		if e.inInflight[gport] >= speedup {
-			continue
+			return
 		}
 		vcBase := gport * int32(V)
 		for vc := 0; vc < V; vc++ {
 			invc := vcBase + int32(vc)
-			if e.inQ[invc].len() == 0 || e.inBusyUntil[invc] > e.now {
+			if e.inQ[invc].len() == 0 {
 				continue
 			}
+			if e.inBusyUntil[invc] > e.now {
+				if e.inBusyUntil[invc] < retry {
+					retry = e.inBusyUntil[invc]
+				}
+				continue
+			}
+			nEligible++
 			if req, ok := e.bestRequest(sw, gport, invc, vc, ss, ws); ok {
 				lp := int(req.outPort - gpBase)
 				ws.bucket[lp] = append(ws.bucket[lp], req)
@@ -546,49 +676,87 @@ func (e *engine) allocateSwitch(sw int32, ws *workerScratch) {
 			}
 		}
 	}
-	if nreq == 0 {
-		return
-	}
-	for i := range ws.inUsed {
-		ws.inUsed[i] = 0
-	}
-	for p := 0; p < e.P; p++ {
-		b := ws.bucket[p]
-		if len(b) == 0 {
-			continue
+	if a != nil && e.inMask != nil {
+		// Visit only the occupied ports, in the same ascending order the
+		// full scan would. A cleared bit means every VC ring of the port is
+		// empty, so skipping it drops no request and no retry bound.
+		for m := e.inMask[sw]; m != 0; m &= m - 1 {
+			scanPort(bits.TrailingZeros64(m))
 		}
-		sortRequests(b)
-		gport := gpBase + int32(p)
-		slots := int(speedup) - int(e.outInflight[gport])
-		if free := e.cfg.OutputBufPkts - e.outQ[gport].len() - int(e.outReserved[gport]); free < slots {
-			slots = free
-		}
-		if slots > 0 {
-			for vc := 0; vc < V; vc++ {
-				ws.vcUsed[vc] = 0
+	} else {
+		for p := 0; p < e.P; p++ {
+			if a != nil && e.inOcc[gpBase+int32(p)] == 0 {
+				continue // no queued packet on any VC: skip the ring scan.
+				// Gated like the other count guards: the full walk stays the
+				// plain reference the A/B bit-identity tests compare against.
 			}
-			granted := 0
-			for i := range b {
-				if granted >= slots {
-					break
+			scanPort(p)
+		}
+	}
+	if nreq > 0 {
+		for i := range ws.inUsed {
+			ws.inUsed[i] = 0
+		}
+		for p := 0; p < e.P; p++ {
+			b := ws.bucket[p]
+			if len(b) == 0 {
+				continue
+			}
+			sortRequests(b)
+			gport := gpBase + int32(p)
+			slots := int(speedup) - int(e.outInflight[gport])
+			if free := e.cfg.OutputBufPkts - int(e.pq[gport].outTotal); free < slots {
+				slots = free
+			}
+			if slots > 0 {
+				for vc := 0; vc < V; vc++ {
+					ws.vcUsed[vc] = 0
 				}
-				rq := &b[i]
-				inLocal := int(rq.inPort - gpBase)
-				if int(e.inInflight[rq.inPort])+int(ws.inUsed[inLocal]) >= int(speedup) {
-					continue
-				}
-				if !rq.eject {
-					if int(e.credits[e.dnInVC[gport]+int32(rq.vc)])-int(ws.vcUsed[rq.vc]) <= 0 {
+				granted := 0
+				for i := range b {
+					if granted >= slots {
+						break
+					}
+					rq := &b[i]
+					inLocal := int(rq.inPort - gpBase)
+					if int(e.inInflight[rq.inPort])+int(ws.inUsed[inLocal]) >= int(speedup) {
 						continue
 					}
-					ws.vcUsed[rq.vc]++
+					if !rq.eject {
+						if int(e.credits[e.pq[gport].dnInVC+int32(rq.vc)])-int(ws.vcUsed[rq.vc]) <= 0 {
+							continue
+						}
+						ws.vcUsed[rq.vc]++
+					}
+					ws.inUsed[inLocal]++
+					granted++
+					ss.granted = append(ss.granted, *rq)
 				}
-				ws.inUsed[inLocal]++
-				granted++
-				ss.granted = append(ss.granted, *rq)
 			}
+			ws.bucket[p] = b[:0]
 		}
-		ws.bucket[p] = b[:0]
+	}
+	if a != nil {
+		if nEligible > len(ss.granted) {
+			// Some eligible head was not granted (a head makes exactly one
+			// request, so equal counts mean a bijection): it re-draws next
+			// cycle, full stop.
+			a.inRetry[sw] = e.now + 1
+		} else {
+			if nEligible > 0 {
+				// All eligible heads granted. A successor behind a granted
+				// head becomes eligible when its VC's transfer finishes.
+				for i := range ss.granted {
+					if e.inQ[ss.granted[i].invc].len() > 1 {
+						if t := e.now + e.cfg.xferCycles(); t < retry {
+							retry = t
+						}
+						break // every grant sets the same busy-until
+					}
+				}
+			}
+			a.inRetry[sw] = retry
+		}
 	}
 }
 
@@ -655,17 +823,24 @@ func (e *engine) commitSwitch(sw int32) {
 	for i := range ss.granted {
 		rq := &ss.granted[i]
 		if !rq.eject {
-			dn := e.dnInVC[rq.outPort] + int32(rq.vc)
+			dn := e.pq[rq.outPort].dnInVC + int32(rq.vc)
 			e.credits[dn]--
-			e.credSum[dn/V]--
+			e.pq[dn/V].credSum--
 		}
 		e.inQ[rq.invc].pop()
+		if e.inQ[rq.invc].len() == 0 {
+			e.inOcc[rq.inPort]--
+			if e.inOcc[rq.inPort] == 0 && e.inMask != nil {
+				e.inMask[sw] &^= 1 << uint32(rq.inPort-sw*int32(e.P))
+			}
+		}
 		e.swInPkts[sw]--
 		e.actQu(sw, -1)
 		e.inBusyUntil[rq.invc] = e.now + xfer
 		e.inInflight[rq.inPort]++
 		e.outInflight[rq.outPort]++
 		e.outReserved[rq.outPort]++
+		e.pq[rq.outPort].outTotal++
 		e.outVCCount[rq.outPort*V+int32(rq.vc)]++
 		if !rq.eject {
 			port := int(rq.outPort % int32(e.P))
@@ -680,6 +855,9 @@ func (e *engine) commitSwitch(sw int32) {
 		e.actQu(sw, 1)
 		e.scheduleSw(sw, xfer+int64(e.cfg.XbarLatency), event{kind: evXferDone, a: rq.outPort, vc: rq.vc, pkt: rq.pkt})
 		ss.progressed = true
+	}
+	if a := e.act; a != nil && len(ss.granted) > 0 && e.now+xfer < a.relNext[sw] {
+		a.relNext[sw] = e.now + xfer
 	}
 }
 
@@ -697,15 +875,22 @@ func (e *engine) processInReleasesSwitch(sw int32) {
 	ss := &e.sw[sw]
 	keep := ss.inReleases[:0]
 	applied := int32(0)
+	relNext := nwNever
 	for _, rel := range ss.inReleases {
 		if rel.at <= e.now {
 			e.inInflight[rel.port]--
 			applied++
 		} else {
 			keep = append(keep, rel)
+			if rel.at < relNext {
+				relNext = rel.at
+			}
 		}
 	}
 	ss.inReleases = keep
+	if e.act != nil {
+		e.act.relNext[sw] = relNext
+	}
 	if applied > 0 {
 		e.actQu(sw, -applied)
 	}
@@ -715,7 +900,9 @@ func (e *engine) processInReleasesSwitch(sw int32) {
 // ejection channels. Link arrivals land on a neighbor's calendar, so they
 // stage in the switch's outbox for the deterministic merge.
 func (e *engine) transmitSwitch(sw int32) {
-	if e.act != nil && e.swOutPkts[sw] == 0 {
+	a := e.act
+	if a != nil && e.swOutPkts[sw] == 0 {
+		a.outRetry[sw] = nwNever
 		return // every output buffer is empty: nothing to serialize
 	}
 	ss := &e.sw[sw]
@@ -723,29 +910,60 @@ func (e *engine) transmitSwitch(sw int32) {
 	arriveDelay := serial + int64(e.cfg.LinkLatency)
 	V := int32(e.V)
 	gpBase := sw * int32(e.P)
-	for p := 0; p < e.P; p++ {
+	// outRetry: the earliest serializer release over ports that still hold
+	// queued output packets after this cycle's pops.
+	retry := nwNever
+	xmitPort := func(p int) {
 		gport := gpBase + int32(p)
 		q := &e.outQ[gport]
-		if q.len() == 0 || e.outBusy[gport] > e.now {
-			continue
+		if q.len() == 0 {
+			return
+		}
+		if e.outBusy[gport] > e.now {
+			if e.outBusy[gport] < retry {
+				retry = e.outBusy[gport]
+			}
+			return
 		}
 		id, vc := q.pop()
+		e.pq[gport].outTotal--
+		if q.len() == 0 && e.outMask != nil {
+			e.outMask[sw] &^= 1 << uint32(p)
+		}
 		e.swOutPkts[sw]--
 		e.actQu(sw, -1)
 		e.outBusy[gport] = e.now + serial
+		if q.len() > 0 && e.outBusy[gport] < retry {
+			retry = e.outBusy[gport]
+		}
 		e.outVCCount[gport*V+int32(vc)]--
 		ss.progressed = true
 		if p >= e.R {
 			// Ejection: the server consumes the packet after serialization.
 			e.scheduleSw(sw, arriveDelay, event{kind: evDeliver, pkt: id})
-			continue
+			return
 		}
 		if e.now >= e.warmStart && e.now < e.warmEnd {
 			ss.linkBusyCycles += serial
 		}
 		ss.outbox = append(ss.outbox, timedEvent{
 			at: e.now + arriveDelay,
-			ev: event{kind: evArrive, a: e.dnInVC[gport] + int32(vc), pkt: id},
+			ev: event{kind: evArrive, a: e.pq[gport].dnInVC + int32(vc), pkt: id},
 		})
+	}
+	if a != nil && e.outMask != nil {
+		// Visit only the occupied output ports, in the same ascending order
+		// the full scan would: a cleared bit is an empty buffer, which the
+		// full scan skips on its first check anyway.
+		for m := e.outMask[sw]; m != 0; m &= m - 1 {
+			xmitPort(bits.TrailingZeros64(m))
+		}
+	} else {
+		for p := 0; p < e.P; p++ {
+			xmitPort(p)
+		}
+	}
+	if a != nil {
+		a.outRetry[sw] = retry
 	}
 }

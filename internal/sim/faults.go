@@ -70,17 +70,21 @@ func (e *engine) failLink(edge topo.Edge) error {
 		port int
 	}{{edge.U, pU}, {edge.V, pV}} {
 		gp := side.sw*int32(e.P) + int32(side.port)
-		e.dnInVC[gp] = -1
+		e.pq[gp].dnInVC = -1
 		e.portDead[gp] = true
 		e.liveDirLinks--
 		// Packets already committed to this output are lost with the link.
 		q := &e.outQ[gp]
 		for q.len() > 0 {
 			id, vc := q.pop()
+			e.pq[gp].outTotal--
 			e.swOutPkts[side.sw]--
 			e.actQu(side.sw, -1)
 			e.outVCCount[gp*int32(e.V)+int32(vc)]--
 			e.losePacket(id)
+		}
+		if e.outMask != nil {
+			e.outMask[side.sw] &^= 1 << uint32(side.port)
 		}
 		// In-flight crossbar transfers toward the port are dropped on
 		// completion (see evXferDone handling).

@@ -12,6 +12,28 @@ func (e *engine) verifyInvariants() {
 	for gp := 0; gp < SP; gp++ {
 		// Credit bounds and per-port sum consistency.
 		var sum int32
+		var occ8 int8
+		for v := 0; v < V; v++ {
+			if e.inQ[gp*V+v].len() > 0 {
+				occ8++
+			}
+		}
+		if occ8 != e.inOcc[gp] {
+			panic(fmt.Sprintf("sim: inOcc[%d] = %d, actual %d at cycle %d — a drifted "+
+				"occupancy count would silently skip an allocate scan with real work in it",
+				gp, e.inOcc[gp], occ8, e.now))
+		}
+		if e.inMask != nil {
+			sw, p := gp/e.P, gp%e.P
+			if got := e.inMask[sw]&(1<<uint32(p)) != 0; got != (occ8 > 0) {
+				panic(fmt.Sprintf("sim: inMask[%d] bit %d = %v but port holds %d nonempty VCs at cycle %d",
+					sw, p, got, occ8, e.now))
+			}
+			if got := e.outMask[sw]&(1<<uint32(p)) != 0; got != (e.outQ[gp].len() > 0) {
+				panic(fmt.Sprintf("sim: outMask[%d] bit %d = %v but output holds %d packets at cycle %d",
+					sw, p, got, e.outQ[gp].len(), e.now))
+			}
+		}
 		for v := 0; v < V; v++ {
 			c := e.credits[gp*V+v]
 			if c < 0 || int(c) > e.cfg.InputBufPkts {
@@ -24,14 +46,19 @@ func (e *engine) verifyInvariants() {
 					gp, v, e.outVCCount[gp*V+v], e.now))
 			}
 		}
-		if sum != e.credSum[gp] {
+		if sum != int32(e.pq[gp].credSum) {
 			panic(fmt.Sprintf("sim: credSum[%d] = %d, actual %d at cycle %d",
-				gp, e.credSum[gp], sum, e.now))
+				gp, e.pq[gp].credSum, sum, e.now))
 		}
 		// Output buffer occupancy within capacity.
 		if occ := e.outQ[gp].len() + int(e.outReserved[gp]); occ > e.cfg.OutputBufPkts {
 			panic(fmt.Sprintf("sim: output %d holds %d > %d packets at cycle %d",
 				gp, occ, e.cfg.OutputBufPkts, e.now))
+		}
+		if got := e.outQ[gp].len() + int(e.outReserved[gp]); int(e.pq[gp].outTotal) != got {
+			panic(fmt.Sprintf("sim: outTotal[%d] = %d, actual %d at cycle %d — a drifted total "+
+				"would silently misprice every allocation through this output",
+				gp, e.pq[gp].outTotal, got, e.now))
 		}
 		if e.outReserved[gp] < 0 {
 			panic(fmt.Sprintf("sim: outReserved[%d] = %d negative at cycle %d", gp, e.outReserved[gp], e.now))

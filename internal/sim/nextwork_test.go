@@ -1,0 +1,183 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/topo"
+	"repro/internal/traffic"
+)
+
+// Edge cases of the event-calendar jump rule. The property test in
+// activity_test.go samples these regimes randomly; the tests here pin the
+// three ways a jump can go wrong deterministically: a fault landing
+// inside a stretch the engine wants to skip, a pending release due at the
+// exact jump target, and a credit-starved head whose wake-up only a
+// remote switch can provide.
+
+// TestJumpFaultInsideSkipStretch schedules faults at fixed cycles in a
+// load regime so sparse that the engine jumps with packets in flight most
+// of the time. The fault cycles bound every jump (fastForwardTarget), so
+// the rebuilt tables must take effect at exactly the same cycle as under
+// the full per-cycle walk — byte-identical results, at 1 and 4 workers.
+func TestJumpFaultInsideSkipStretch(t *testing.T) {
+	h := topo.MustHyperX(3, 3, 3)
+	seq := topo.RandomFaultSequence(h, 23)
+	const per = 2
+	var ref []byte
+	for _, workers := range []int{1, 4} {
+		for _, noAct := range []bool{false, true} {
+			nw := topo.NewNetwork(h, topo.NewFaultSet())
+			mech, err := core.New(nw, core.PolarizedRoutes, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pat, err := traffic.NewRandomServerPermutation(h.Switches()*per, 23)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := runBytes(t, RunOptions{
+				Net: nw, ServersPerSwitch: per, Mechanism: mech, Pattern: pat,
+				Load: 0.006, WarmupCycles: 100, MeasureCycles: 2500, Seed: 23,
+				Workers: workers, DisableActivity: noAct,
+				FaultSchedule: []FaultEvent{
+					{Cycle: 777, Edge: seq[0]},
+					{Cycle: 1234, Edge: seq[1]},
+				},
+			})
+			if ref == nil {
+				ref = got
+				continue
+			}
+			if !bytes.Equal(ref, got) {
+				t.Fatalf("workers=%d activity=%v diverged from reference", workers, !noAct)
+			}
+		}
+	}
+}
+
+// TestJumpLandsOnReleaseExpiry parks a handcrafted engine with a single
+// pending input-port release and checks the jump rule aims at exactly the
+// release cycle — one cycle late would apply the release a cycle after
+// the full walk, one early would execute a provably idle cycle — and that
+// stepping the landed cycle applies it.
+func TestJumpLandsOnReleaseExpiry(t *testing.T) {
+	h := topo.MustHyperX(3, 3)
+	nw := topo.NewNetwork(h, nil)
+	mech, err := core.New(nw, core.PolarizedRoutes, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pat := uniformOn(t, h, 3)
+	e, err := newEngine(RunOptions{
+		Net: nw, ServersPerSwitch: 3, Mechanism: mech, Pattern: pat,
+		Load: 0.5, MeasureCycles: 10, Seed: 1, Config: DefaultConfig(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const sw, relAt = int32(2), int64(10)
+	gp := sw * int32(e.P)
+	e.inInflight[gp] = 1
+	e.sw[sw].inReleases = append(e.sw[sw].inReleases, inRelease{at: relAt, port: gp})
+	e.actQu(sw, 1) // pending releases count as queued work
+	e.act.relNext[sw] = relAt
+	// Refold and book as the end of a cycle that ran switch 2 would.
+	e.act.nextWork[sw] = e.now
+	e.act.due = append(e.act.due[:0], sw)
+	e.actCompact()
+	e.act.due = e.act.due[:0]
+
+	next, ok := e.fastForwardTarget(1001, -1)
+	if !ok || next != relAt {
+		t.Fatalf("fastForwardTarget = (%d, %v), want (%d, true)", next, ok, relAt)
+	}
+	// Land the jump exactly as the run loop does and execute the cycle.
+	e.now = next
+	e.stepCycle(nil)
+	if e.inInflight[gp] != 0 {
+		t.Fatalf("release not applied at the jump target: inInflight = %d", e.inInflight[gp])
+	}
+	if e.act.relNext[sw] != nwNever {
+		t.Fatalf("relNext = %d after applying the only release, want nwNever", e.act.relNext[sw])
+	}
+	// The switch went quiescent: after one idle cycle (which refreshes the
+	// stale-low cached bound from the wheel) jumps are unbounded again.
+	e.now++
+	e.stepCycle(nil)
+	if next, ok = e.fastForwardTarget(1001, -1); !ok || next != 1001 {
+		t.Fatalf("fastForwardTarget after drain = (%d, %v), want (1001, true)", next, ok)
+	}
+}
+
+// TestRemoteCreditVetoesSkip pins the unskippable side of the extended
+// skip proof: a head packet that is eligible but starved of downstream
+// credits draws tie-break randomness every cycle in the full walk, and
+// its credits return through a *remote* switch's transmit — not through
+// any switch-local timer. The switch must therefore report next-work at
+// now+1 (vetoing every jump) until the credit comes back, at which point
+// the head must be granted.
+func TestRemoteCreditVetoesSkip(t *testing.T) {
+	h := topo.MustHyperX(3, 3)
+	nw := topo.NewNetwork(h, nil)
+	mech, err := core.New(nw, core.PolarizedRoutes, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pat := uniformOn(t, h, 3)
+	e, err := newEngine(RunOptions{
+		Net: nw, ServersPerSwitch: 3, Mechanism: mech, Pattern: pat,
+		Load: 0.5, MeasureCycles: 10, Seed: 1, Config: DefaultConfig(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A packet parked at the head of a link-port input VC of switch 2,
+	// bound for a different switch so no ejection candidate can sink it.
+	const sw = int32(2)
+	id := e.allocPacket()
+	pkt := &e.pool[id]
+	pkt.birth = 0
+	pkt.dstLocal = 0
+	e.mech.Init(&pkt.st, sw, 5, e.r)
+	vc := e.mech.InjectVCs(&pkt.st, nil)[0]
+	gp := sw * int32(e.P) // a link port (port 0 < R)
+	invc := gp*int32(e.V) + int32(vc)
+	e.inQ[invc].push(id)
+	e.inOcc[gp]++
+	if e.inMask != nil {
+		e.inMask[sw] |= 1
+	}
+	e.swInPkts[sw]++
+	e.actQu(sw, 1)
+	e.inFlight++
+	// Starve every downstream credit, keeping the ledger sums consistent.
+	for i := range e.credits {
+		e.credits[i] = 0
+	}
+	for i := range e.pq {
+		e.pq[i].credSum = 0
+	}
+	e.actWake(sw)
+	e.stepCycle(nil)
+	if got := e.act.inRetry[sw]; got != e.now+1 {
+		t.Fatalf("credit-starved eligible head: inRetry = %d, want hot (%d)", got, e.now+1)
+	}
+	if _, ok := e.fastForwardTarget(1001, -1); ok {
+		t.Fatal("fast-forward offered while an eligible head waits on a remote credit")
+	}
+	// The credit returns (a remote switch's transmit would do this write):
+	// the very next cycle must grant the head.
+	for i := range e.credits {
+		e.credits[i] = int16(e.cfg.InputBufPkts)
+	}
+	for i := range e.pq {
+		e.pq[i].credSum = int16(e.V * e.cfg.InputBufPkts)
+	}
+	e.now++
+	e.stepCycle(nil)
+	if e.swInPkts[sw] != 0 {
+		t.Fatalf("head not granted after the credit returned: swInPkts = %d", e.swInPkts[sw])
+	}
+}

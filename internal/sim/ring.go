@@ -14,6 +14,15 @@ func (r *ring) init(capacity int) {
 	r.head, r.n = 0, 0
 }
 
+// initBacked points the ring at a caller-owned backing slice. The engine
+// carves its tens of thousands of fixed-capacity queues out of a handful of
+// slab allocations instead of one make per ring, which dominates engine
+// construction time at paper scale.
+func (r *ring) initBacked(buf []int32) {
+	r.buf = buf
+	r.head, r.n = 0, 0
+}
+
 func (r *ring) len() int { return r.n }
 
 func (r *ring) full() bool { return r.n == len(r.buf) }
@@ -54,6 +63,13 @@ type pvring struct {
 func (r *pvring) init(capacity int) {
 	r.pkt = make([]int32, capacity)
 	r.vc = make([]int8, capacity)
+	r.head, r.n = 0, 0
+}
+
+// initBacked points the ring at caller-owned backing slices (see
+// ring.initBacked).
+func (r *pvring) initBacked(pkt []int32, vc []int8) {
+	r.pkt, r.vc = pkt, vc
 	r.head, r.n = 0, 0
 }
 

@@ -55,10 +55,11 @@ type RunOptions struct {
 	// single runs (paper-scale 8x8x8) and costs a little synchronization
 	// overhead on tiny networks.
 	Workers int
-	// DisableActivity turns off the engine's dirty-switch tracking and
-	// idle-cycle fast-forward, restoring the full every-switch walk of
-	// every cycle. Activity tracking is bit-identical to the full walk —
-	// a quiescent switch cannot mutate state or draw randomness — so this
+	// DisableActivity turns off the engine's dirty-switch tracking,
+	// per-switch next-work times and event-calendar fast-forward,
+	// restoring the full every-switch walk of every cycle. Activity
+	// tracking is bit-identical to the full walk — a skipped switch-cycle
+	// cannot mutate state or draw randomness (see activity.go) — so this
 	// is purely an A/B and benchmarking escape hatch (the -no-activity
 	// flag of both CLIs), never a semantic knob.
 	DisableActivity bool
@@ -163,11 +164,12 @@ func Run(o RunOptions) (*Result, error) {
 // runOpenLoop is the standard warmup+measurement experiment with Bernoulli
 // generation at the offered load. By default the Bernoulli draws are
 // aggregated into the per-server geometric arrival calendar (arrivals.go),
-// which also lets idle stretches fast-forward like burst mode: with no
-// queued work, nothing can happen before the earliest of the next arrival,
-// the next calendar event, the next scheduled fault and the warmup/measure
-// boundary. LegacyGeneration keeps the per-cycle draw over every server
-// (and therefore never fast-forwards — every cycle consumes randomness).
+// which lets the run fast-forward between events even mid-flight: nothing
+// can happen before the earliest of the per-switch next-work times, the
+// next arrival, the next scheduled fault and the warmup/measure boundary
+// (see fastForwardTarget in activity.go). LegacyGeneration keeps the
+// per-cycle draw over every server (and therefore never fast-forwards —
+// every cycle consumes randomness).
 func (e *engine) runOpenLoop(o RunOptions) (*Result, error) {
 	defer e.startPool()()
 	genProb := o.Load / float64(e.cfg.PacketPhits)
@@ -198,12 +200,16 @@ func (e *engine) runOpenLoop(o RunOptions) (*Result, error) {
 			return nil, err
 		}
 		if !o.LegacyGeneration {
-			// Idle-cycle fast-forward: a cycle with no due events, no queued
-			// packets and no due arrival mutates nothing and draws no
-			// randomness, so jumping over the stretch is invisible. The warmup
-			// boundary bounds the jump only out of caution (nothing triggers
-			// at warmStart itself); the measurement end bounds it because the
-			// run is over there.
+			// Event-calendar fast-forward: a cycle before every switch's
+			// next-work time with no due arrival mutates nothing and draws no
+			// randomness — even with packets in flight, waiting out busy links
+			// and buffers — so jumping over the stretch is invisible. The
+			// warmup boundary bounds the jump only out of caution (nothing
+			// triggers at warmStart itself); the measurement end bounds it
+			// because the run is over there. Skipped cycles stamp no progress
+			// with packets in flight, exactly like the full walk (a skipped
+			// cycle is a no-op for every switch), so the watchdog sees the
+			// same stall lengths either way.
 			bound := end
 			if e.now < e.warmStart && e.warmStart < bound {
 				bound = e.warmStart
@@ -258,15 +264,21 @@ func (e *engine) runBurst(o RunOptions) (*Result, error) {
 		if err := e.checkWatchdog(); err != nil {
 			return nil, err
 		}
-		// Idle-cycle fast-forward: with no queued packets and no traffic
-		// generation (all burst traffic preloads), nothing can happen until
-		// the next calendar event — jump straight to it. The skipped cycles
-		// are provably no-ops, so e.now passes through exactly the same
-		// observable sequence as per-cycle ticking. The bound maxCycles+1
-		// lets the burst timeout fire at the same cycle as per-cycle
-		// ticking would.
-		if next, ok := e.fastForwardTarget(maxCycles+1, -1); ok {
-			e.now = next - 1 // the loop increment lands on the event cycle
+		// Event-calendar fast-forward: with no traffic generation (all burst
+		// traffic preloads), nothing can happen before the earliest
+		// per-switch next-work time — jump straight to it, even mid-drain
+		// while packets wait out serializations and releases. The skipped
+		// cycles are provably no-ops, so e.now passes through exactly the
+		// same observable sequence as per-cycle ticking. The bound
+		// maxCycles+1 lets the burst timeout fire at the same cycle as
+		// per-cycle ticking would. The inFlight guard keeps the exit cycle
+		// identical to per-cycle ticking: once the last packet retires
+		// nothing is due anywhere, and an unguarded jump would ride to the
+		// timeout bound before the loop condition is rechecked.
+		if e.inFlight > 0 {
+			if next, ok := e.fastForwardTarget(maxCycles+1, -1); ok {
+				e.now = next - 1 // the loop increment lands on the event cycle
+			}
 		}
 	}
 	res := e.result(o)

@@ -24,9 +24,11 @@ import (
 //	   switch order, fold progress flags
 //
 // With activity tracking on (the default), the phases and merges walk only
-// the sorted dirty list of activity.go instead of the whole switch array;
-// the compaction at the end of the cycle drops the switches that went
-// quiescent. The iteration order is the ascending switch order of the full
+// the sorted dirty list of activity.go instead of the whole switch array,
+// and each phase skips dirty switches whose per-switch next-work time is
+// still in the future (see stepCycle); the compaction at the end of the
+// cycle drops the switches that went quiescent and refolds the next-work
+// words. The iteration order is the ascending switch order of the full
 // walk either way.
 //
 // Ownership argument (why the phases are race-free):
@@ -245,17 +247,21 @@ func (e *engine) forEachSwitch(fn func(sw int32, ws *workerScratch)) {
 	})
 }
 
-// forEachActive applies fn to every switch in the dirty set, in ascending
-// switch order per worker chunk — or to every switch when activity
-// tracking is off. Short lists skip the pool dispatch entirely; the choice
-// depends only on the (deterministic) dirty-set size, and chunk boundaries
-// never affect results because scratch state is per-switch.
-func (e *engine) forEachActive(fn func(sw int32, ws *workerScratch)) {
+// forEachDue applies fn to every switch whose next-work time has arrived
+// (the due list actBuildDue snapshotted at the top of the cycle, plus any
+// switches traffic generation woke mid-cycle), in ascending switch order
+// per worker chunk — or to every switch when activity tracking is off.
+// Skipped switches provably neither mutate state nor draw randomness this
+// cycle (activity.go), so the walk is observably the full walk. Short
+// lists skip the pool dispatch entirely; the choice depends only on the
+// (deterministic) due-list size, and chunk boundaries never affect
+// results because scratch state is per-switch.
+func (e *engine) forEachDue(fn func(sw int32, ws *workerScratch)) {
 	if e.act == nil {
 		e.forEachSwitch(fn)
 		return
 	}
-	list := e.act.active
+	list := e.act.due
 	if e.disp == nil || len(list) < e.workers {
 		ws := &e.ws[0]
 		for _, sw := range list {
@@ -277,11 +283,11 @@ func (e *engine) forEachActive(fn func(sw int32, ws *workerScratch)) {
 // the run totals: in-flight accounting, the packet free list, the optional
 // throughput series and the progress stamp. Walking switches in index order
 // keeps the free list (and so packet-id reuse) independent of scheduling;
-// only switches that ran the event phase can hold staging, so the dirty
+// only switches that ran the event phase can hold staging, so the due
 // list covers everything.
 func (e *engine) mergeRetire() {
 	if e.act != nil {
-		for _, sw := range e.act.active {
+		for _, sw := range e.act.due {
 			e.mergeRetireSwitch(sw)
 		}
 		return
@@ -316,10 +322,11 @@ func (e *engine) mergeRetireSwitch(sw int32) {
 // mergeTransmit routes every switch's outbox onto the target calendars, in
 // switch order, and folds the progress stamps of the inject/allocate/
 // commit/transmit phases. Targets that were quiescent are (re)activated
-// here — the only place one switch creates work for another.
+// here — the only place one switch creates work for another. Only due
+// switches ran the phases, so only they can hold staging.
 func (e *engine) mergeTransmit() {
 	if e.act != nil {
-		for _, sw := range e.act.active {
+		for _, sw := range e.act.due {
 			e.mergeTransmitSwitch(sw)
 		}
 		return
@@ -336,8 +343,17 @@ func (e *engine) mergeTransmitSwitch(sw int32) {
 		tgt := te.ev.a / PV
 		slot := int64(tgt)*e.horizon + te.at%e.horizon
 		e.events[slot] = append(e.events[slot], te.ev)
-		if e.act != nil {
-			e.act.evWork[tgt]++
+		if a := e.act; a != nil {
+			a.evWork[tgt]++
+			e.actEvNext(tgt, te.at)
+			// The one cross-switch lowering: the target may be parked, and
+			// compaction no longer refolds parked switches, so the folded
+			// word must track the new earliest event here (sequential, so
+			// the write is safe; events land strictly in the future, so a
+			// parked target stays parked this cycle).
+			if te.at < a.nextWork[tgt] {
+				a.nextWork[tgt] = te.at
+			}
 			e.actActivate(tgt)
 		}
 	}
@@ -350,29 +366,37 @@ func (e *engine) mergeTransmitSwitch(sw int32) {
 
 // stepCycle advances the engine by one cycle. generate runs between the
 // event drain and the switch phases (nil in burst mode, where all traffic
-// preloads). The two actMergePending calls make freshly activated switches
-// visible exactly when the full walk would reach them: preloaded or
-// merge-activated switches before the event phase, newly generated-into
-// switches before inject/allocate; actCompact then retires the quiescent.
+// preloads). The phases walk only the due list actBuildDue drains from
+// the current wheel slot — switches whose booked next-work time has
+// arrived, plus switches traffic generation wakes mid-cycle (folded in
+// before inject/allocate); actCompact then re-books every due switch at
+// its refolded next-work time, or parks it for good when quiescent. For
+// everyone else the cycle is provably a no-op — no event due, no release
+// due, no eligible head, so no state change and no randomness drawn (the
+// extended quiescence proof in activity.go). The folded nextWork word is
+// stable across the cycle's phases — written only by the sequential
+// steps (compaction, generation wake-ups, the transmit merge), never by
+// the phases — so the due list that selected a switch for allocate also
+// selects it for commit, and a stale granted list can never replay.
 func (e *engine) stepCycle(generate func()) {
-	e.actMergePending()
+	e.actBuildDue()
 	//hx:parallel-phase
-	e.forEachActive(func(sw int32, _ *workerScratch) {
+	e.forEachDue(func(sw int32, _ *workerScratch) {
 		e.processEventsSwitch(sw)
 		e.processInReleasesSwitch(sw)
 	})
 	e.mergeRetire()
 	if generate != nil {
 		generate()
-		e.actMergePending()
+		e.actMergeWoken()
 	}
 	//hx:parallel-phase
-	e.forEachActive(func(sw int32, ws *workerScratch) {
+	e.forEachDue(func(sw int32, ws *workerScratch) {
 		e.injectSwitch(sw, ws)
 		e.allocateSwitch(sw, ws)
 	})
 	//hx:parallel-phase
-	e.forEachActive(func(sw int32, _ *workerScratch) {
+	e.forEachDue(func(sw int32, _ *workerScratch) {
 		e.commitSwitch(sw)
 		e.transmitSwitch(sw)
 	})
