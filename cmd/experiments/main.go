@@ -298,7 +298,9 @@ func main() {
 	cacheDir := flag.String("cache-dir", "", "content-addressed result cache directory; re-runs recompute only changed points")
 	serveAddr := flag.String("serve", "", "serve mode: listen on this address and execute every simulation point on connected -worker processes")
 	workerAddr := flag.String("worker", "", "worker mode: connect to a -serve address and run jobs for it (-workers sets the slot count; -exp is ignored)")
-	benchOut := flag.String("bench-out", "BENCH_7.json", "output path for the -exp bench JSON report")
+	benchOut := flag.String("bench-out", "BENCH_8.json", "output path for the -exp bench JSON report")
+	benchCompare := flag.String("bench-compare", "", "compare -exp bench memory figures (bytes/switch) against this committed baseline report; exit non-zero on >10% growth")
+	memStats := flag.Bool("mem-stats", false, "print the engine's memory accounting (arena bytes, bytes/switch, construction time) for each experiment's largest topology before running")
 	csvDir := flag.String("csv-dir", "", "also write one CSV per figure/table into this directory (lossless floats, diffable)")
 	jsonlDir := flag.String("jsonl-dir", "", "also write one JSONL file per figure/table into this directory (one schema-stable record per grid point, byte-stable on re-export)")
 	noActivity := flag.Bool("no-activity", false, "disable the engine's dirty-switch tracking and idle-cycle fast-forward (A/B baseline; results are identical either way)")
@@ -395,6 +397,24 @@ func main() {
 		save: tableSaver(*csvDir, *jsonlDir),
 	}
 
+	if *memStats {
+		// Construction-only accounting for the grids the experiments run
+		// on, printed up front on stderr (construction time is wall-clock;
+		// stdout stays byte-identical across runs).
+		for _, h := range []*topo.HyperX{h2, h3} {
+			spec := experiments.JobSpec{
+				Topo: experiments.HyperXSpec(h), Mechanism: "PolSP", Pattern: "Uniform",
+				VCs: 2 * h.NDims(), Per: h.Dims()[0], Load: 0.5, Seed: *seed, PatternSeed: *seed,
+			}
+			mem, err := spec.MeasureMemory()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: mem-stats %s: %v\n", h, err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "%s: %s\n", h, mem)
+		}
+	}
+
 	if want["bench"] {
 		// A wall-clock harness, not an experiment: timing pairs would be
 		// meaningless interleaved with grid simulations, so it refuses to
@@ -414,6 +434,13 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "bench: wrote %s\n", *benchOut)
+		if *benchCompare != "" {
+			if err := experiments.CompareBenchMemory(*benchCompare, rep, 0.10); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: bench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "bench: memory within 10%% of %s\n", *benchCompare)
+		}
 		return
 	}
 	if want["cache-gc"] {

@@ -39,6 +39,7 @@ func main() {
 		cacheDirFlag   = flag.String("cache-dir", "", "content-addressed result cache directory; repeated runs of the same point hit the cache")
 		noActivityFlag = flag.Bool("no-activity", false, "disable the engine's dirty-switch tracking and idle-cycle fast-forward (A/B baseline; results are identical either way)")
 		legacyGenFlag  = flag.Bool("legacy-gen", false, "use the legacy per-cycle open-loop generation (engine "+hyperx.LegacyEngineVersion+") instead of the geometric arrival calendar; statistically equivalent but bit-different results, cached under the legacy version tag")
+		memStatsFlag   = flag.Bool("mem-stats", false, "print the engine's memory accounting (arena bytes, bytes/switch, construction time) before running")
 	)
 	flag.Parse()
 	hyperx.SetEngineActivity(!*noActivityFlag)
@@ -129,6 +130,14 @@ func main() {
 			specs[i].BurstPackets = *burstFlag
 			specs[i].SeriesBucket = 2000
 		}
+	}
+	if *memStatsFlag {
+		// Construction is load-independent, so one measurement covers the
+		// whole sweep. Stderr, like the cache stats: stdout stays
+		// byte-identical across runs (construction time is wall-clock).
+		mem, err := specs[0].MeasureMemory()
+		check(err)
+		fmt.Fprintln(os.Stderr, mem)
 	}
 	results, err := hyperx.RunSpecs(workers, specs)
 	check(err)

@@ -98,6 +98,15 @@ type Result = sim.Result
 // Config carries the microarchitectural parameters of the paper's Table 2.
 type Config = sim.Config
 
+// MemStats is the engine's memory accounting: arena bytes at construction
+// plus the per-run staging high-water mark (see RunOptions.MemStats and
+// the CLIs' -mem-stats flag).
+type MemStats = sim.MemStats
+
+// MeasureEngineMemory builds the engine for o and returns its arena
+// accounting without running anything.
+func MeasureEngineMemory(o RunOptions) (*MemStats, error) { return sim.MeasureEngineMemory(o) }
+
 // SeriesPoint is one bucket of a throughput time series.
 type SeriesPoint = metrics.SeriesPoint
 

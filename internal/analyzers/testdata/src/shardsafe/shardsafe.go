@@ -23,6 +23,10 @@ type engine struct {
 	act  *actState
 	now  int64
 	done int64
+	// Struct-of-arrays arenas, indexed by switch ID: the element a
+	// switch owns is writable from a phase, the arena headers are not.
+	counters []int64
+	staged   [][]int64
 }
 
 func (e *engine) forEach(fn func(sw int)) {
@@ -42,10 +46,14 @@ func (e *engine) step() {
 
 // phaseOK confines itself to indexed per-switch state: a switch may
 // publish its own next-work time (the index encodes ownership), it just
-// may not fold the shared minimum.
+// may not fold the shared minimum. Arena-style writes — a flat counter
+// array or a staging region, indexed by the owned switch — are the same
+// shape and equally legal.
 func (e *engine) phaseOK(sw int) {
 	e.sw[sw].retired++
 	e.act.next[sw] = e.now + 1
+	e.counters[sw]++
+	e.staged[sw] = append(e.staged[sw], e.counters[sw])
 }
 
 // phaseBad commits every forbidden write shape.
@@ -54,6 +62,11 @@ func (e *engine) phaseBad(sw int) {
 	e.now = int64(sw) // want `direct write to engine field e.now inside a switch-parallel phase`
 	e.act.min = 0     // want `direct write to engine field e.act.min inside a switch-parallel phase`
 	genCounter.Add(1) // want `Add mutates package-level genCounter inside a switch-parallel phase`
+	// Writing the arena *header* from a phase — replacing or regrowing
+	// the whole array rather than the owned element — races every other
+	// switch's reads.
+	e.counters = nil                                // want `direct write to engine field e.counters inside a switch-parallel phase`
+	e.staged = append(e.staged, []int64{int64(sw)}) // want `direct write to engine field e.staged inside a switch-parallel phase`
 	e.helper()
 }
 

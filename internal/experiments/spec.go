@@ -226,6 +226,36 @@ func (s *JobSpec) Run() (*sim.Result, error) {
 	})
 }
 
+// MeasureMemory builds the spec's engine on a private network and returns
+// its arena accounting without running anything: the construction-only
+// path behind the CLIs' -mem-stats flag. Pure diagnostics — it shares the
+// construction code with Run but never touches a result or the cache.
+func (s *JobSpec) MeasureMemory() (*sim.MemStats, error) {
+	t, err := s.Topo.Build()
+	if err != nil {
+		return nil, err
+	}
+	nw := topo.NewNetwork(t, topo.NewFaultSet(s.Faults...))
+	pat, err := s.buildPattern(t)
+	if err != nil {
+		return nil, fmt.Errorf("pattern %q: %w", s.Pattern, err)
+	}
+	mech, err := BuildMechanism(s.Mechanism, nw, s.VCs, s.Root)
+	if err != nil {
+		return nil, err
+	}
+	return sim.MeasureEngineMemory(sim.RunOptions{
+		Net:              nw,
+		ServersPerSwitch: s.Per,
+		Mechanism:        mech,
+		Pattern:          pat,
+		Load:             s.Load,
+		Seed:             s.Seed,
+		Workers:          RunWorkersFor(t.Switches()),
+		DisableActivity:  EngineActivityDisabled(),
+	})
+}
+
 // HyperXSpec is a convenience constructor for the common case: the spec of
 // an n-dimensional HyperX.
 func HyperXSpec(h *topo.HyperX) topo.Spec {

@@ -455,7 +455,7 @@ func (e *engine) verifyActivity() {
 		for s := 0; s < e.K; s++ {
 			qn += int32(e.injQ[sw*e.K+s].len())
 		}
-		qn += int32(len(e.sw[sw].inReleases))
+		qn += int32(len(e.inReleases[sw]))
 		if a.evWork[sw] != evn || a.quWork[sw] != qn {
 			panic(fmt.Sprintf("sim: activity counters of switch %d are (ev %d, qu %d), actual (%d, %d) at cycle %d",
 				sw, a.evWork[sw], a.quWork[sw], evn, qn, e.now))
@@ -469,7 +469,7 @@ func (e *engine) verifyActivity() {
 				sw, a.evNext[sw], evNext, e.now))
 		}
 		relNext := nwNever
-		for _, rel := range e.sw[sw].inReleases {
+		for _, rel := range e.inReleases[sw] {
 			if rel.at < relNext {
 				relNext = rel.at
 			}

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/rng"
@@ -253,13 +254,12 @@ func TestFastForwardTarget(t *testing.T) {
 	}
 }
 
-// TestSpinPoolBarrier drives the spinning cyclic barrier directly (the
-// engine only selects it when every worker can own a P, which CI machines
-// may not allow): every phase must run each worker body exactly once and
-// the caller must not return before all workers finish.
+// TestSpinPoolBarrier drives the phase barrier directly with a full spin
+// budget: every phase must run each worker body exactly once and the
+// caller must not return before all workers finish.
 func TestSpinPoolBarrier(t *testing.T) {
 	const extra = 3
-	p := newSpinPool(extra)
+	p := newSpinPool(extra, spinParkAfter)
 	defer p.close()
 	var sum atomic.Int64
 	for phase := 0; phase < 500; phase++ {
@@ -276,5 +276,49 @@ func TestSpinPoolBarrier(t *testing.T) {
 	}
 	if got := sum.Load(); got != 500*(1+2+3) {
 		t.Fatalf("spin pool work sum = %d, want %d", got, 500*(1+2+3))
+	}
+}
+
+// TestSpinPoolParkPath drives the barrier with the minimal spin budget —
+// the oversubscribed configuration — and idles between phases so the
+// workers actually park, exercising the park/wake token protocol: no
+// phase may be lost to a missed wake-up, slow worker bodies must park the
+// collecting caller, and close must release workers parked at the time.
+func TestSpinPoolParkPath(t *testing.T) {
+	const extra = 3
+	p := newSpinPool(extra, 1)
+	var sum atomic.Int64
+	for phase := 0; phase < 50; phase++ {
+		var ran [extra + 1]atomic.Int32
+		p.run(func(w int) {
+			if w != 0 && phase%10 == 0 {
+				// Slow workers force the caller down its own park path.
+				time.Sleep(time.Millisecond)
+			}
+			ran[w].Add(1)
+			sum.Add(int64(w))
+		})
+		for w := range ran {
+			if got := ran[w].Load(); got != 1 {
+				t.Fatalf("phase %d: worker %d ran %d times", phase, w, got)
+			}
+		}
+		if phase%5 == 0 {
+			// Idle long past the one-yield spin budget so the workers park
+			// before the next release.
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	if got := sum.Load(); got != 50*(1+2+3) {
+		t.Fatalf("park-path work sum = %d, want %d", got, 50*(1+2+3))
+	}
+	// Let the workers park, then tear down: close must release them.
+	time.Sleep(2 * time.Millisecond)
+	done := make(chan struct{})
+	go func() { p.close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("close did not release parked workers")
 	}
 }

@@ -69,7 +69,7 @@ func gatherAllRequests(e *engine, reqs []request, ws *workerScratch) []request {
 	speedup := int8(e.cfg.XbarSpeedup)
 	V := e.V
 	for sw := int32(0); sw < int32(e.S); sw++ {
-		ss := &e.sw[sw]
+		tr := &e.tie[sw]
 		gpBase := sw * int32(e.P)
 		for p := 0; p < e.P; p++ {
 			gport := gpBase + int32(p)
@@ -82,7 +82,7 @@ func gatherAllRequests(e *engine, reqs []request, ws *workerScratch) []request {
 				if e.inQ[invc].len() == 0 || e.inBusyUntil[invc] > e.now {
 					continue
 				}
-				if req, ok := e.bestRequest(sw, gport, invc, vc, ss, ws); ok {
+				if req, ok := e.bestRequest(sw, gport, invc, vc, tr, ws); ok {
 					reqs = append(reqs, req)
 				}
 			}
@@ -109,7 +109,7 @@ func BenchmarkAllocationStep(b *testing.B) {
 			granted = 0
 			for sw := 0; sw < e.S; sw++ {
 				e.allocateSwitch(int32(sw), ws)
-				granted += len(e.sw[sw].granted)
+				granted += len(e.granted[sw])
 			}
 		}
 		b.ReportMetric(float64(granted), "grants/cycle")
@@ -166,4 +166,52 @@ func BenchmarkAllocationStep(b *testing.B) {
 		b.ReportMetric(float64(len(reqs)), "requests/cycle")
 		b.ReportMetric(float64(granted), "grants/cycle")
 	})
+}
+
+// BenchmarkEngineConstruction measures newEngine on the paper-scale
+// 8x8x8: the cost the arena/slab layout optimizes (a handful of slab
+// allocations instead of one make per queue). ReportAllocs keeps the
+// allocation count honest — regressions here show up as extra allocs long
+// before they show up as wall-clock.
+func BenchmarkEngineConstruction(b *testing.B) {
+	h := topo.MustHyperX(8, 8, 8)
+	nw := topo.NewNetwork(h, nil)
+	mech, err := core.New(nw, core.PolarizedRoutes, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pat, err := traffic.NewUniform(h.Switches() * 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	o := RunOptions{
+		Net: nw, ServersPerSwitch: 8, Mechanism: mech, Pattern: pat,
+		Load: 0.5, Seed: 1, Config: DefaultConfig(),
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var mem MemStats
+	for i := 0; i < b.N; i++ {
+		e, err := newEngine(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mem = e.mem
+	}
+	b.ReportMetric(mem.BytesPerSwitch, "bytes/switch")
+}
+
+// BenchmarkSteadyStateStepAllocs steps a loaded paper-scale engine and
+// reports allocations per cycle: the staging arenas exist so the steady
+// state appends into preallocated slab regions. The floor is the three
+// phase-dispatch closures per cycle (~48 B/op); growth beyond that means
+// a staging slice spilled its cap — a worst-case proof no longer holds.
+func BenchmarkSteadyStateStepAllocs(b *testing.B) {
+	e := loadedPaperEngine(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.now++
+		e.stepCycle(nil)
+	}
 }

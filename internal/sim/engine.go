@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/bits"
+	"time"
 
 	"repro/internal/metrics"
 	"repro/internal/rng"
@@ -81,7 +82,7 @@ type engine struct {
 	S, R, K, P, V int
 
 	workers int
-	disp    phasePool // nil when workers <= 1
+	disp    *spinPool // nil when workers <= 1
 
 	// act is the dirty-switch tracking state (activity.go); nil when
 	// RunOptions.DisableActivity selects the full-walk baseline.
@@ -141,9 +142,56 @@ type engine struct {
 	events  [][]event
 	horizon int64
 
-	// Per-switch and per-worker state for the sharded phases.
-	sw []swState
+	// Per-switch state for the sharded phases, laid out struct-of-arrays:
+	// every hot word lives in a flat array indexed by switch id, so a
+	// phase touches dense, type-homogeneous memory instead of striding
+	// through an array of fat structs. tie is the per-switch allocation
+	// tie-break stream.
+	tie []rng.Rand
+
+	// Staging arenas: the per-cycle staging slices of every switch are
+	// carved from one slab per family (see carveStaging), each region
+	// sized at construction from the flow-control worst case —
+	//
+	//	granted    ≤ P·XbarSpeedup   (crossbar slots per cycle)
+	//	outbox     ≤ R               (one link-port pop per cycle)
+	//	freed      ≤ K + P·XbarSpeedup (deliveries + dead-port losses)
+	//	inReleases ≤ P·XbarSpeedup   (pending crossbar releases)
+	//
+	// The regions are three-index slices (len 0, fixed cap), so a switch
+	// that somehow outgrew its bound would spill that one slice to a
+	// private heap array — correct, just slower — instead of bleeding
+	// into its neighbour's region.
+	granted    [][]request    // winners of this cycle's arbitration
+	outbox     [][]timedEvent // link arrivals bound for other switches
+	freed      [][]int32      // packet ids retired this cycle
+	inReleases [][]inRelease  // deferred input-port inflight decrements
+
+	// Per-cycle counters, folded and reset by the merge steps.
+	swRetired     []int64 // delivered + lost (decrements inFlight)
+	swDelivered   []int64
+	swLost        []int64
+	swSeriesPhits []int64
+	swProgressed  []bool
+
+	// Cumulative per-switch window counters, folded once in result().
+	winDeliveredPkts  []int64
+	winDeliveredPhits []int64
+	winLatencySum     []int64
+	winHopSum         []int64
+	winEscapedPkts    []int64
+	winLinkBusy       []int64
+	winLastDelivery   []int64
+
+	// Per-worker scratch for the sharded phases.
 	ws []workerScratch
+
+	// mem is the arena accounting filled at construction (memstats.go);
+	// memTrack (RunOptions.MemStats) turns on the per-cycle staging
+	// high-water sampling in the merge steps, stageLive is its scratch.
+	mem       MemStats
+	memTrack  bool
+	stageLive int64
 
 	// Open-loop geometric generation (arrivals.go): the per-server arrival
 	// calendar and the cached sampling constants. nil/zero in burst mode
@@ -194,34 +242,12 @@ type engine struct {
 	lastDeliveryCycle  int64
 }
 
-// swState is the state owned by one switch: its tie-break RNG stream, the
-// staging areas the parallel phases write into, and its slice of the
-// run's measurement counters.
-type swState struct {
-	tie        rng.Rand  // per-switch allocation tie-break stream
-	granted    []request // winners of this cycle's arbitration, committed next phase
-	outbox     []timedEvent
-	freed      []int32 // packet ids retired this cycle, merged into the pool
-	inReleases []inRelease
-
-	// Per-cycle counters, folded and reset by the merge steps.
-	retired     int64 // delivered + lost (decrements inFlight)
-	delivered   int64
-	lost        int64
-	seriesPhits int64
-	progressed  bool
-
-	// Cumulative window counters, folded once in result().
-	deliveredPkts, deliveredPhits int64
-	latencySum, hopSum            int64
-	escapedPkts                   int64
-	linkBusyCycles                int64
-	lastDeliveryCycle             int64
-}
-
 // workerScratch is the reusable buffer set of one worker; nothing in it
 // survives across switches, so results are independent of which worker
-// processes which switch.
+// processes which switch. The trailing pad keeps adjacent workers' slice
+// headers on separate cache lines: the headers mutate on every append
+// growth and ring rotation, and false sharing between neighbours in e.ws
+// would bounce the line across every core running a phase.
 type workerScratch struct {
 	cands  []routing.Candidate
 	vcBuf  []int
@@ -229,6 +255,23 @@ type workerScratch struct {
 	bucket [][]request // per local output port: this switch's candidate list
 	inUsed []int8      // per local input port: grants issued this cycle
 	vcUsed []int16     // per VC: credits consumed within the current bucket
+
+	_ [64]byte // cache-line pad between adjacent workers
+}
+
+// carveStaging carves n zero-length, fixed-capacity staging slices out of
+// a single slab allocation — the initBacked idiom of ring.go, extended to
+// the append-style staging arenas. The three-index expression pins each
+// region's capacity, so an append past it reallocates that one slice to
+// the heap instead of overwriting the next switch's region.
+func carveStaging[T any](n, capacity int) [][]T {
+	slab := make([]T, n*capacity)
+	out := make([][]T, n)
+	for i := range out {
+		o := i * capacity
+		out[i] = slab[o : o : o+capacity]
+	}
+	return out
 }
 
 // maxVCs is the engine's virtual-channel ceiling: VC indices travel through
@@ -240,6 +283,7 @@ const maxVCs = 127
 const tieStreamBase = 0x100
 
 func newEngine(o RunOptions) (*engine, error) {
+	start := time.Now()
 	h := o.Net.H
 	if v := o.Mechanism.VCs(); v < 1 || v > maxVCs {
 		return nil, fmt.Errorf("sim: mechanism %s needs %d VCs; the engine supports 1..%d",
@@ -335,10 +379,34 @@ func newEngine(o RunOptions) (*engine, error) {
 	e.swOutPkts = make([]int32, e.S)
 	e.swInjPkts = make([]int32, e.S)
 
-	e.sw = make([]swState, e.S)
-	for sw := range e.sw {
-		e.sw[sw].tie.Seed(rng.StreamSeed(o.Seed, tieStreamBase+uint64(sw)))
+	e.tie = make([]rng.Rand, e.S)
+	for sw := range e.tie {
+		e.tie[sw].Seed(rng.StreamSeed(o.Seed, tieStreamBase+uint64(sw)))
 	}
+
+	// Staging arenas, one slab per family (capacities: see the field
+	// comment). BurstPackets does not raise the grant bound — burst
+	// traffic preloads into injection queues and still crosses the
+	// crossbar at most XbarSpeedup per port per cycle.
+	capGrant := e.P * e.cfg.XbarSpeedup
+	e.granted = carveStaging[request](e.S, capGrant)
+	e.outbox = carveStaging[timedEvent](e.S, e.R)
+	e.freed = carveStaging[int32](e.S, e.K+capGrant)
+	e.inReleases = carveStaging[inRelease](e.S, capGrant)
+
+	e.swRetired = make([]int64, e.S)
+	e.swDelivered = make([]int64, e.S)
+	e.swLost = make([]int64, e.S)
+	e.swSeriesPhits = make([]int64, e.S)
+	e.swProgressed = make([]bool, e.S)
+	e.winDeliveredPkts = make([]int64, e.S)
+	e.winDeliveredPhits = make([]int64, e.S)
+	e.winLatencySum = make([]int64, e.S)
+	e.winHopSum = make([]int64, e.S)
+	e.winEscapedPkts = make([]int64, e.S)
+	e.winLinkBusy = make([]int64, e.S)
+	e.winLastDelivery = make([]int64, e.S)
+
 	e.ws = make([]workerScratch, e.workers)
 	for w := range e.ws {
 		e.ws[w].bucket = make([][]request, e.P)
@@ -348,6 +416,7 @@ func newEngine(o RunOptions) (*engine, error) {
 	if !o.DisableActivity {
 		e.act = newActivityState(e.S, e.horizon+2)
 	}
+	e.accountMem(start)
 	return e, nil
 }
 
@@ -433,7 +502,6 @@ func (e *engine) processEventsSwitch(sw int32) {
 		}
 		return
 	}
-	ss := &e.sw[sw]
 	gpBase := sw * int32(e.P)
 	slot := int64(sw)*e.horizon + e.now%e.horizon
 	evs := e.events[slot]
@@ -465,9 +533,9 @@ func (e *engine) processEventsSwitch(sw int32) {
 				// The link failed while the packet crossed the switch.
 				e.pq[ev.a].outTotal--
 				e.outVCCount[ev.a*int32(e.V)+int32(ev.vc)]--
-				ss.lost++
-				ss.retired++
-				ss.freed = append(ss.freed, ev.pkt)
+				e.swLost[sw]++
+				e.swRetired[sw]++
+				e.freed[sw] = append(e.freed[sw], ev.pkt)
 				continue
 			}
 			if q := &e.outQ[ev.a]; q.len() == 0 && e.outMask != nil {
@@ -483,7 +551,7 @@ func (e *engine) processEventsSwitch(sw int32) {
 			e.credits[ev.a]++
 			e.pq[ev.a/int32(e.V)].credSum++
 		case evDeliver:
-			e.deliverSw(ss, ev.pkt)
+			e.deliverSw(sw, ev.pkt)
 		}
 	}
 	// If the drained slot was the cached earliest event, find the new one.
@@ -495,27 +563,27 @@ func (e *engine) processEventsSwitch(sw int32) {
 }
 
 // deliverSw retires a packet at its destination server, accumulating into
-// the owning switch's counters; the merge step folds them into the run
-// totals in switch order.
-func (e *engine) deliverSw(ss *swState, id int32) {
+// the owning switch's counter slots; the merge step folds them into the
+// run totals in switch order.
+func (e *engine) deliverSw(sw, id int32) {
 	pkt := &e.pool[id]
-	ss.retired++
-	ss.delivered++
-	ss.progressed = true
-	ss.lastDeliveryCycle = e.now
+	e.swRetired[sw]++
+	e.swDelivered[sw]++
+	e.swProgressed[sw] = true
+	e.winLastDelivery[sw] = e.now
 	if e.series != nil {
-		ss.seriesPhits += int64(e.cfg.PacketPhits)
+		e.swSeriesPhits[sw] += int64(e.cfg.PacketPhits)
 	}
 	if e.now >= e.warmStart && e.now < e.warmEnd {
-		ss.deliveredPkts++
-		ss.deliveredPhits += int64(e.cfg.PacketPhits)
-		ss.latencySum += e.now - pkt.birth
-		ss.hopSum += int64(pkt.st.Hops)
+		e.winDeliveredPkts[sw]++
+		e.winDeliveredPhits[sw] += int64(e.cfg.PacketPhits)
+		e.winLatencySum[sw] += e.now - pkt.birth
+		e.winHopSum[sw] += int64(pkt.st.Hops)
 		if pkt.st.InEscape {
-			ss.escapedPkts++
+			e.winEscapedPkts[sw]++
 		}
 	}
-	ss.freed = append(ss.freed, id)
+	e.freed[sw] = append(e.freed[sw], id)
 }
 
 // injectSwitch launches head packets of switch sw's server queues onto
@@ -526,7 +594,6 @@ func (e *engine) injectSwitch(sw int32, ws *workerScratch) {
 		a.injRetry[sw] = nwNever
 		return // every injection queue is empty: the scan below would no-op
 	}
-	ss := &e.sw[sw]
 	V := e.V
 	// injRetry: the earliest injection-link release over servers that still
 	// hold packets afterward. A head blocked on credits contributes nothing:
@@ -570,7 +637,7 @@ func (e *engine) injectSwitch(sw int32, ws *workerScratch) {
 			retry = e.injBusy[g]
 		}
 		e.scheduleSw(sw, int64(e.cfg.PacketPhits+e.cfg.LinkLatency), event{kind: evArrive, a: invc, pkt: id})
-		ss.progressed = true
+		e.swProgressed[sw] = true
 	}
 	if a != nil {
 		a.injRetry[sw] = retry
@@ -628,13 +695,14 @@ func (e *engine) penaltyCost(p int32) int64 {
 // policy of Section 3, without the former global sort over every request
 // in flight.
 func (e *engine) allocateSwitch(sw int32, ws *workerScratch) {
-	ss := &e.sw[sw]
-	ss.granted = ss.granted[:0]
+	granted := e.granted[sw][:0]
+	e.granted[sw] = granted
 	a := e.act
 	if a != nil && e.swInPkts[sw] == 0 {
 		a.inRetry[sw] = nwNever
 		return // every input VC is empty: no head packets, no requests
 	}
+	tr := &e.tie[sw]
 	V := e.V
 	speedup := int8(e.cfg.XbarSpeedup)
 	gpBase := sw * int32(e.P)
@@ -669,7 +737,7 @@ func (e *engine) allocateSwitch(sw int32, ws *workerScratch) {
 				continue
 			}
 			nEligible++
-			if req, ok := e.bestRequest(sw, gport, invc, vc, ss, ws); ok {
+			if req, ok := e.bestRequest(sw, gport, invc, vc, tr, ws); ok {
 				lp := int(req.outPort - gpBase)
 				ws.bucket[lp] = append(ws.bucket[lp], req)
 				nreq++
@@ -712,9 +780,9 @@ func (e *engine) allocateSwitch(sw int32, ws *workerScratch) {
 				for vc := 0; vc < V; vc++ {
 					ws.vcUsed[vc] = 0
 				}
-				granted := 0
+				nGranted := 0
 				for i := range b {
-					if granted >= slots {
+					if nGranted >= slots {
 						break
 					}
 					rq := &b[i]
@@ -729,15 +797,16 @@ func (e *engine) allocateSwitch(sw int32, ws *workerScratch) {
 						ws.vcUsed[rq.vc]++
 					}
 					ws.inUsed[inLocal]++
-					granted++
-					ss.granted = append(ss.granted, *rq)
+					nGranted++
+					granted = append(granted, *rq)
 				}
 			}
 			ws.bucket[p] = b[:0]
 		}
 	}
+	e.granted[sw] = granted
 	if a != nil {
-		if nEligible > len(ss.granted) {
+		if nEligible > len(granted) {
 			// Some eligible head was not granted (a head makes exactly one
 			// request, so equal counts mean a bijection): it re-draws next
 			// cycle, full stop.
@@ -746,8 +815,8 @@ func (e *engine) allocateSwitch(sw int32, ws *workerScratch) {
 			if nEligible > 0 {
 				// All eligible heads granted. A successor behind a granted
 				// head becomes eligible when its VC's transfer finishes.
-				for i := range ss.granted {
-					if e.inQ[ss.granted[i].invc].len() > 1 {
+				for i := range granted {
+					if e.inQ[granted[i].invc].len() > 1 {
 						if t := e.now + e.cfg.xferCycles(); t < retry {
 							retry = t
 						}
@@ -782,9 +851,9 @@ func sortRequests(b []request) {
 // expensive path; the rising Q of the blocked port shifts the choice only
 // under sustained congestion. The request is dropped at arbitration time if
 // flow control still fails. Tie-break randomness draws from the switch's
-// own stream, so the draw sequence depends only on the switch's local
-// traffic, never on the worker count.
-func (e *engine) bestRequest(sw, gport, invc int32, curVC int, ss *swState, ws *workerScratch) (request, bool) {
+// own stream tr = &e.tie[sw], so the draw sequence depends only on the
+// switch's local traffic, never on the worker count.
+func (e *engine) bestRequest(sw, gport, invc int32, curVC int, tr *rng.Rand, ws *workerScratch) (request, bool) {
 	id := e.inQ[invc].peek()
 	pkt := &e.pool[id]
 	gpBase := sw * int32(e.P)
@@ -792,7 +861,7 @@ func (e *engine) bestRequest(sw, gport, invc int32, curVC int, ss *swState, ws *
 	found := false
 	consider := func(outPort int32, vc int, penalty int32, eject bool) {
 		cost := e.qCost(outPort, vc, eject) + e.penaltyCost(penalty)
-		tie := uint32(ss.tie.Uint64())
+		tie := uint32(tr.Uint64())
 		if !found || cost < best.cost || (cost == best.cost && tie < best.tie) {
 			best = request{
 				cost: cost, tie: tie, invc: invc, inPort: gport,
@@ -817,11 +886,12 @@ func (e *engine) bestRequest(sw, gport, invc int32, curVC int, ss *swState, ws *
 // credit ledger of its own downstream input buffers, which no other switch
 // reads or writes during this phase.
 func (e *engine) commitSwitch(sw int32) {
-	ss := &e.sw[sw]
+	granted := e.granted[sw]
+	rel := e.inReleases[sw]
 	V := int32(e.V)
 	xfer := e.cfg.xferCycles()
-	for i := range ss.granted {
-		rq := &ss.granted[i]
+	for i := range granted {
+		rq := &granted[i]
 		if !rq.eject {
 			dn := e.pq[rq.outPort].dnInVC + int32(rq.vc)
 			e.credits[dn]--
@@ -851,12 +921,13 @@ func (e *engine) commitSwitch(sw int32) {
 		// crossbar slot then; the packet lands in the output buffer one
 		// crossbar latency later.
 		e.scheduleSw(sw, xfer, event{kind: evCredit, a: rq.invc})
-		ss.inReleases = append(ss.inReleases, inRelease{at: e.now + xfer, port: rq.inPort})
+		rel = append(rel, inRelease{at: e.now + xfer, port: rq.inPort})
 		e.actQu(sw, 1)
 		e.scheduleSw(sw, xfer+int64(e.cfg.XbarLatency), event{kind: evXferDone, a: rq.outPort, vc: rq.vc, pkt: rq.pkt})
-		ss.progressed = true
+		e.swProgressed[sw] = true
 	}
-	if a := e.act; a != nil && len(ss.granted) > 0 && e.now+xfer < a.relNext[sw] {
+	e.inReleases[sw] = rel
+	if a := e.act; a != nil && len(granted) > 0 && e.now+xfer < a.relNext[sw] {
 		a.relNext[sw] = e.now + xfer
 	}
 }
@@ -872,11 +943,11 @@ type inRelease struct {
 // processInReleasesSwitch applies switch sw's due input-port releases and
 // compacts its queue.
 func (e *engine) processInReleasesSwitch(sw int32) {
-	ss := &e.sw[sw]
-	keep := ss.inReleases[:0]
+	pending := e.inReleases[sw]
+	keep := pending[:0]
 	applied := int32(0)
 	relNext := nwNever
-	for _, rel := range ss.inReleases {
+	for _, rel := range pending {
 		if rel.at <= e.now {
 			e.inInflight[rel.port]--
 			applied++
@@ -887,7 +958,7 @@ func (e *engine) processInReleasesSwitch(sw int32) {
 			}
 		}
 	}
-	ss.inReleases = keep
+	e.inReleases[sw] = keep
 	if e.act != nil {
 		e.act.relNext[sw] = relNext
 	}
@@ -905,7 +976,7 @@ func (e *engine) transmitSwitch(sw int32) {
 		a.outRetry[sw] = nwNever
 		return // every output buffer is empty: nothing to serialize
 	}
-	ss := &e.sw[sw]
+	outbox := e.outbox[sw]
 	serial := int64(e.cfg.PacketPhits)
 	arriveDelay := serial + int64(e.cfg.LinkLatency)
 	V := int32(e.V)
@@ -937,16 +1008,16 @@ func (e *engine) transmitSwitch(sw int32) {
 			retry = e.outBusy[gport]
 		}
 		e.outVCCount[gport*V+int32(vc)]--
-		ss.progressed = true
+		e.swProgressed[sw] = true
 		if p >= e.R {
 			// Ejection: the server consumes the packet after serialization.
 			e.scheduleSw(sw, arriveDelay, event{kind: evDeliver, pkt: id})
 			return
 		}
 		if e.now >= e.warmStart && e.now < e.warmEnd {
-			ss.linkBusyCycles += serial
+			e.winLinkBusy[sw] += serial
 		}
-		ss.outbox = append(ss.outbox, timedEvent{
+		outbox = append(outbox, timedEvent{
 			at: e.now + arriveDelay,
 			ev: event{kind: evArrive, a: e.pq[gport].dnInVC + int32(vc), pkt: id},
 		})
@@ -963,6 +1034,7 @@ func (e *engine) transmitSwitch(sw int32) {
 			xmitPort(p)
 		}
 	}
+	e.outbox[sw] = outbox
 	if a != nil {
 		a.outRetry[sw] = retry
 	}

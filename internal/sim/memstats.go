@@ -1,0 +1,169 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+	"unsafe"
+)
+
+// MemStats is the engine's memory accounting: the arena footprint measured
+// at construction plus the staging high-water mark observed during a run.
+// It is surfaced by the CLIs' -mem-stats flag and the -exp bench report,
+// and is pure diagnostics — requesting it never changes results.
+type MemStats struct {
+	// Switches is the network size the engine was built for.
+	Switches int
+	// ArenaBytes is the engine-owned array and slab footprint at
+	// construction: everything sized by the network (rings and their
+	// slabs, calendars, credit ledgers, counters, the staging arenas and
+	// the activity tracking words). The packet pool and the per-server
+	// arrival calendar grow with offered traffic and are excluded.
+	ArenaBytes int64
+	// StagingCapBytes is the slab capacity reserved for the per-cycle
+	// staging arenas (granted/outbox/freed/inReleases); included in
+	// ArenaBytes.
+	StagingCapBytes int64
+	// PeakStagingBytes is the high-water mark of live staging entries,
+	// sampled once per cycle at the merge steps. Zero unless the run was
+	// asked to track it (RunOptions.MemStats).
+	PeakStagingBytes int64
+	// BytesPerSwitch is ArenaBytes averaged over the switch array — the
+	// scaling figure the CI memory-regression guard watches.
+	BytesPerSwitch float64
+	// ConstructNanos is the wall-clock time engine construction took.
+	ConstructNanos int64
+}
+
+func (m *MemStats) String() string {
+	return fmt.Sprintf(
+		"engine memory: %d switches, %.1f MiB arenas (%.0f bytes/switch), %.1f MiB staging cap, peak staging %d bytes, constructed in %s",
+		m.Switches, float64(m.ArenaBytes)/(1<<20), m.BytesPerSwitch,
+		float64(m.StagingCapBytes)/(1<<20), m.PeakStagingBytes,
+		time.Duration(m.ConstructNanos).Round(time.Microsecond))
+}
+
+// Element sizes of the staging arenas, shared by the capacity accounting
+// and the per-cycle high-water sampling in shard.go.
+const (
+	sizeofRequest    = int64(unsafe.Sizeof(request{}))
+	sizeofTimedEvent = int64(unsafe.Sizeof(timedEvent{}))
+	sizeofInRelease  = int64(unsafe.Sizeof(inRelease{}))
+	sizeofFreed      = int64(unsafe.Sizeof(int32(0)))
+)
+
+// sliceBytes is the heap footprint of a flat slice: element storage only
+// (the header lives in the engine struct).
+func sliceBytes[T any](s []T) int64 {
+	var z T
+	return int64(cap(s)) * int64(unsafe.Sizeof(z))
+}
+
+// arenaBytes is the footprint of a slice-of-slices arena: the outer header
+// array plus every region's capacity. For the slab-carved arenas the
+// regions tile one slab, so the sum equals the slab size.
+func arenaBytes[T any](s [][]T) int64 {
+	var z T
+	b := int64(len(s)) * int64(unsafe.Sizeof([]T(nil)))
+	for i := range s {
+		b += int64(cap(s[i])) * int64(unsafe.Sizeof(z))
+	}
+	return b
+}
+
+// accountMem fills e.mem from the arrays newEngine just built. Every
+// network-sized allocation is counted once; construction time is measured
+// from the start stamp newEngine took on entry.
+func (e *engine) accountMem(start time.Time) {
+	var b int64
+	b += sliceBytes(e.portDead)
+	b += sliceBytes(e.pq)
+	b += ringArenaBytes(e.inQ)
+	b += sliceBytes(e.inBusyUntil)
+	b += sliceBytes(e.credits)
+	b += sliceBytes(e.inInflight)
+	b += sliceBytes(e.inOcc)
+	b += sliceBytes(e.inMask)
+	b += sliceBytes(e.outMask)
+	b += sliceBytes(e.penCost)
+	b += pvringArenaBytes(e.outQ)
+	b += sliceBytes(e.outReserved)
+	b += sliceBytes(e.outVCCount)
+	b += sliceBytes(e.outBusy)
+	b += sliceBytes(e.outInflight)
+	b += ringArenaBytes(e.injQ)
+	b += sliceBytes(e.injBusy)
+	b += sliceBytes(e.genPhits)
+	b += arenaBytes(e.events)
+	b += sliceBytes(e.swInPkts) + sliceBytes(e.swOutPkts) + sliceBytes(e.swInjPkts)
+	b += sliceBytes(e.tie)
+	staging := arenaBytes(e.granted) + arenaBytes(e.outbox) +
+		arenaBytes(e.freed) + arenaBytes(e.inReleases)
+	b += staging
+	b += sliceBytes(e.swRetired) + sliceBytes(e.swDelivered) + sliceBytes(e.swLost) +
+		sliceBytes(e.swSeriesPhits) + sliceBytes(e.swProgressed)
+	b += sliceBytes(e.winDeliveredPkts) + sliceBytes(e.winDeliveredPhits) +
+		sliceBytes(e.winLatencySum) + sliceBytes(e.winHopSum) +
+		sliceBytes(e.winEscapedPkts) + sliceBytes(e.winLinkBusy) +
+		sliceBytes(e.winLastDelivery)
+	b += int64(len(e.ws)) * int64(unsafe.Sizeof(workerScratch{}))
+	if a := e.act; a != nil {
+		b += sliceBytes(a.evWork) + sliceBytes(a.quWork) +
+			sliceBytes(a.evNext) + sliceBytes(a.relNext) +
+			sliceBytes(a.inRetry) + sliceBytes(a.outRetry) + sliceBytes(a.injRetry) +
+			sliceBytes(a.nextWork) + arenaBytes(a.sched) + sliceBytes(a.schedAt)
+	}
+	e.mem = MemStats{
+		Switches:        e.S,
+		ArenaBytes:      b,
+		StagingCapBytes: staging,
+		BytesPerSwitch:  float64(b) / float64(e.S),
+		ConstructNanos:  time.Since(start).Nanoseconds(),
+	}
+}
+
+// ringArenaBytes is the footprint of a ring array: the ring structs plus
+// their backing storage. Rings treat len(buf) as their capacity and the
+// slab carve is a plain two-index slice (cap runs to the slab end), so
+// summing lengths — not caps — tiles the shared slab exactly once.
+func ringArenaBytes(s []ring) int64 {
+	b := int64(len(s)) * int64(unsafe.Sizeof(ring{}))
+	for i := range s {
+		b += int64(len(s[i].buf)) * int64(unsafe.Sizeof(int32(0)))
+	}
+	return b
+}
+
+// pvringArenaBytes is ringArenaBytes for the two-slice pvring.
+func pvringArenaBytes(s []pvring) int64 {
+	b := int64(len(s)) * int64(unsafe.Sizeof(pvring{}))
+	for i := range s {
+		b += int64(len(s[i].pkt))*int64(unsafe.Sizeof(int32(0))) +
+			int64(len(s[i].vc))*int64(unsafe.Sizeof(int8(0)))
+	}
+	return b
+}
+
+// MeasureEngineMemory builds the engine for o and returns its arena
+// accounting without running anything: the construction-only path behind
+// the CLIs' -mem-stats flag. Validation mirrors Run's construction
+// prerequisites; run-shape fields (Load, MeasureCycles, ...) are ignored.
+func MeasureEngineMemory(o RunOptions) (*MemStats, error) {
+	if o.Config == (Config{}) {
+		o.Config = DefaultConfig()
+	}
+	if err := o.Config.Validate(); err != nil {
+		return nil, err
+	}
+	if o.Net == nil || o.Mechanism == nil || o.Pattern == nil {
+		return nil, fmt.Errorf("sim: Net, Mechanism and Pattern are required")
+	}
+	if o.ServersPerSwitch < 1 {
+		return nil, fmt.Errorf("sim: ServersPerSwitch must be >= 1, got %d", o.ServersPerSwitch)
+	}
+	e, err := newEngine(o)
+	if err != nil {
+		return nil, err
+	}
+	m := e.mem
+	return &m, nil
+}

@@ -80,7 +80,7 @@ func TestJumpLandsOnReleaseExpiry(t *testing.T) {
 	const sw, relAt = int32(2), int64(10)
 	gp := sw * int32(e.P)
 	e.inInflight[gp] = 1
-	e.sw[sw].inReleases = append(e.sw[sw].inReleases, inRelease{at: relAt, port: gp})
+	e.inReleases[sw] = append(e.inReleases[sw], inRelease{at: relAt, port: gp})
 	e.actQu(sw, 1) // pending releases count as queued work
 	e.act.relNext[sw] = relAt
 	// Refold and book as the end of a cycle that ran switch 2 would.

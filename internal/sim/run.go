@@ -74,6 +74,11 @@ type RunOptions struct {
 	// Config carries the Table 2 microarchitecture; zero means
 	// DefaultConfig.
 	Config Config
+	// MemStats, when non-nil, receives the engine's memory accounting
+	// when the run completes (memstats.go) and turns on the per-cycle
+	// staging high-water sampling. Pure diagnostics: it is not part of a
+	// job's identity and never affects results.
+	MemStats *MemStats
 }
 
 // Result reports the outcome of a run using the paper's three metrics plus
@@ -155,10 +160,17 @@ func Run(o RunOptions) (*Result, error) {
 		e.series = metrics.NewThroughputSeries(o.SeriesBucket, e.S*e.K)
 	}
 
-	if burst {
-		return e.runBurst(o)
+	var res *Result
+	if o.MemStats != nil {
+		e.memTrack = true
+		defer func() { *o.MemStats = e.mem }()
 	}
-	return e.runOpenLoop(o)
+	if burst {
+		res, err = e.runBurst(o)
+	} else {
+		res, err = e.runOpenLoop(o)
+	}
+	return res, err
 }
 
 // runOpenLoop is the standard warmup+measurement experiment with Bernoulli

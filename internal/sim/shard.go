@@ -4,7 +4,6 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
-	"time"
 )
 
 // This file holds the sharded execution machinery of the cycle engine. A
@@ -60,96 +59,76 @@ import (
 // any worker count — the regression tests in sharded_test.go lock this in
 // for every mechanism, with activity tracking on and off.
 
-// phasePool runs one phase body fn(w) for every worker id w in [0,
-// workers) and returns when all complete. Two implementations exist: the
-// channel-based workerPool and the spinning spinPool barrier.
-type phasePool interface {
-	run(fn func(w int))
-	close()
-}
-
-// workerPool runs phase closures on a fixed set of persistent goroutines,
-// parked on channels between phases. Worker 0 is the caller itself. One
-// channel round-trip per worker per phase makes it the right pool when the
-// machine is oversubscribed (workers > GOMAXPROCS would spin uselessly);
-// spinPool below is the fast path otherwise.
-type workerPool struct {
-	task []chan func()
-	done chan struct{}
-}
-
-func newWorkerPool(extra int) *workerPool {
-	p := &workerPool{
-		task: make([]chan func(), extra),
-		done: make(chan struct{}, extra),
-	}
-	for i := range p.task {
-		ch := make(chan func(), 1)
-		p.task[i] = ch
-		go func() {
-			for fn := range ch {
-				fn()
-				p.done <- struct{}{}
-			}
-		}()
-	}
-	return p
-}
-
-// run executes fn(w) for every worker id (0 inline, the rest on the pool)
-// and returns when all complete.
-func (p *workerPool) run(fn func(w int)) {
-	for i := range p.task {
-		w := i + 1
-		p.task[i] <- func() { fn(w) }
-	}
-	fn(0)
-	for range p.task {
-		<-p.done
-	}
-}
-
-func (p *workerPool) close() {
-	for _, ch := range p.task {
-		close(ch)
-	}
-}
-
 // spinYieldEvery bounds busy-waiting: every this many spin iterations the
 // waiter yields its P so GC assists and (on small machines) the other
 // workers can run. Phases are microseconds apart, so waits are short.
 const spinYieldEvery = 256
 
-// spinSleepAfter caps how long a spinPool worker burns a core waiting for
-// the next phase. Back-to-back phases release well inside this budget;
-// when the engine stops dispatching for a while — the dirty list dropped
-// below the worker count and phases run inline, or the run is tearing
-// down — the worker degrades to brief sleeps, costing at most one
-// ~50-microsecond wake-up when pooled dispatch resumes instead of a core
-// for the whole quiet stretch.
-const spinSleepAfter = 64 * spinYieldEvery
+// spinParkAfter caps how long a spinPool waiter burns a core before
+// parking on its wake channel. Back-to-back phases release well inside
+// this budget; when the engine stops dispatching for a while — the dirty
+// list dropped below the worker count and phases run inline, or the run
+// is tearing down — the waiter parks in the scheduler, costing one
+// channel send when pooled dispatch resumes instead of a core for the
+// whole quiet stretch.
+const spinParkAfter = 64 * spinYieldEvery
 
-// spinPool is a spinning cyclic barrier: the extra workers busy-wait on a
-// generation word instead of parking on a channel, so releasing a phase is
-// one atomic store and collecting it is one atomic counter — no scheduler
-// round-trip on either edge. The engine dispatches three phases per
-// simulated cycle; on small networks with many workers the channel
-// round-trips of workerPool dominate the phase cost, which is what this
-// barrier removes. Correctness of the handoff: run publishes fn with plain
-// stores before the gen.Add release, and workers read it after observing
-// the new generation (acquire), so fn is visible; arrived is reset before
-// the release while no worker is between generations.
+// spinPool is the phase barrier: a spinning cyclic barrier with a parking
+// fallback. The extra workers busy-wait on a generation word instead of a
+// channel, so releasing a phase is one atomic add and collecting it is
+// one atomic counter — no scheduler round-trip on either edge. The engine
+// dispatches three phases per simulated cycle; on small networks with
+// many workers channel round-trips would dominate the phase cost, which
+// is what the spin removes.
+//
+// The spin→park hybrid: a waiter (worker or collecting caller) that
+// exhausts its spin budget registers itself in a parked counter, rechecks
+// the condition it is waiting on, and only then blocks on a buffered wake
+// channel; the releasing side updates the condition first and then sends
+// one token per registered waiter, non-blocking (the channel's capacity
+// banks any token a waiter no longer needs, and a banked token wakes the
+// next parked waiter, which simply rechecks and re-parks). Go atomics are
+// sequentially consistent, so the register→recheck order against the
+// release→read-parked order makes a lost wake-up impossible; a spurious
+// one costs a recheck. Under oversubscription — more engine workers in
+// the process than GOMAXPROCS — startPool shrinks the spin budget to a
+// single yield round, so the surplus workers park almost immediately and
+// the barrier degrades toward a channel pool instead of spinning against
+// goroutines that have no P to run on.
+//
+// Correctness of the handoff: run publishes fn with a plain store before
+// the gen.Add release, and workers read it after observing the new
+// generation, so fn is visible; arrived is reset before the release while
+// no worker is between generations. The hot words sit on separate cache
+// lines: gen is written once per release but spun on by every worker, and
+// arrived is hammered by arriving workers while the caller spins on it —
+// sharing a line would bounce it between every core at each phase edge.
 type spinPool struct {
-	extra   int32 // workers beyond the caller
-	fn      func(w int)
+	extra      int32 // workers beyond the caller
+	spinBudget int32 // spins before a waiter parks
+	fn         func(w int)
+
+	_       [64]byte // pad the release word away from the header above
 	gen     atomic.Uint32
+	_       [64]byte // ... and from the collect word below
 	arrived atomic.Int32
-	stop    atomic.Bool
-	wg      sync.WaitGroup
+	_       [64]byte
+
+	parked       atomic.Int32 // workers blocked (or about to block) on wake
+	callerParked atomic.Bool  // collecting caller blocked on doneWake
+	stop         atomic.Bool
+	wake         chan struct{} // worker wake tokens, cap extra
+	doneWake     chan struct{} // caller wake token, cap 1
+	wg           sync.WaitGroup
 }
 
-func newSpinPool(extra int) *spinPool {
-	p := &spinPool{extra: int32(extra)}
+func newSpinPool(extra int, spinBudget int32) *spinPool {
+	p := &spinPool{
+		extra:      int32(extra),
+		spinBudget: spinBudget,
+		wake:       make(chan struct{}, extra),
+		doneWake:   make(chan struct{}, 1),
+	}
 	p.wg.Add(extra)
 	for i := 0; i < extra; i++ {
 		w := i + 1
@@ -157,21 +136,36 @@ func newSpinPool(extra int) *spinPool {
 			defer p.wg.Done()
 			last := uint32(0)
 			for {
-				for spins := 1; p.gen.Load() == last; spins++ {
-					if spins%spinYieldEvery == 0 {
-						if spins >= spinSleepAfter {
-							time.Sleep(50 * time.Microsecond)
-						} else {
-							runtime.Gosched()
-						}
+				for spins := int32(1); p.gen.Load() == last; spins++ {
+					if spins%spinYieldEvery != 0 {
+						continue
 					}
+					if spins < p.spinBudget {
+						runtime.Gosched()
+						continue
+					}
+					// Register, recheck, then block: a release between
+					// the register and the recheck is caught by the
+					// recheck, one between the recheck and the receive
+					// reads parked afterwards and sends a token.
+					p.parked.Add(1)
+					if p.gen.Load() == last {
+						<-p.wake
+					}
+					p.parked.Add(-1)
+					spins = 0
 				}
 				last++
 				if p.stop.Load() {
 					return
 				}
 				p.fn(w)
-				p.arrived.Add(1)
+				if p.arrived.Add(1) == p.extra && p.callerParked.Load() {
+					select {
+					case p.doneWake <- struct{}{}:
+					default: // a banked token is already waiting
+					}
+				}
 			}
 		}()
 	}
@@ -182,43 +176,68 @@ func (p *spinPool) run(fn func(w int)) {
 	p.fn = fn
 	p.arrived.Store(0)
 	p.gen.Add(1)
-	fn(0)
-	for spins := 1; p.arrived.Load() != p.extra; spins++ {
-		if spins%spinYieldEvery == 0 {
-			runtime.Gosched()
+	for n := p.parked.Load(); n > 0; n-- {
+		select {
+		case p.wake <- struct{}{}:
+		default: // full: enough banked tokens for every parked worker
 		}
+	}
+	fn(0)
+	for spins := int32(1); p.arrived.Load() != p.extra; spins++ {
+		if spins%spinYieldEvery != 0 {
+			continue
+		}
+		if spins < p.spinBudget {
+			runtime.Gosched()
+			continue
+		}
+		// Same register→recheck→block shape as the workers; the last
+		// arriver sends the token. A banked token from an earlier phase
+		// wakes the caller spuriously, which rechecks and re-parks.
+		p.callerParked.Store(true)
+		if p.arrived.Load() != p.extra {
+			<-p.doneWake
+		}
+		p.callerParked.Store(false)
+		spins = 0
 	}
 }
 
 func (p *spinPool) close() {
 	p.stop.Store(true)
 	p.gen.Add(1)
+	// Closing wake releases every parked worker (and any future park
+	// attempt) without token accounting; each rechecks gen, sees the
+	// bumped generation and exits through the stop check. run is never
+	// called after close, so nothing sends on the closed channel.
+	close(p.wake)
 	p.wg.Wait()
 }
 
 // activeEngineWorkers counts the phase-pool workers of every engine
 // currently running in this process. Concurrent engines are common — the
 // experiment grid pool runs many simulations at once — and a spinning
-// barrier is only safe while the combined worker population fits the Ps;
-// beyond that, spinners steal CPU from sibling engines' real work.
+// barrier only helps while the combined worker population fits the Ps;
+// beyond that, spinners steal CPU from sibling engines' real work, so the
+// pool is built with a minimal spin budget and degrades to parking.
 var activeEngineWorkers atomic.Int64
 
 // startPool brings up the phase pool when the run asked for intra-run
-// parallelism; the returned stop function tears it down. The spinning
-// barrier is used while every worker in the process — this engine's plus
-// any concurrently running engines' — can own a P; otherwise (or with a
-// single worker) the channel pool's parking behaviour is the right
-// choice.
+// parallelism; the returned stop function tears it down. Every pool is
+// the same spin→park barrier; oversubscription — this engine's workers
+// plus any concurrently running engines' exceeding GOMAXPROCS — only
+// shrinks the spin budget, so the choice degrades gracefully instead of
+// flipping between pool implementations.
 func (e *engine) startPool() func() {
 	if e.workers <= 1 {
 		return func() {}
 	}
 	inUse := activeEngineWorkers.Add(int64(e.workers))
-	if inUse <= int64(runtime.GOMAXPROCS(0)) {
-		e.disp = newSpinPool(e.workers - 1)
-	} else {
-		e.disp = newWorkerPool(e.workers - 1)
+	budget := int32(spinParkAfter)
+	if inUse > int64(runtime.GOMAXPROCS(0)) {
+		budget = spinYieldEvery
 	}
+	e.disp = newSpinPool(e.workers-1, budget)
 	return func() {
 		activeEngineWorkers.Add(-int64(e.workers))
 		e.disp.close()
@@ -292,30 +311,32 @@ func (e *engine) mergeRetire() {
 		}
 		return
 	}
-	for sw := range e.sw {
+	for sw := 0; sw < e.S; sw++ {
 		e.mergeRetireSwitch(int32(sw))
 	}
 }
 
 func (e *engine) mergeRetireSwitch(sw int32) {
-	ss := &e.sw[sw]
-	if ss.retired != 0 {
-		e.inFlight -= ss.retired
-		e.totalDelivered += ss.delivered
-		e.lostPkts += ss.lost
-		ss.retired, ss.delivered, ss.lost = 0, 0, 0
+	if r := e.swRetired[sw]; r != 0 {
+		e.inFlight -= r
+		e.totalDelivered += e.swDelivered[sw]
+		e.lostPkts += e.swLost[sw]
+		e.swRetired[sw], e.swDelivered[sw], e.swLost[sw] = 0, 0, 0
 	}
-	if len(ss.freed) > 0 {
-		e.free = append(e.free, ss.freed...)
-		ss.freed = ss.freed[:0]
+	if freed := e.freed[sw]; len(freed) > 0 {
+		if e.memTrack {
+			e.stageLive += int64(len(freed)) * sizeofFreed
+		}
+		e.free = append(e.free, freed...)
+		e.freed[sw] = freed[:0]
 	}
-	if ss.seriesPhits > 0 {
-		e.series.Record(e.now, ss.seriesPhits)
-		ss.seriesPhits = 0
+	if sp := e.swSeriesPhits[sw]; sp > 0 {
+		e.series.Record(e.now, sp)
+		e.swSeriesPhits[sw] = 0
 	}
-	if ss.progressed {
+	if e.swProgressed[sw] {
 		e.lastProgress = e.now
-		ss.progressed = false
+		e.swProgressed[sw] = false
 	}
 }
 
@@ -329,17 +350,32 @@ func (e *engine) mergeTransmit() {
 		for _, sw := range e.act.due {
 			e.mergeTransmitSwitch(sw)
 		}
-		return
+	} else {
+		for sw := 0; sw < e.S; sw++ {
+			e.mergeTransmitSwitch(int32(sw))
+		}
 	}
-	for sw := range e.sw {
-		e.mergeTransmitSwitch(int32(sw))
+	if e.memTrack {
+		if e.stageLive > e.mem.PeakStagingBytes {
+			e.mem.PeakStagingBytes = e.stageLive
+		}
+		e.stageLive = 0
 	}
 }
 
 func (e *engine) mergeTransmitSwitch(sw int32) {
-	ss := &e.sw[sw]
+	outbox := e.outbox[sw]
+	if e.memTrack {
+		// Sample the staging high-water mark here, where every family of
+		// this cycle's staging is still live: grants (cleared by the next
+		// allocate), the outbox (cleared below), pending releases, plus
+		// the freed ids sampled by mergeRetireSwitch into the same sum.
+		e.stageLive += int64(len(e.granted[sw]))*sizeofRequest +
+			int64(len(outbox))*sizeofTimedEvent +
+			int64(len(e.inReleases[sw]))*sizeofInRelease
+	}
 	PV := int32(e.P * e.V)
-	for _, te := range ss.outbox {
+	for _, te := range outbox {
 		tgt := te.ev.a / PV
 		slot := int64(tgt)*e.horizon + te.at%e.horizon
 		e.events[slot] = append(e.events[slot], te.ev)
@@ -357,10 +393,10 @@ func (e *engine) mergeTransmitSwitch(sw int32) {
 			e.actActivate(tgt)
 		}
 	}
-	ss.outbox = ss.outbox[:0]
-	if ss.progressed {
+	e.outbox[sw] = outbox[:0]
+	if e.swProgressed[sw] {
 		e.lastProgress = e.now
-		ss.progressed = false
+		e.swProgressed[sw] = false
 	}
 }
 
@@ -405,18 +441,19 @@ func (e *engine) stepCycle(generate func()) {
 }
 
 // foldWindowCounters folds the cumulative per-switch measurement counters
-// into the engine totals; result() calls it exactly once per run.
+// into the engine totals; result() calls it exactly once per run. Each
+// counter family is a flat array, so the fold is a handful of dense
+// linear sums instead of a strided struct walk.
 func (e *engine) foldWindowCounters() {
-	for i := range e.sw {
-		ss := &e.sw[i]
-		e.deliveredPkts += ss.deliveredPkts
-		e.deliveredPhits += ss.deliveredPhits
-		e.latencySum += ss.latencySum
-		e.hopSum += ss.hopSum
-		e.escapedPkts += ss.escapedPkts
-		e.linkBusyCycles += ss.linkBusyCycles
-		if ss.lastDeliveryCycle > e.lastDeliveryCycle {
-			e.lastDeliveryCycle = ss.lastDeliveryCycle
+	for sw := 0; sw < e.S; sw++ {
+		e.deliveredPkts += e.winDeliveredPkts[sw]
+		e.deliveredPhits += e.winDeliveredPhits[sw]
+		e.latencySum += e.winLatencySum[sw]
+		e.hopSum += e.winHopSum[sw]
+		e.escapedPkts += e.winEscapedPkts[sw]
+		e.linkBusyCycles += e.winLinkBusy[sw]
+		if e.winLastDelivery[sw] > e.lastDeliveryCycle {
+			e.lastDeliveryCycle = e.winLastDelivery[sw]
 		}
 	}
 }

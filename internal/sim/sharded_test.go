@@ -2,6 +2,7 @@ package sim
 
 import (
 	"reflect"
+	"runtime"
 	"testing"
 
 	"repro/internal/core"
@@ -183,5 +184,37 @@ func TestNegativeWorkersRejected(t *testing.T) {
 	})
 	if err == nil {
 		t.Fatal("negative Workers accepted")
+	}
+}
+
+// TestShardedBitIdenticalOversubscribed pushes the worker count well past
+// GOMAXPROCS — the regime where the phase barrier runs with the minimal
+// spin budget and workers park between phases — and asserts the Result is
+// still bit-identical to the sequential run. Oversubscription may only
+// cost wall-clock time, never a byte of output.
+func TestShardedBitIdenticalOversubscribed(t *testing.T) {
+	h := topo.MustHyperX(4, 4)
+	nw := topo.NewNetwork(h, nil)
+	pat := uniformOn(t, h, 4)
+	opts := RunOptions{
+		Net: nw, ServersPerSwitch: 4, Mechanism: buildMech(t, "PolSP", nw),
+		Pattern: pat, Load: 0.7, WarmupCycles: 300, MeasureCycles: 1000, Seed: 9,
+	}
+	var ref *Result
+	for _, w := range []int{1, 3*runtime.GOMAXPROCS(0) + 1} {
+		o := opts
+		o.Workers = w
+		res, err := Run(o)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if ref == nil {
+			ref = res
+			continue
+		}
+		if !reflect.DeepEqual(ref, res) {
+			t.Errorf("workers=%d (oversubscribed) diverged from sequential:\n  ref: %+v\n  got: %+v",
+				w, ref, res)
+		}
 	}
 }
