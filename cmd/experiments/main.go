@@ -41,8 +41,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"repro/internal/cache"
@@ -296,6 +298,9 @@ func main() {
 	runWorkersFlag := flag.Int("run-workers", -1, "intra-run workers per simulation point (-1 = adaptive from switch count and CPUs left by the grid pool, 0 = one per CPU); results are identical for any value. Explicit values multiply with -workers")
 	progressFlag := flag.Bool("progress", true, "report done/total (ETA) progress lines on stderr")
 	cacheDir := flag.String("cache-dir", "", "content-addressed result cache directory; re-runs recompute only changed points")
+	ckptEvery := flag.Duration("checkpoint-every", 0, "snapshot every in-flight simulation at this wall-clock interval, so a killed process resumes mid-point instead of restarting it (needs -checkpoint-dir or -cache-dir; in -worker mode snapshots stream to the server instead)")
+	ckptCycles := flag.Int64("checkpoint-cycles", 0, "snapshot every N simulated cycles instead of on wall-clock time (deterministic trigger for tests)")
+	ckptDir := flag.String("checkpoint-dir", "", "directory for checkpoint snapshots (default: the -cache-dir store)")
 	serveAddr := flag.String("serve", "", "serve mode: listen on this address and execute every simulation point on connected -worker processes")
 	workerAddr := flag.String("worker", "", "worker mode: connect to a -serve address and run jobs for it (-workers sets the slot count; -exp is ignored)")
 	benchOut := flag.String("bench-out", "BENCH_8.json", "output path for the -exp bench JSON report")
@@ -333,16 +338,54 @@ func main() {
 		}
 		experiments.SetResultCache(store)
 	}
+	if *ckptDir != "" {
+		cs, err := cache.Open(*ckptDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(2)
+		}
+		experiments.SetCheckpointStore(cs)
+	}
+	if *ckptEvery > 0 || *ckptCycles > 0 {
+		if *ckptDir == "" && *cacheDir == "" && *workerAddr == "" {
+			fmt.Fprintln(os.Stderr, "experiments: -checkpoint-every/-checkpoint-cycles need -checkpoint-dir or -cache-dir to store snapshots (workers stream them to the server instead)")
+			os.Exit(2)
+		}
+		experiments.SetCheckpointPolicy(&experiments.CheckpointPolicy{Every: *ckptEvery, EveryCycles: *ckptCycles})
+	}
 
 	if *workerAddr != "" {
 		slots := experiments.DefaultWorkers(workers)
 		experiments.SetGridWorkers(slots)
+		// SIGTERM/SIGINT starts a graceful drain: in-flight jobs stop at
+		// their next inter-cycle point and ship final snapshots, the worker
+		// announces a bye, and WorkLoop returns cleanly — the server
+		// requeues the jobs with their snapshots for other workers. A
+		// second signal, or a wedged drain, force-exits.
+		sigc := make(chan os.Signal, 2)
+		signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			<-sigc
+			fmt.Fprintln(os.Stderr, "worker: drain requested, checkpointing in-flight jobs")
+			experiments.RequestDrain()
+			select {
+			case <-sigc:
+				fmt.Fprintln(os.Stderr, "worker: second signal, exiting now")
+			case <-time.After(2 * time.Minute):
+				fmt.Fprintln(os.Stderr, "worker: drain deadline exceeded, exiting")
+			}
+			os.Exit(1)
+		}()
 		fmt.Fprintf(os.Stderr, "worker: %d slots, connecting to %s\n", slots, *workerAddr)
 		if err := queue.WorkLoop(*workerAddr, slots); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: worker: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Fprintln(os.Stderr, "worker: server finished, exiting")
+		if experiments.DrainRequested() {
+			fmt.Fprintln(os.Stderr, "worker: drained, exiting")
+		} else {
+			fmt.Fprintln(os.Stderr, "worker: server finished, exiting")
+		}
 		reportCache(store)
 		return
 	}
@@ -515,6 +558,12 @@ func runCacheGC(store *cache.Store, registry []figure, c figCtx) error {
 	}
 	fmt.Printf("cache-gc: %s: pruned %d stale entries, %d remain (engine %s)\n",
 		store.Dir(), removed, entries, sim.ActiveEngineVersion())
+	ckpts, reclaimed, err := store.GCCheckpoints()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("cache-gc: %s: pruned %d orphaned checkpoints, %d bytes reclaimed\n",
+		store.Dir(), ckpts, reclaimed)
 
 	experiments.SetProgress(nil)
 	experiments.SetCacheProbe(true)

@@ -10,9 +10,12 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	hyperx "repro"
 	"repro/internal/cliutil"
@@ -37,6 +40,9 @@ func main() {
 		workersFlag    = flag.Int("workers", 0, "parallel workers for -loads sweeps (0 = one per CPU); results are identical for any value")
 		runWorkersFlag = flag.Int("run-workers", -1, "intra-run workers per simulation (-1 = adaptive, 0 = one per CPU); results are identical for any value")
 		cacheDirFlag   = flag.String("cache-dir", "", "content-addressed result cache directory; repeated runs of the same point hit the cache")
+		ckptEveryFlag  = flag.Duration("checkpoint-every", 0, "snapshot the engine at this wall-clock interval so an interrupted run resumes instead of restarting (needs -checkpoint-dir or -cache-dir); SIGINT/SIGTERM checkpoint and stop")
+		ckptCyclesFlag = flag.Int64("checkpoint-cycles", 0, "snapshot every N simulated cycles instead of on wall-clock time (deterministic trigger for tests)")
+		ckptDirFlag    = flag.String("checkpoint-dir", "", "directory for checkpoint snapshots (default: the -cache-dir store)")
 		noActivityFlag = flag.Bool("no-activity", false, "disable the engine's dirty-switch tracking and idle-cycle fast-forward (A/B baseline; results are identical either way)")
 		legacyGenFlag  = flag.Bool("legacy-gen", false, "use the legacy per-cycle open-loop generation (engine "+hyperx.LegacyEngineVersion+") instead of the geometric arrival calendar; statistically equivalent but bit-different results, cached under the legacy version tag")
 		memStatsFlag   = flag.Bool("mem-stats", false, "print the engine's memory accounting (arena bytes, bytes/switch, construction time) before running")
@@ -59,6 +65,26 @@ func main() {
 		store, err = hyperx.OpenResultCache(*cacheDirFlag)
 		check(err)
 		hyperx.SetResultCache(store)
+	}
+	if *ckptDirFlag != "" {
+		cs, err := hyperx.OpenResultCache(*ckptDirFlag)
+		check(err)
+		hyperx.SetCheckpointStore(cs)
+	}
+	if *ckptEveryFlag > 0 || *ckptCyclesFlag > 0 {
+		if *ckptDirFlag == "" && *cacheDirFlag == "" {
+			check(fmt.Errorf("-checkpoint-every/-checkpoint-cycles need -checkpoint-dir or -cache-dir to store snapshots"))
+		}
+		hyperx.SetCheckpointPolicy(&hyperx.CheckpointPolicy{Every: *ckptEveryFlag, EveryCycles: *ckptCyclesFlag})
+		// SIGINT/SIGTERM becomes a drain: every in-flight point snapshots
+		// at its next inter-cycle boundary and the run stops resumable.
+		sigc := make(chan os.Signal, 1)
+		signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			<-sigc
+			fmt.Fprintln(os.Stderr, "hxsim: interrupted, checkpointing")
+			hyperx.RequestDrain()
+		}()
 	}
 
 	dims, err := cliutil.ParseDims(*dimsFlag)
@@ -140,6 +166,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, mem)
 	}
 	results, err := hyperx.RunSpecs(workers, specs)
+	if errors.Is(err, hyperx.ErrCheckpointed) {
+		fmt.Fprintln(os.Stderr, "hxsim: checkpointed; rerun the same command to resume")
+		os.Exit(3)
+	}
 	check(err)
 	if store != nil {
 		hits, misses := store.Stats()

@@ -248,6 +248,34 @@ func SetResultCache(c *ResultCache) { experiments.SetResultCache(c) }
 // CacheStats reports the installed cache's cumulative hit/miss counts.
 func CacheStats() (hits, misses int64) { return experiments.CacheStats() }
 
+// CheckpointPolicy configures mid-run checkpointing of spec runs: Every
+// is the wall-clock snapshot interval, EveryCycles a simulated-cycle
+// interval (either at or below zero is disabled).
+type CheckpointPolicy = experiments.CheckpointPolicy
+
+// SetCheckpointPolicy makes every RunSpecs job checkpoint its engine
+// state through the installed checkpoint store (SetCheckpointStore, or
+// the result cache as its fallback): runs resume from a stored snapshot
+// when one exists and drop it on completion. Checkpointing never changes
+// results — a resumed run is bit-identical to an uninterrupted one. nil
+// uninstalls.
+func SetCheckpointPolicy(p *CheckpointPolicy) { experiments.SetCheckpointPolicy(p) }
+
+// SetCheckpointStore keeps checkpoint snapshots in a dedicated store
+// (the CLIs' -checkpoint-dir) instead of the result cache; nil reverts
+// to the result cache.
+func SetCheckpointStore(s *ResultCache) { experiments.SetCheckpointStore(s) }
+
+// RequestDrain makes every in-flight checkpointed run stop at its next
+// inter-cycle point, persist a final snapshot, and return
+// ErrCheckpointed — the SIGTERM path of a preemptible process. The
+// signal is one-way and process-wide.
+func RequestDrain() { experiments.RequestDrain() }
+
+// ErrCheckpointed reports a run that stopped on RequestDrain after
+// persisting its snapshot; re-running the same spec resumes it.
+var ErrCheckpointed = sim.ErrCheckpointed
+
 // SetRunWorkers fixes the intra-run worker count of every spec simulation.
 func SetRunWorkers(n int) { experiments.SetDefaultRunWorkers(n) }
 

@@ -11,10 +11,18 @@
 // that wrote them (the hash alone cannot reveal it). Old engine versions
 // can therefore be pruned wholesale: GC removes every other version's
 // subtree — the `experiments -exp cache-gc` maintenance command.
+//
+// Beside each unfinished spec's future .res entry the store can hold a
+// .ckpt file: a gzip-compressed mid-run engine snapshot (sim's
+// hyperx-ckpt codec), addressed by the same key. Checkpoints let a
+// preempted run resume instead of restarting; once the terminal result is
+// cached the checkpoint is orphaned, and GCCheckpoints reaps it.
 package cache
 
 import (
+	"compress/gzip"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -123,6 +131,132 @@ func (s *Store) Put(key string, res *sim.Result) error {
 	return nil
 }
 
+// checkpointPath places a checkpoint beside its result entry: same engine
+// version directory, same key shard, .ckpt extension. A checkpoint is
+// engine- and spec-addressed exactly like the result it may become, so a
+// resumed worker finds it with nothing but the spec hash.
+func (s *Store) checkpointPath(key string) (string, error) {
+	if len(key) < 3 {
+		return "", fmt.Errorf("cache: key %q too short", key)
+	}
+	return filepath.Join(s.dir, engineDir(sim.ActiveEngineVersion()), key[:2], key[2:]+".ckpt"), nil
+}
+
+// GetCheckpoint returns the stored engine snapshot for key, or ok == false
+// when there is none. A checkpoint that cannot be read or decompressed is
+// treated as absent: the caller restarts from zero, which is always safe
+// (the snapshot's own checksum guards against subtler corruption).
+func (s *Store) GetCheckpoint(key string) (snap []byte, ok bool) {
+	p, err := s.checkpointPath(key)
+	if err != nil {
+		return nil, false
+	}
+	f, err := os.Open(p)
+	if err != nil {
+		return nil, false
+	}
+	defer f.Close()
+	zr, err := gzip.NewReader(f)
+	if err != nil {
+		return nil, false
+	}
+	defer zr.Close()
+	snap, err = io.ReadAll(zr)
+	if err != nil || len(snap) == 0 {
+		return nil, false
+	}
+	return snap, true
+}
+
+// PutCheckpoint stores a compressed engine snapshot under key, atomically —
+// a crash mid-write leaves either the previous checkpoint or a .tmp- file
+// the next GC sweeps up, never a torn .ckpt.
+func (s *Store) PutCheckpoint(key string, snap []byte) error {
+	p, err := s.checkpointPath(key)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(p), ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	zw := gzip.NewWriter(tmp)
+	if _, err := zw.Write(snap); err != nil {
+		tmp.Close()
+		return fmt.Errorf("cache: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("cache: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), p); err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	return nil
+}
+
+// RemoveCheckpoint deletes the checkpoint for key, if any. Called when a
+// run reaches its terminal Result — the checkpoint is then dead weight
+// (and GC would reap it anyway).
+func (s *Store) RemoveCheckpoint(key string) error {
+	p, err := s.checkpointPath(key)
+	if err != nil {
+		return err
+	}
+	if err := os.Remove(p); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("cache: %w", err)
+	}
+	return nil
+}
+
+// GCCheckpoints prunes orphaned checkpoint files from the kept engine
+// subtrees: a .ckpt whose spec already has a cached terminal .res will
+// never be resumed (Get always wins), and a leftover .tmp- file is an
+// interrupted atomic write. Stale-engine checkpoints fall with their
+// subtree in GC. Returns the number of files removed and the bytes
+// reclaimed.
+func (s *Store) GCCheckpoints() (removed int, reclaimed int64, err error) {
+	err = filepath.WalkDir(s.dir, func(path string, d os.DirEntry, werr error) error {
+		if werr != nil {
+			return werr
+		}
+		if d.IsDir() {
+			return nil
+		}
+		base := filepath.Base(path)
+		orphan := strings.HasPrefix(base, ".tmp-")
+		if filepath.Ext(path) == ".ckpt" {
+			if _, serr := os.Stat(strings.TrimSuffix(path, ".ckpt") + ".res"); serr == nil {
+				orphan = true
+			}
+		}
+		if !orphan {
+			return nil
+		}
+		info, ierr := d.Info()
+		if ierr != nil {
+			return ierr
+		}
+		if rerr := os.Remove(path); rerr != nil {
+			return rerr
+		}
+		removed++
+		reclaimed += info.Size()
+		return nil
+	})
+	if err != nil {
+		return removed, reclaimed, fmt.Errorf("cache: %w", err)
+	}
+	return removed, reclaimed, nil
+}
+
 // Stats returns the cumulative hit and miss counts of this store handle.
 func (s *Store) Stats() (hits, misses int64) {
 	return s.hits.Load(), s.misses.Load()
@@ -191,10 +325,10 @@ func (s *Store) GC() (removed int, err error) {
 }
 
 // cacheOwned reports whether a subtree demonstrably belongs to the store
-// — it holds at least one artifact (.res entry or .tmp- temp file) and
-// nothing else — and how many entries it holds. A subtree with no files
-// at all is NOT owned: an empty directory says nothing about who made
-// it, and GC must never guess in favour of deletion.
+// — it holds at least one artifact (.res entry, .ckpt checkpoint or .tmp-
+// temp file) and nothing else — and how many entries it holds. A subtree
+// with no files at all is NOT owned: an empty directory says nothing
+// about who made it, and GC must never guess in favour of deletion.
 func cacheOwned(dir string) (owned bool, entries int, err error) {
 	owned = true
 	artifacts := 0
@@ -209,6 +343,8 @@ func cacheOwned(dir string) (owned bool, entries int, err error) {
 		case filepath.Ext(path) == ".res":
 			entries++
 			artifacts++
+		case filepath.Ext(path) == ".ckpt":
+			artifacts++ // mid-run checkpoint of an unfinished spec
 		case strings.HasPrefix(filepath.Base(path), ".tmp-"):
 			artifacts++ // interrupted atomic write
 		default:

@@ -209,6 +209,100 @@ func TestStoreGCLegacyMode(t *testing.T) {
 	}
 }
 
+// TestCheckpointRoundTrip: a snapshot stores compressed, reads back
+// byte-identical, and disappears on RemoveCheckpoint. A corrupt (non-gzip)
+// checkpoint degrades to absent.
+func TestCheckpointRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey(6)
+	if _, ok := s.GetCheckpoint(key); ok {
+		t.Fatal("empty store returned a checkpoint")
+	}
+	snap := []byte(strings.Repeat("engine-state", 100))
+	if err := s.PutCheckpoint(key, snap); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.GetCheckpoint(key)
+	if !ok || !reflect.DeepEqual(got, snap) {
+		t.Fatal("checkpoint round trip mismatch")
+	}
+	p, _ := s.checkpointPath(key)
+	if info, err := os.Stat(p); err != nil || info.Size() >= int64(len(snap)) {
+		t.Errorf("checkpoint not compressed on disk (err %v)", err)
+	}
+	if err := os.WriteFile(p, []byte("not gzip"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.GetCheckpoint(key); ok {
+		t.Error("corrupt checkpoint returned")
+	}
+	if err := s.PutCheckpoint(key, snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RemoveCheckpoint(key); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.GetCheckpoint(key); ok {
+		t.Error("removed checkpoint still readable")
+	}
+	if err := s.RemoveCheckpoint(key); err != nil {
+		t.Errorf("double remove errored: %v", err)
+	}
+}
+
+// TestGCCheckpoints: a checkpoint whose spec has a cached terminal result
+// is orphaned and reaped (with its bytes tallied); a checkpoint for an
+// unfinished spec survives; a stale-engine checkpoint falls with its
+// subtree in plain GC.
+func TestGCCheckpoints(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doneKey, liveKey := testKey(7), testKey(8)
+	if err := s.PutCheckpoint(doneKey, []byte("finished")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(doneKey, &sim.Result{AcceptedLoad: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutCheckpoint(liveKey, []byte("in flight")); err != nil {
+		t.Fatal(err)
+	}
+	removed, reclaimed, err := s.GCCheckpoints()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 1 || reclaimed <= 0 {
+		t.Errorf("GCCheckpoints removed %d files, %d bytes; want 1 file, > 0 bytes", removed, reclaimed)
+	}
+	if _, ok := s.GetCheckpoint(doneKey); ok {
+		t.Error("orphaned checkpoint survived")
+	}
+	if _, ok := s.GetCheckpoint(liveKey); !ok {
+		t.Error("live checkpoint reaped")
+	}
+	// A stale engine subtree holding only checkpoints is still
+	// cache-owned, so plain GC removes it wholesale.
+	old := filepath.Join(dir, "hyperx-sim_1", "ab")
+	if err := os.MkdirAll(old, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(old, "x.ckpt"), []byte{1}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.GC(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "hyperx-sim_1")); !os.IsNotExist(err) {
+		t.Error("stale engine checkpoint subtree survived GC")
+	}
+}
+
 func TestStoreErrors(t *testing.T) {
 	if _, err := Open(""); err == nil {
 		t.Error("empty dir accepted")

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/sim"
+)
+
+// CheckpointPolicy configures mid-run checkpointing of spec runs. Either
+// trigger at or below zero is disabled; with both disabled only a drain
+// request (RequestDrain) ever ships a snapshot.
+type CheckpointPolicy struct {
+	// Every ships a snapshot when this much wall-clock time has passed
+	// since the last one — the production trigger, sized against how much
+	// work a preemption may throw away.
+	Every time.Duration
+	// EveryCycles ships on a simulated-cycle interval instead; used by
+	// tests and the crash harness, where wall-clock timing is flaky.
+	EveryCycles int64
+}
+
+// ckptPolicy, when set, makes every (*JobSpec).Run checkpoint through the
+// installed result cache; see SetCheckpointPolicy.
+var ckptPolicy atomic.Pointer[CheckpointPolicy]
+
+// SetCheckpointPolicy installs a process-wide checkpoint policy: every
+// spec run stores periodic engine snapshots under its spec hash in the
+// installed result cache (SetResultCache; without a cache the policy is
+// inert), resumes from the stored snapshot when one exists, and removes
+// it once the terminal result is cached. Checkpointing never affects
+// results — a resumed run is bit-identical to an uninterrupted one. nil
+// uninstalls.
+func SetCheckpointPolicy(p *CheckpointPolicy) { ckptPolicy.Store(p) }
+
+// CheckpointPolicyInstalled returns the installed policy, or nil.
+func CheckpointPolicyInstalled() *CheckpointPolicy { return ckptPolicy.Load() }
+
+// ckptStore, when set, holds checkpoints in a dedicated store instead of
+// the result cache; see SetCheckpointStore.
+var ckptStore atomic.Pointer[cache.Store]
+
+// SetCheckpointStore installs a dedicated store for checkpoint snapshots
+// (the CLIs' -checkpoint-dir). nil falls back to the result cache store,
+// so a plain -cache-dir setup keeps checkpoints next to the results they
+// protect.
+func SetCheckpointStore(s *cache.Store) { ckptStore.Store(s) }
+
+// checkpointStore resolves where spec runs persist their snapshots: the
+// dedicated checkpoint store when one is installed, else the result cache.
+func checkpointStore() *cache.Store {
+	if s := ckptStore.Load(); s != nil {
+		return s
+	}
+	return resultCache.Load()
+}
+
+// drainFlag is the process-wide graceful-drain signal shared by every
+// in-flight checkpointed run as its sim interrupt flag.
+var drainFlag atomic.Bool
+
+// RequestDrain makes every in-flight checkpointed spec run stop at its
+// next inter-cycle point: the run ships a final snapshot and returns
+// sim.ErrCheckpointed. Runs without a checkpoint sink are unaffected (they
+// finish normally). The signal is one-way and process-wide — it is the
+// SIGTERM path of a preemptible worker, not a pause button.
+func RequestDrain() { drainFlag.Store(true) }
+
+// DrainRequested reports whether RequestDrain has been called.
+func DrainRequested() bool { return drainFlag.Load() }
+
+// ClearDrain resets the drain signal. It exists for tests that simulate
+// successive worker generations inside one process; a real drained worker
+// exits and never clears the flag.
+func ClearDrain() { drainFlag.Store(false) }
+
+// checkpointThrough builds the sim checkpoint options for one spec run:
+// the installed policy's triggers, the drain flag as the interrupt, and
+// the given resume/sink transport. The sink is wrapped best-effort — a
+// failing checkpoint write must never fail the simulation it is trying to
+// protect.
+func checkpointThrough(specHash string, resume []byte, sink func([]byte) error) *sim.CheckpointOptions {
+	ck := &sim.CheckpointOptions{
+		SpecHash:  specHash,
+		Resume:    resume,
+		Interrupt: &drainFlag,
+	}
+	if sink != nil {
+		ck.Sink = func(snap []byte) error {
+			_ = sink(snap)
+			return nil
+		}
+	}
+	if pol := ckptPolicy.Load(); pol != nil {
+		ck.Every, ck.EveryCycles = pol.Every, pol.EveryCycles
+	}
+	return ck
+}
+
+// RunSpecCheckpointed is RunSpecLocal with caller-supplied checkpoint
+// transport: the run resumes from resume (nil means from zero) and ships
+// periodic snapshots — plus the final drain snapshot — through sink. The
+// work-queue worker uses it to stream snapshots to the server instead of
+// a local cache directory. A torn or mismatched resume snapshot is
+// discarded and the run restarts from zero; a drain request surfaces as
+// sim.ErrCheckpointed after the final snapshot reached the sink.
+func RunSpecCheckpointed(spec *JobSpec, resume []byte, sink func([]byte) error) (*sim.Result, error) {
+	return runSpecCached(spec, func(s *JobSpec) (*sim.Result, error) {
+		return s.runCheckpointed(s.Hash(), resume, sink)
+	})
+}

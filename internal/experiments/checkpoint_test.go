@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// ckptSpec is a small, busy spec the checkpoint wiring tests run in
+// milliseconds.
+func ckptSpec() JobSpec {
+	return JobSpec{
+		Topo: topo.Spec{Kind: topo.KindHyperX, Dims: []int{4, 4}}, Per: 4,
+		Mechanism: "PolSP", Pattern: "Uniform", VCs: 4,
+		Load: 0.7, Budget: Budget{Warmup: 200, Measure: 1000},
+		Seed: 31, PatternSeed: 9,
+	}
+}
+
+// resetCheckpointGlobals restores the process-wide checkpoint state the
+// tests mutate.
+func resetCheckpointGlobals(t *testing.T) {
+	t.Helper()
+	t.Cleanup(func() {
+		SetCheckpointPolicy(nil)
+		SetCheckpointStore(nil)
+		SetResultCache(nil)
+		drainFlag.Store(false)
+	})
+}
+
+// TestRunSpecCheckpointedResume: snapshots stream through the caller's
+// sink, and resuming one in a fresh run yields the uninterrupted result.
+func TestRunSpecCheckpointedResume(t *testing.T) {
+	resetCheckpointGlobals(t)
+	spec := ckptSpec()
+	ref, err := spec.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetCheckpointPolicy(&CheckpointPolicy{EveryCycles: 400})
+	var snaps [][]byte
+	res, err := RunSpecCheckpointed(&spec, nil, func(s []byte) error {
+		snaps = append(snaps, s)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ref, res) {
+		t.Fatal("checkpointed run diverged from plain run")
+	}
+	if len(snaps) == 0 {
+		t.Fatal("no snapshots shipped")
+	}
+	resumed, err := RunSpecCheckpointed(&spec, snaps[len(snaps)-1], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ref, resumed) {
+		t.Fatal("resumed run diverged from plain run")
+	}
+}
+
+// TestRunCheckpointedBadResumeFallsBack: a torn resume snapshot restarts
+// the run from zero instead of failing or corrupting it.
+func TestRunCheckpointedBadResumeFallsBack(t *testing.T) {
+	resetCheckpointGlobals(t)
+	spec := ckptSpec()
+	ref, err := spec.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunSpecCheckpointed(&spec, []byte("torn checkpoint"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ref, res) {
+		t.Fatal("fallback run diverged from plain run")
+	}
+}
+
+// TestSpecRunCachedCheckpoint: with a policy and a cache store installed,
+// Run stores checkpoints under the spec hash, resumes from them in a
+// fresh run, and removes the checkpoint once the terminal result lands. A
+// corrupt stored checkpoint falls back to a from-zero run and is pruned.
+func TestSpecRunCachedCheckpoint(t *testing.T) {
+	resetCheckpointGlobals(t)
+	spec := ckptSpec()
+	ref, err := spec.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := cache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetResultCache(store)
+	SetCheckpointPolicy(&CheckpointPolicy{EveryCycles: 400})
+	key := spec.Hash()
+
+	// Interrupt the first attempt mid-run: the final snapshot must land in
+	// the store and the run must report ErrCheckpointed.
+	drainFlag.Store(true)
+	if _, err := spec.Run(); !errors.Is(err, sim.ErrCheckpointed) {
+		t.Fatalf("drained run returned %v, want ErrCheckpointed", err)
+	}
+	if _, ok := store.GetCheckpoint(key); !ok {
+		t.Fatal("drained run left no checkpoint")
+	}
+	drainFlag.Store(false)
+
+	// The retry resumes from the stored checkpoint, matches the plain run,
+	// and cleans the checkpoint up.
+	res, err := spec.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ref, res) {
+		t.Fatal("cache-resumed run diverged from plain run")
+	}
+	if _, ok := store.GetCheckpoint(key); ok {
+		t.Error("finished run left its checkpoint behind")
+	}
+
+	// A corrupt stored checkpoint: from-zero fallback, same result, pruned.
+	if err := store.PutCheckpoint(key, []byte("garbage snapshot")); err != nil {
+		t.Fatal(err)
+	}
+	res, err = spec.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ref, res) {
+		t.Fatal("run after corrupt checkpoint diverged from plain run")
+	}
+	if _, ok := store.GetCheckpoint(key); ok {
+		t.Error("corrupt checkpoint survived the fallback run")
+	}
+}

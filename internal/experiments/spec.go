@@ -4,6 +4,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -189,25 +190,26 @@ func (s *JobSpec) buildPattern(t topo.Switched) (traffic.Pattern, error) {
 	return nil, fmt.Errorf("experiments: pattern %q needs a HyperX topology, %s is %s", s.Pattern, s.Topo, s.Topo.Kind)
 }
 
-// Run executes the spec locally on a private network, pattern and
-// mechanism, which is what makes specs safe to run concurrently and on
-// remote workers. The intra-run worker count is a pure scheduling choice
-// (see RunWorkersFor) and never affects the result.
-func (s *JobSpec) Run() (*sim.Result, error) {
+// buildRun constructs the full RunOptions of the spec on a private
+// network, pattern and mechanism — the construction both Run and the
+// checkpointed variants share. Rebuilding everything per run is what
+// makes specs safe to run concurrently, on remote workers, and to resume
+// from a snapshot in a fresh process.
+func (s *JobSpec) buildRun() (sim.RunOptions, error) {
 	t, err := s.Topo.Build()
 	if err != nil {
-		return nil, err
+		return sim.RunOptions{}, err
 	}
 	nw := topo.NewNetwork(t, topo.NewFaultSet(s.Faults...))
 	pat, err := s.buildPattern(t)
 	if err != nil {
-		return nil, fmt.Errorf("pattern %q: %w", s.Pattern, err)
+		return sim.RunOptions{}, fmt.Errorf("pattern %q: %w", s.Pattern, err)
 	}
 	mech, err := BuildMechanism(s.Mechanism, nw, s.VCs, s.Root)
 	if err != nil {
-		return nil, err
+		return sim.RunOptions{}, err
 	}
-	return sim.Run(sim.RunOptions{
+	return sim.RunOptions{
 		Net:              nw,
 		ServersPerSwitch: s.Per,
 		Mechanism:        mech,
@@ -223,7 +225,60 @@ func (s *JobSpec) Run() (*sim.Result, error) {
 		Workers:          RunWorkersFor(t.Switches()),
 		DisableActivity:  EngineActivityDisabled(),
 		LegacyGeneration: sim.LegacyGenerationDefault(),
+	}, nil
+}
+
+// Run executes the spec locally. When a checkpoint policy is installed
+// (SetCheckpointPolicy) alongside a checkpoint store (SetCheckpointStore,
+// or the result cache as its fallback), the run resumes from any stored
+// checkpoint for this spec, ships periodic snapshots into the store, and
+// drops the checkpoint once it finishes — otherwise it is a plain
+// uninterrupted run. The intra-run worker count is a pure scheduling
+// choice (see RunWorkersFor) and never affects the result.
+func (s *JobSpec) Run() (*sim.Result, error) {
+	store := checkpointStore()
+	if ckptPolicy.Load() == nil || store == nil {
+		o, err := s.buildRun()
+		if err != nil {
+			return nil, err
+		}
+		return sim.Run(o)
+	}
+	key := s.Hash()
+	resume, _ := store.GetCheckpoint(key)
+	res, err := s.runCheckpointed(key, resume, func(snap []byte) error {
+		return store.PutCheckpoint(key, snap)
 	})
+	if err == nil {
+		// Terminal result reached: the checkpoint is dead weight.
+		_ = store.RemoveCheckpoint(key)
+	}
+	return res, err
+}
+
+// runCheckpointed runs the spec with the given checkpoint transport. A
+// resume snapshot that fails validation — torn file, foreign spec, stale
+// engine — is discarded and the run restarts from zero: a broken
+// checkpoint may cost the progress it claimed to hold, never correctness.
+func (s *JobSpec) runCheckpointed(specHash string, resume []byte, sink func([]byte) error) (*sim.Result, error) {
+	o, err := s.buildRun()
+	if err != nil {
+		return nil, err
+	}
+	o.Checkpoint = checkpointThrough(specHash, resume, sink)
+	res, err := sim.Run(o)
+	if errors.Is(err, sim.ErrBadSnapshot) && len(resume) > 0 {
+		if store := checkpointStore(); store != nil {
+			_ = store.RemoveCheckpoint(specHash)
+		}
+		o, err = s.buildRun() // fresh network: the bad resume may have replayed faults
+		if err != nil {
+			return nil, err
+		}
+		o.Checkpoint = checkpointThrough(specHash, nil, sink)
+		res, err = sim.Run(o)
+	}
+	return res, err
 }
 
 // MeasureMemory builds the spec's engine on a private network and returns

@@ -140,3 +140,42 @@ func (s *ThroughputSeries) Points() []SeriesPoint {
 	}
 	return s.points
 }
+
+// SeriesState is the complete serializable state of a ThroughputSeries:
+// configuration, closed buckets and the open bucket's accumulator. It
+// exists so a mid-run engine checkpoint can capture a series exactly —
+// Points() is not enough, since it flushes (mutates) the open bucket.
+type SeriesState struct {
+	Bucket    int64
+	Servers   int64
+	Cur       int64
+	CurBucket int64
+	Points    []SeriesPoint
+}
+
+// State captures the series without mutating it (unlike Points).
+func (s *ThroughputSeries) State() SeriesState {
+	return SeriesState{
+		Bucket:    s.bucket,
+		Servers:   s.servers,
+		Cur:       s.cur,
+		CurBucket: s.curBucket,
+		Points:    append([]SeriesPoint(nil), s.points...),
+	}
+}
+
+// RestoreThroughputSeries rebuilds a series from a captured state; the
+// result continues recording exactly where the original left off.
+func RestoreThroughputSeries(st SeriesState) *ThroughputSeries {
+	bucket := st.Bucket
+	if bucket < 1 {
+		bucket = 1
+	}
+	return &ThroughputSeries{
+		bucket:    bucket,
+		servers:   st.Servers,
+		points:    append([]SeriesPoint(nil), st.Points...),
+		cur:       st.Cur,
+		curBucket: st.CurBucket,
+	}
+}

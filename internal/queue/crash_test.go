@@ -1,0 +1,225 @@
+package queue
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/sim"
+)
+
+// crashSpecs is the harness grid: testSpecs stretched long enough that a
+// job spans several checkpoint intervals and several kill windows.
+func crashSpecs() []experiments.JobSpec {
+	specs := testSpecs()
+	for i := range specs {
+		specs[i].Budget.Measure = 2500
+	}
+	return specs
+}
+
+// TestCrashInjectionBitIdentical is the preemption-tolerance guarantee: a
+// harness severs worker connections at randomized points mid-run — the
+// wire shape of SIGKILLed workers — while WorkLoop workers reconnect and
+// the server requeues lost jobs with their latest snapshots. The merged
+// grid must still be byte-identical to an undisturbed local run, because
+// a resumed simulation is bit-identical to an uninterrupted one and a job
+// whose snapshot was lost simply restarts from zero.
+func TestCrashInjectionBitIdentical(t *testing.T) {
+	specs := crashSpecs()
+	local, err := experiments.ExecuteJobs(2, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Compress the reconnect schedule: a worker killed just as the grid
+	// finishes must give up on the closed server in milliseconds, not
+	// minutes.
+	base, max := reconnectBaseDelay, reconnectMaxDelay
+	reconnectBaseDelay, reconnectMaxDelay = time.Millisecond, 5*time.Millisecond
+	defer func() { reconnectBaseDelay, reconnectMaxDelay = base, max }()
+
+	experiments.SetCheckpointPolicy(&experiments.CheckpointPolicy{EveryCycles: 200})
+	defer experiments.SetCheckpointPolicy(nil)
+
+	// Track every worker connection as it dials, newest last.
+	var cmu sync.Mutex
+	var conns []net.Conn
+	testConnHook = func(c net.Conn) {
+		cmu.Lock()
+		conns = append(conns, c)
+		cmu.Unlock()
+	}
+	defer func() { testConnHook = nil }()
+
+	srv, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	workerDone := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() { workerDone <- WorkLoop(srv.Addr(), 2) }()
+	}
+
+	// The killer: sever the newest live connection at randomized points.
+	// Bounded kills so the run always terminates; the seed keeps the
+	// schedule reproducible.
+	r := rand.New(rand.NewSource(7))
+	stop := make(chan struct{})
+	var kills atomic.Int64
+	go func() {
+		for kills.Load() < 4 {
+			select {
+			case <-stop:
+				return
+			case <-time.After(time.Duration(10+r.Intn(40)) * time.Millisecond):
+			}
+			cmu.Lock()
+			if n := len(conns); n > 0 {
+				conns[n-1].Close()
+				conns = conns[:n-1]
+				kills.Add(1)
+			}
+			cmu.Unlock()
+		}
+	}()
+
+	experiments.SetExecutor(srv.Execute)
+	defer experiments.SetExecutor(nil)
+	remote, err := experiments.ExecuteJobs(2, specs)
+	close(stop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range local {
+		if string(local[i].AppendBinary(nil)) != string(remote[i].AppendBinary(nil)) {
+			t.Errorf("job %d: crash-disturbed result differs from local", i)
+		}
+	}
+	if kills.Load() == 0 {
+		t.Error("harness never killed a connection")
+	}
+	if _, crashed := srv.WorkerExits(); crashed == 0 {
+		t.Error("no worker exit tallied as crashed despite injected kills")
+	}
+
+	// Let the workers exit before the deferred hook reset.
+	experiments.SetExecutor(nil)
+	srv.Close()
+	for i := 0; i < 2; i++ {
+		select {
+		case <-workerDone:
+		case <-time.After(10 * time.Second):
+			t.Fatal("worker did not exit after server close")
+		}
+	}
+}
+
+// TestWorkerDrainHandsOffSnapshot: a drain request (the worker's SIGTERM
+// path) stops the in-flight job at its next inter-cycle point, ships a
+// final snapshot, and ends the worker cleanly; the server tallies the
+// exit as drained, requeues the job with that snapshot, and the next
+// worker resumes it to the bit-identical result.
+func TestWorkerDrainHandsOffSnapshot(t *testing.T) {
+	spec := crashSpecs()[3] // PolSP at 0.8: the busiest, longest job
+	ref, err := experiments.RunSpecLocal(&spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	experiments.SetCheckpointPolicy(&experiments.CheckpointPolicy{EveryCycles: 150})
+	defer experiments.SetCheckpointPolicy(nil)
+	defer experiments.ClearDrain()
+
+	resumed := make(chan int, 8)
+	testResumeHook = func(n int) {
+		select {
+		case resumed <- n:
+		default:
+		}
+	}
+	defer func() { testResumeHook = nil }()
+
+	srv, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	aDone := make(chan error, 1)
+	go func() { aDone <- WorkLoop(srv.Addr(), 1) }()
+
+	type result struct {
+		res *sim.Result
+		err error
+	}
+	execDone := make(chan result, 1)
+	go func() {
+		res, err := srv.Execute(&spec)
+		execDone <- result{res, err}
+	}()
+
+	// Wait until the job has shipped at least one snapshot, so the drain
+	// lands mid-run with state worth handing off.
+	for deadline := time.Now().Add(10 * time.Second); srv.CheckpointFrames() == 0; {
+		if time.Now().After(deadline) {
+			t.Fatal("no checkpoint frame arrived")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	experiments.RequestDrain()
+	select {
+	case err := <-aDone:
+		if err != nil {
+			t.Fatalf("draining worker exited with error: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker did not drain")
+	}
+	// The server tallies the exit on its own goroutine; give it a moment.
+	for deadline := time.Now().Add(10 * time.Second); ; time.Sleep(5 * time.Millisecond) {
+		drained, crashed := srv.WorkerExits()
+		if drained == 1 && crashed == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("worker exits drained=%d crashed=%d, want 1/0", drained, crashed)
+		}
+	}
+
+	// A successor worker generation picks the job up with the snapshot.
+	experiments.ClearDrain()
+	bDone := make(chan error, 1)
+	go func() { bDone <- WorkLoop(srv.Addr(), 1) }()
+	select {
+	case n := <-resumed:
+		if n == 0 {
+			t.Error("resume snapshot was empty")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("requeued job carried no resume snapshot")
+	}
+	select {
+	case got := <-execDone:
+		if got.err != nil {
+			t.Fatal(got.err)
+		}
+		if string(got.res.AppendBinary(nil)) != string(ref.AppendBinary(nil)) {
+			t.Error("drain-resumed result differs from undisturbed local run")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("job never completed after drain handoff")
+	}
+
+	srv.Close()
+	select {
+	case <-bDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("successor worker did not exit after server close")
+	}
+}

@@ -10,11 +10,13 @@
 //
 // Protocol (one JSON object per line, both directions):
 //
-//	worker -> server  {"type":"hello","slots":N,"engine":"<version>"}
-//	server -> worker  {"type":"hello-ack","engine":"<version>","bye":true}
-//	server -> worker  {"type":"job","id":7,"spec":{...}}        (up to N outstanding)
+//	worker -> server  {"type":"hello","slots":N,"engine":"<version>","ckptCap":true}
+//	server -> worker  {"type":"hello-ack","engine":"<version>","bye":true,"ckptCap":true}
+//	server -> worker  {"type":"job","id":7,"spec":{...},"ckpt":"<base64>"}  (up to N outstanding; ckpt optional)
+//	worker -> server  {"type":"ckpt","id":7,"ckpt":"<base64>"}  (periodic snapshot, gzip+base64)
 //	worker -> server  {"type":"result","id":7,"result":"<base64>"}
 //	worker -> server  {"type":"result","id":7,"error":"..."}    (job failed)
+//	worker -> server  {"type":"bye"}                            (graceful drain announcement)
 //	server -> worker  {"type":"bye"}                            (graceful shutdown)
 //
 // The version both sides advertise is sim.ActiveEngineVersion() — a
@@ -37,10 +39,24 @@
 // without bye (after an ack promised one) as a fault and reconnects with
 // capped exponential backoff, so long fleets survive server restarts
 // instead of silently shrinking.
+//
+// Checkpoint transport (both sides advertising ckptCap): a worker ships
+// periodic engine snapshots in "ckpt" frames while a job runs; the server
+// keeps only the latest per job and, when the worker vanishes, requeues
+// the job with that snapshot attached so the next worker resumes instead
+// of restarting — a lost worker costs at most one checkpoint interval.
+// Snapshots never change results: the sim codec guarantees a resumed run
+// is bit-identical to an uninterrupted one, and any torn or mismatched
+// snapshot is discarded (the run restarts from zero). A draining worker
+// (SIGTERM) stops each slot at its next inter-cycle point, ships a final
+// snapshot, announces the drain with a worker-side "bye", and hangs up;
+// the server counts it as drained rather than crashed (WorkerExits).
 package queue
 
 import (
 	"bufio"
+	"bytes"
+	"compress/gzip"
 	"encoding/base64"
 	"encoding/json"
 	"errors"
@@ -58,14 +74,16 @@ import (
 // message is the single wire frame of the protocol; Type selects which
 // fields are meaningful.
 type message struct {
-	Type   string          `json:"type"`
-	Slots  int             `json:"slots,omitempty"`
-	Engine string          `json:"engine,omitempty"`
-	Bye    bool            `json:"bye,omitempty"` // hello-ack: server ends runs with a bye frame
-	ID     int64           `json:"id,omitempty"`
-	Spec   json.RawMessage `json:"spec,omitempty"`
-	Result string          `json:"result,omitempty"`
-	Error  string          `json:"error,omitempty"`
+	Type    string          `json:"type"`
+	Slots   int             `json:"slots,omitempty"`
+	Engine  string          `json:"engine,omitempty"`
+	Bye     bool            `json:"bye,omitempty"`     // hello-ack: server ends runs with a bye frame
+	CkptCap bool            `json:"ckptCap,omitempty"` // hello / hello-ack: mid-run checkpoint support
+	ID      int64           `json:"id,omitempty"`
+	Spec    json.RawMessage `json:"spec,omitempty"`
+	Ckpt    string          `json:"ckpt,omitempty"` // ckpt frame / job resume: base64 gzip engine snapshot
+	Result  string          `json:"result,omitempty"`
+	Error   string          `json:"error,omitempty"`
 }
 
 // outcome is what a pending job resolves to.
@@ -74,22 +92,46 @@ type outcome struct {
 	err error
 }
 
-// pending is one submitted job waiting for a worker result.
+// pending is one submitted job waiting for a worker result. ckpt holds
+// the latest snapshot a worker shipped for it; when a worker dies (or
+// drains) mid-job, the requeued job carries the snapshot to its next
+// worker, which resumes instead of restarting — a lost worker costs at
+// most one checkpoint interval of simulation.
 type pending struct {
 	id   int64
 	spec *experiments.JobSpec
 	done chan outcome
+
+	mu   sync.Mutex
+	ckpt string // base64 gzip of the latest engine snapshot, "" for none
+}
+
+// setCkpt records the latest snapshot payload for the job.
+func (p *pending) setCkpt(payload string) {
+	p.mu.Lock()
+	p.ckpt = payload
+	p.mu.Unlock()
+}
+
+// takeCkpt returns the latest snapshot payload for the job.
+func (p *pending) takeCkpt() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.ckpt
 }
 
 // Server accepts worker connections and dispatches submitted specs to
 // their free slots. Execute is safe for concurrent use; the experiment
 // runner's grid pool provides the submission concurrency.
 type Server struct {
-	ln     net.Listener
-	jobs   chan *pending
-	closed chan struct{}
-	abrupt atomic.Bool // suppress the bye frame (test hook: simulated crash)
-	seq    struct {
+	ln      net.Listener
+	jobs    chan *pending
+	closed  chan struct{}
+	abrupt  atomic.Bool  // suppress the bye frame (test hook: simulated crash)
+	drained atomic.Int64 // workers that announced a graceful drain before leaving
+	crashed atomic.Int64 // workers that vanished without a word
+	ckpts   atomic.Int64 // checkpoint frames received across all workers
+	seq     struct {
 		sync.Mutex
 		next int64
 	}
@@ -117,6 +159,20 @@ func Serve(addr string) (*Server, error) {
 
 // Addr returns the listener's address (useful with ":0").
 func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// WorkerExits reports how worker sessions have ended mid-run: drained is
+// workers that announced a graceful shutdown (SIGTERM drain: final
+// checkpoint shipped, then a worker-side bye), crashed is workers that
+// vanished without one (SIGKILL, OOM, network loss). Sessions ended by
+// the server's own shutdown count as neither.
+func (s *Server) WorkerExits() (drained, crashed int64) {
+	return s.drained.Load(), s.crashed.Load()
+}
+
+// CheckpointFrames reports how many checkpoint snapshots workers have
+// shipped this run — an observability counter for judging whether the
+// checkpoint interval matches the preemption rate.
+func (s *Server) CheckpointFrames() int64 { return s.ckpts.Load() }
 
 // Close stops accepting workers and tears down the listener, sending each
 // connected worker a bye frame so it exits cleanly instead of treating
@@ -225,11 +281,13 @@ func (s *Server) serveWorker(conn net.Conn) {
 		wmu.Unlock()
 		return
 	}
-	// Capability negotiation: promise the bye frame. Sent before any job so
-	// a modern worker knows, for the whole session, that a hangup without
-	// bye is a fault; legacy workers ignore the unknown frame type.
+	// Capability negotiation: promise the bye frame and accept checkpoint
+	// streams. Sent before any job so a modern worker knows, for the whole
+	// session, that a hangup without bye is a fault; legacy workers ignore
+	// the unknown frame type.
+	workerCkpt := hello.CkptCap
 	wmu.Lock()
-	ackErr := writeMessage(conn, &message{Type: "hello-ack", Engine: sim.ActiveEngineVersion(), Bye: true})
+	ackErr := writeMessage(conn, &message{Type: "hello-ack", Engine: sim.ActiveEngineVersion(), Bye: true, CkptCap: true})
 	wmu.Unlock()
 	if ackErr != nil {
 		return
@@ -245,7 +303,11 @@ func (s *Server) serveWorker(conn net.Conn) {
 	var deadOnce sync.Once
 	markDead := func() { deadOnce.Do(func() { close(connDead) }) }
 
-	// Reader: routes result frames to their pending jobs and frees slots.
+	// Reader: routes result frames to their pending jobs and frees slots,
+	// records checkpoint snapshots against their in-flight jobs, and
+	// notes a worker-side bye (graceful drain) so the exit is accounted
+	// as drained rather than crashed.
+	var workerBye atomic.Bool
 	go func() {
 		defer markDead()
 		for {
@@ -253,18 +315,28 @@ func (s *Server) serveWorker(conn net.Conn) {
 			if err := readMessage(r, &msg); err != nil {
 				return
 			}
-			if msg.Type != "result" {
-				continue
+			switch msg.Type {
+			case "ckpt":
+				imu.Lock()
+				e := inflight[msg.ID]
+				imu.Unlock()
+				if e != nil && msg.Ckpt != "" {
+					e.p.setCkpt(msg.Ckpt)
+					s.ckpts.Add(1)
+				}
+			case "bye":
+				workerBye.Store(true)
+			case "result":
+				imu.Lock()
+				e := inflight[msg.ID]
+				delete(inflight, msg.ID)
+				imu.Unlock()
+				if e == nil {
+					continue
+				}
+				e.p.done <- decodeOutcome(&msg)
+				close(e.freed)
 			}
-			imu.Lock()
-			e := inflight[msg.ID]
-			delete(inflight, msg.ID)
-			imu.Unlock()
-			if e == nil {
-				continue
-			}
-			e.p.done <- decodeOutcome(&msg)
-			close(e.freed)
 		}
 	}()
 
@@ -293,8 +365,14 @@ func (s *Server) serveWorker(conn net.Conn) {
 				imu.Lock()
 				inflight[p.id] = e
 				imu.Unlock()
+				job := &message{Type: "job", ID: p.id, Spec: data}
+				if workerCkpt {
+					// Hand a requeued job its last snapshot so this worker
+					// resumes where the lost one left off.
+					job.Ckpt = p.takeCkpt()
+				}
 				wmu.Lock()
-				err = writeMessage(conn, &message{Type: "job", ID: p.id, Spec: data})
+				err = writeMessage(conn, job)
 				if err != nil {
 					// Flagged under wmu so the shutdown goroutine (which
 					// reads it under the same lock) cannot miss it.
@@ -319,6 +397,9 @@ func (s *Server) serveWorker(conn net.Conn) {
 	conn.Close() // unblock any slot goroutine stuck in a write
 	slotWG.Wait()
 	// Requeue everything this worker still owed (unless shutting down).
+	// Each requeued pending keeps its latest checkpoint, so the next
+	// worker resumes it. The exit tallies as drained only when the worker
+	// announced itself with a bye frame first.
 	imu.Lock()
 	owed := make([]*inflightEntry, 0, len(inflight))
 	for _, e := range inflight {
@@ -326,6 +407,15 @@ func (s *Server) serveWorker(conn net.Conn) {
 	}
 	clear(inflight)
 	imu.Unlock()
+	select {
+	case <-s.closed: // server shutdown, not a worker exit
+	default:
+		if workerBye.Load() {
+			s.drained.Add(1)
+		} else {
+			s.crashed.Add(1)
+		}
+	}
 	for _, e := range owed {
 		select {
 		case s.jobs <- e.p:
@@ -472,8 +562,11 @@ func workOnce(addr string, slots int, onFrame func()) (end sessionEnd, err error
 		return end, fmt.Errorf("queue: %w", err)
 	}
 	defer conn.Close()
+	if h := testConnHook; h != nil {
+		h(conn)
+	}
 	var wmu sync.Mutex
-	if err := writeMessage(conn, &message{Type: "hello", Slots: slots, Engine: sim.ActiveEngineVersion()}); err != nil {
+	if err := writeMessage(conn, &message{Type: "hello", Slots: slots, Engine: sim.ActiveEngineVersion(), CkptCap: true}); err != nil {
 		return end, fmt.Errorf("queue: %w", err)
 	}
 	r := bufio.NewReader(conn)
@@ -481,11 +574,52 @@ func workOnce(addr string, slots int, onFrame func()) (end sessionEnd, err error
 	defer wg.Wait()
 	sem := make(chan struct{}, slots)
 	var outstanding atomic.Int64 // jobs accepted but not yet answered
+	var serverCkpt atomic.Bool   // hello-ack advertised checkpoint support
 	first := true
 	end.legacy = true // until a hello-ack proves otherwise
+
+	// Graceful drain: once experiments.RequestDrain is raised (the worker
+	// process caught SIGTERM/SIGINT), in-flight runs stop at their next
+	// inter-cycle point and ship a final ckpt frame; when the last slot
+	// empties, the watcher announces the drain with a worker-side bye and
+	// hangs up, so the server requeues the jobs — snapshots attached —
+	// and accounts this exit as drained, not crashed.
+	draining := &atomic.Bool{}
+	var drainOnce sync.Once
+	drainBye := func() {
+		drainOnce.Do(func() {
+			draining.Store(true)
+			wmu.Lock()
+			_ = writeMessage(conn, &message{Type: "bye"})
+			wmu.Unlock()
+			conn.Close()
+		})
+	}
+	watcherDone := make(chan struct{})
+	defer close(watcherDone)
+	go func() {
+		tick := time.NewTicker(20 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-watcherDone:
+				return
+			case <-tick.C:
+				if experiments.DrainRequested() && outstanding.Load() == 0 {
+					drainBye()
+					return
+				}
+			}
+		}
+	}()
+
 	for {
 		var msg message
 		if err := readMessage(r, &msg); err != nil {
+			if draining.Load() {
+				end.clean = true // the drain hangup is this worker's end of run
+				return end, nil
+			}
 			if isEOF(err) {
 				end.idle = outstanding.Load() == 0
 				return end, nil // hangup without bye
@@ -501,14 +635,25 @@ func workOnce(addr string, slots int, onFrame func()) (end sessionEnd, err error
 			if msg.Bye {
 				end.legacy = false // this server promises a bye frame
 			}
+			serverCkpt.Store(msg.CkptCap)
 		case "bye":
 			end.clean = true
 			return end, nil // server finished the run
 		case "error":
 			return end, fmt.Errorf("%w: %s", ErrRejected, msg.Error)
 		case "job":
+			if experiments.DrainRequested() {
+				// Never start new work while draining; the unanswered job
+				// requeues (with any prior snapshot) when the drain hangup
+				// lands.
+				continue
+			}
 			spec, err := experiments.DecodeSpecJSON(msg.Spec)
 			id := msg.ID
+			resume := decodeSnapshotPayload(msg.Ckpt)
+			if h := testResumeHook; h != nil && len(resume) > 0 {
+				h(len(resume))
+			}
 			outstanding.Add(1)
 			sem <- struct{}{}
 			wg.Add(1)
@@ -517,9 +662,32 @@ func workOnce(addr string, slots int, onFrame func()) (end sessionEnd, err error
 				defer func() { <-sem }()
 				defer outstanding.Add(-1)
 				reply := message{Type: "result", ID: id}
-				if err != nil {
-					reply.Error = err.Error()
-				} else if res, runErr := experiments.RunSpecLocal(spec); runErr != nil {
+				var res *sim.Result
+				runErr := err
+				if runErr == nil {
+					if serverCkpt.Load() {
+						res, runErr = experiments.RunSpecCheckpointed(spec, resume, func(snap []byte) error {
+							payload, perr := encodeSnapshotPayload(snap)
+							if perr != nil {
+								return nil // an unshippable snapshot never fails the run
+							}
+							wmu.Lock()
+							werr := writeMessage(conn, &message{Type: "ckpt", ID: id, Ckpt: payload})
+							wmu.Unlock()
+							return werr
+						})
+					} else {
+						res, runErr = experiments.RunSpecLocal(spec)
+					}
+				}
+				if errors.Is(runErr, sim.ErrCheckpointed) {
+					// Drained mid-run: the final snapshot is already on the
+					// wire. Leave the job unanswered — the server requeues
+					// it with that snapshot — and let the watcher send the
+					// worker bye once every slot has stopped.
+					return
+				}
+				if runErr != nil {
 					reply.Error = runErr.Error()
 				} else {
 					reply.Result = base64.StdEncoding.EncodeToString(res.AppendBinary(nil))
@@ -530,6 +698,53 @@ func workOnce(addr string, slots int, onFrame func()) (end sessionEnd, err error
 			}()
 		}
 	}
+}
+
+// testConnHook, when set by a test, observes every worker connection as
+// it dials: the crash-injection harness uses it to sever connections at
+// randomized points, the wire shape of a SIGKILLed worker.
+var testConnHook func(net.Conn)
+
+// testResumeHook, when set by a test, observes every non-empty resume
+// snapshot a job frame carries — proof the requeue-with-snapshot path ran.
+var testResumeHook func(resumeLen int)
+
+// encodeSnapshotPayload compresses a raw engine snapshot for the wire:
+// gzip (snapshots are highly repetitive struct-of-arrays data), then
+// base64 for the JSON frame.
+func encodeSnapshotPayload(snap []byte) (string, error) {
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write(snap); err != nil {
+		return "", err
+	}
+	if err := zw.Close(); err != nil {
+		return "", err
+	}
+	return base64.StdEncoding.EncodeToString(buf.Bytes()), nil
+}
+
+// decodeSnapshotPayload reverses encodeSnapshotPayload. Any corruption
+// returns nil — the job then runs from zero, which is always safe (and
+// the snapshot's own checksum catches what gzip doesn't).
+func decodeSnapshotPayload(payload string) []byte {
+	if payload == "" {
+		return nil
+	}
+	raw, err := base64.StdEncoding.DecodeString(payload)
+	if err != nil {
+		return nil
+	}
+	zr, err := gzip.NewReader(bytes.NewReader(raw))
+	if err != nil {
+		return nil
+	}
+	defer zr.Close()
+	snap, err := io.ReadAll(zr)
+	if err != nil || len(snap) == 0 {
+		return nil
+	}
+	return snap
 }
 
 func isEOF(err error) bool {

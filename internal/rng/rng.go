@@ -65,6 +65,23 @@ func (r *Rand) Seed(seed uint64) {
 	}
 }
 
+// State returns the generator's four raw state words. Serializing the
+// state (rather than the seed) lets a consumer be resumed mid-stream:
+// SetState restores the exact point in the sequence, which a re-seed
+// cannot.
+func (r *Rand) State() [4]uint64 { return r.s }
+
+// SetState restores raw state words captured by State. An all-zero state
+// is the one invalid xoshiro256** state (the generator would emit zeros
+// forever), so it is rejected by re-seeding from zero instead.
+func (r *Rand) SetState(s [4]uint64) {
+	if s == ([4]uint64{}) {
+		r.Seed(0)
+		return
+	}
+	r.s = s
+}
+
 // Uint64 returns the next pseudo-random 64-bit value.
 func (r *Rand) Uint64() uint64 {
 	s := &r.s

@@ -104,6 +104,57 @@ func TestActivityOnOffBitIdentical(t *testing.T) {
 				}
 			}
 		}
+		// Snapshot/restore leg: checkpoint the same configuration at a
+		// pseudo-random cycle interval, then resume one of the shipped
+		// snapshots in a fresh engine — under a randomly different worker
+		// count and activity setting — and require the exact ref bytes.
+		for li, legacy := range []bool{false, true} {
+			fresh := func(workers int, noAct bool, ck *CheckpointOptions) ([]byte, bool) {
+				nw := topo.NewNetwork(h, topo.NewFaultSet())
+				mech, err := core.New(nw, base, 4)
+				if err != nil {
+					return nil, false
+				}
+				pat, err := traffic.NewRandomServerPermutation(h.Switches()*per, seed)
+				if err != nil {
+					return nil, false
+				}
+				run := o
+				run.Net, run.Mechanism, run.Pattern = nw, mech, pat
+				run.Workers = workers
+				run.DisableActivity = noAct
+				run.LegacyGeneration = legacy
+				run.Checkpoint = ck
+				return runBytes(t, run), true
+			}
+			var snaps [][]byte
+			got, ok := fresh(1, false, &CheckpointOptions{
+				EveryCycles: 40 + int64(r.Intn(400)),
+				Sink: func(s []byte) error {
+					snaps = append(snaps, s)
+					return nil
+				},
+			})
+			if !ok {
+				return false
+			}
+			if !bytes.Equal(ref[li], got) {
+				t.Logf("seed %d (%v): legacy=%v checkpointing run diverged", seed, dims, legacy)
+				return false
+			}
+			if len(snaps) == 0 {
+				continue // run too short for the drawn interval
+			}
+			resumed, ok := fresh(1+r.Intn(8), r.Intn(2) == 0,
+				&CheckpointOptions{Resume: snaps[r.Intn(len(snaps))]})
+			if !ok {
+				return false
+			}
+			if !bytes.Equal(ref[li], resumed) {
+				t.Logf("seed %d (%v): legacy=%v snapshot resume diverged", seed, dims, legacy)
+				return false
+			}
+		}
 		return true
 	}
 	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {

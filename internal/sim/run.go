@@ -79,6 +79,12 @@ type RunOptions struct {
 	// staging high-water sampling. Pure diagnostics: it is not part of a
 	// job's identity and never affects results.
 	MemStats *MemStats
+	// Checkpoint, when non-nil, enables mid-run snapshots and/or resuming
+	// from one (snapshot.go). Snapshots are taken only at the sequential
+	// inter-cycle point and capturing one never mutates engine state, so —
+	// like Workers and DisableActivity — this never affects results: a
+	// resumed run is bit-identical to an uninterrupted one.
+	Checkpoint *CheckpointOptions
 }
 
 // Result reports the outcome of a run using the paper's three metrics plus
@@ -159,6 +165,14 @@ func Run(o RunOptions) (*Result, error) {
 	if o.SeriesBucket > 0 {
 		e.series = metrics.NewThroughputSeries(o.SeriesBucket, e.S*e.K)
 	}
+	if o.Checkpoint != nil && len(o.Checkpoint.Resume) > 0 {
+		// Restore replaces the whole mutable state — including e.now, the
+		// window bounds, the series and the fault cursor — so the loops
+		// below continue mid-run instead of starting at cycle zero.
+		if err := e.restoreSnapshot(o.Checkpoint.Resume, o); err != nil {
+			return nil, err
+		}
+	}
 
 	var res *Result
 	if o.MemStats != nil {
@@ -200,7 +214,13 @@ func (e *engine) runOpenLoop(o RunOptions) (*Result, error) {
 		// Tests may pre-seed a handcrafted calendar; a real Run never does.
 		e.initArrivals(genProb)
 	}
-	for e.now = 0; e.now < end; e.now++ {
+	// A fresh engine starts at e.now = 0; a restored one continues at its
+	// checkpoint cycle, so the loop deliberately has no init clause.
+	ckpt := newCkptClock(e.now)
+	for ; e.now < end; e.now++ {
+		if err := e.maybeCheckpoint(&ckpt, o); err != nil {
+			return nil, err
+		}
 		if err := e.applyDueFaults(); err != nil {
 			return nil, err
 		}
@@ -242,26 +262,28 @@ func (e *engine) runOpenLoop(o RunOptions) (*Result, error) {
 
 // runBurst preloads every injection queue and runs to completion.
 func (e *engine) runBurst(o RunOptions) (*Result, error) {
-	maxCycles := o.MaxCycles
-	if maxCycles == 0 {
-		maxCycles = 100 * (o.WarmupCycles + o.MeasureCycles)
-		if maxCycles < 10_000_000 {
-			maxCycles = 10_000_000
-		}
-	}
+	maxCycles := burstMaxCycles(o)
 	// Measure everything in burst mode.
 	e.warmStart, e.warmEnd = 0, maxCycles+1
 	nServers := int32(e.S * e.K)
-	for g := int32(0); g < nServers; g++ {
-		for i := 0; i < o.BurstPackets; i++ {
-			if !e.generate(g) {
-				return nil, fmt.Errorf("sim: burst of %d packets exceeds injection queue", o.BurstPackets)
+	if o.Checkpoint == nil || len(o.Checkpoint.Resume) == 0 {
+		// The preload is part of the serialized state: a restored run's
+		// injection queues already hold whatever remains of the burst.
+		for g := int32(0); g < nServers; g++ {
+			for i := 0; i < o.BurstPackets; i++ {
+				if !e.generate(g) {
+					return nil, fmt.Errorf("sim: burst of %d packets exceeds injection queue", o.BurstPackets)
+				}
 			}
 		}
 	}
 	defer e.startPool()()
 	total := int64(o.BurstPackets) * int64(nServers)
-	for e.now = 0; e.totalDelivered+e.lostPkts < total; e.now++ {
+	ckpt := newCkptClock(e.now)
+	for ; e.totalDelivered+e.lostPkts < total; e.now++ {
+		if err := e.maybeCheckpoint(&ckpt, o); err != nil {
+			return nil, err
+		}
 		if e.now > maxCycles {
 			return nil, fmt.Errorf("sim: burst did not complete within %d cycles (%d/%d delivered)",
 				maxCycles, e.totalDelivered, total)

@@ -51,7 +51,9 @@ var shardWorkerCounts = []int{1, 4, 8}
 // activity tracking on and off — and asserts the Results are bit-identical
 // to the sequential full-walk run, including the optional throughput
 // series. This is the engine's determinism contract: neither the worker
-// count nor the dirty-switch tracking may change a single byte.
+// count nor the dirty-switch tracking may change a single byte. A final
+// leg checkpoints the sequential run mid-flight and resumes each snapshot
+// under the largest worker count: preemption may not change a byte either.
 func runAtWorkers(t *testing.T, name string, opts RunOptions) {
 	t.Helper()
 	var ref *Result
@@ -72,6 +74,36 @@ func runAtWorkers(t *testing.T, name string, opts RunOptions) {
 				t.Errorf("%s workers=%d activity=%v diverged from sequential:\n  ref: %+v\n  got: %+v",
 					name, w, !noAct, ref, res)
 			}
+		}
+	}
+	var snaps [][]byte
+	o := opts
+	o.Workers = 1
+	o.Checkpoint = &CheckpointOptions{
+		EveryCycles: 400,
+		Sink: func(s []byte) error {
+			snaps = append(snaps, s)
+			return nil
+		},
+	}
+	res, err := Run(o)
+	if err != nil {
+		t.Fatalf("%s checkpointing run: %v", name, err)
+	}
+	if !reflect.DeepEqual(ref, res) {
+		t.Errorf("%s checkpointing run diverged from sequential", name)
+	}
+	for i, snap := range snaps {
+		o := opts
+		o.Workers = shardWorkerCounts[len(shardWorkerCounts)-1]
+		o.Checkpoint = &CheckpointOptions{Resume: snap}
+		res, err := Run(o)
+		if err != nil {
+			t.Fatalf("%s resume of snapshot %d: %v", name, i, err)
+		}
+		if !reflect.DeepEqual(ref, res) {
+			t.Errorf("%s snapshot %d resumed at workers=%d diverged from sequential",
+				name, i, o.Workers)
 		}
 	}
 }
@@ -149,6 +181,48 @@ func TestShardedBitIdenticalMidRunFaults(t *testing.T) {
 		}
 		if !reflect.DeepEqual(ref, res) {
 			t.Errorf("workers=%d diverged under mid-run faults:\n  seq: %+v\n  par: %+v", w, ref, res)
+		}
+	}
+	// Checkpoint between the two scheduled faults and resume under a
+	// different worker count: the restored run must replay the first edge
+	// into its fresh network and still apply the second on schedule.
+	freshOpts := func() RunOptions {
+		runNW := topo.NewNetwork(h, topo.NewFaultSet())
+		mech, err := core.New(runNW, core.OmniRoutes, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return RunOptions{
+			Net: runNW, ServersPerSwitch: 4, Mechanism: mech, Pattern: pat,
+			Load: 0.6, WarmupCycles: 0, MeasureCycles: 3000, Seed: 23,
+			FaultSchedule: []FaultEvent{
+				{Cycle: 500, Edge: seq[0]},
+				{Cycle: 1200, Edge: seq[1]},
+			},
+		}
+	}
+	var snaps [][]byte
+	o := freshOpts()
+	o.Checkpoint = &CheckpointOptions{
+		EveryCycles: 800,
+		Sink: func(s []byte) error {
+			snaps = append(snaps, s)
+			return nil
+		},
+	}
+	if _, err := Run(o); err != nil {
+		t.Fatal(err)
+	}
+	for i, snap := range snaps {
+		o := freshOpts()
+		o.Workers = 8
+		o.Checkpoint = &CheckpointOptions{Resume: snap}
+		res, err := Run(o)
+		if err != nil {
+			t.Fatalf("resume of fault-schedule snapshot %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(ref, res) {
+			t.Errorf("fault-schedule snapshot %d resumed at workers=8 diverged", i)
 		}
 	}
 }
