@@ -28,7 +28,13 @@
 // job spec (plus the engine version); re-running an unchanged grid is 100%
 // cache hits and byte-identical output. With -serve the drivers run here
 // but every point executes on connected -worker processes and results
-// merge in enumeration order, bit-identical to a local run.
+// merge in enumeration order, bit-identical to a local run. Serve mode
+// tolerates crashed, hung and poisonous participants: jobs run under
+// leases with heartbeats, lost jobs requeue with their latest snapshots,
+// a job that keeps killing workers is quarantined after -poison-attempts
+// distinct losses, and with -cache-dir the server journals the grid so a
+// killed -serve process can be restarted with the same command line and
+// resume where it left off (see the README's "Failure model").
 //
 // Maintenance and export:
 //
@@ -303,6 +309,10 @@ func main() {
 	ckptDir := flag.String("checkpoint-dir", "", "directory for checkpoint snapshots (default: the -cache-dir store)")
 	serveAddr := flag.String("serve", "", "serve mode: listen on this address and execute every simulation point on connected -worker processes")
 	workerAddr := flag.String("worker", "", "worker mode: connect to a -serve address and run jobs for it (-workers sets the slot count; -exp is ignored)")
+	poisonAttempts := flag.Int("poison-attempts", queue.DefaultPoisonAttempts, "serve mode: quarantine a job after it costs this many distinct workers; the grid completes around the hole")
+	heartbeat := flag.Duration("heartbeat", 0, "serve mode: worker heartbeat interval; a silent worker is severed after four missed intervals (0 = library default)")
+	leaseBase := flag.Duration("lease-base", 0, "serve mode: base job lease before the per-cycle term; an expired lease requeues the job and fences the holder's late results (0 = library default)")
+	leasePerCycle := flag.Duration("lease-per-cycle", 0, "serve mode: lease time added per simulated cycle of the job's budget (0 = library default)")
 	benchOut := flag.String("bench-out", "BENCH_8.json", "output path for the -exp bench JSON report")
 	benchCompare := flag.String("bench-compare", "", "compare -exp bench memory figures (bytes/switch) against this committed baseline report; exit non-zero on >10% growth")
 	memStats := flag.Bool("mem-stats", false, "print the engine's memory accounting (arena bytes, bytes/switch, construction time) for each experiment's largest topology before running")
@@ -390,12 +400,22 @@ func main() {
 		return
 	}
 	if *serveAddr != "" {
-		srv, err := queue.Serve(*serveAddr)
+		if store == nil {
+			fmt.Fprintln(os.Stderr, "serve: no -cache-dir: grid journal disabled, a restarted server starts from scratch")
+		}
+		srv, err := queue.ServeWith(*serveAddr, queue.ServeOpts{
+			Store:          store,
+			PoisonAttempts: *poisonAttempts,
+			Heartbeat:      *heartbeat,
+			LeaseBase:      *leaseBase,
+			LeasePerCycle:  *leasePerCycle,
+		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 			os.Exit(2)
 		}
 		defer srv.Close()
+		defer func() { fmt.Fprintf(os.Stderr, "serve: %s\n", srv.Stats().Summary()) }()
 		experiments.SetExecutor(srv.Execute)
 		fmt.Fprintf(os.Stderr, "serve: dispatching jobs on %s (start workers with -worker %s)\n",
 			srv.Addr(), srv.Addr())
@@ -595,12 +615,18 @@ func runCacheGC(store *cache.Store, registry []figure, c figCtx) error {
 
 // reportCache prints the final hit/miss tally on stderr; the CI
 // cache-determinism job greps it to assert a fully warmed second run.
+// Entries whose stored checksum failed were re-simulated and healed in
+// place; the suffix only appears when that happened.
 func reportCache(store *cache.Store) {
 	if store == nil {
 		return
 	}
 	hits, misses := store.Stats()
-	fmt.Fprintf(os.Stderr, "cache: %d hits, %d misses\n", hits, misses)
+	suffix := ""
+	if healed := store.Healed(); healed > 0 {
+		suffix = fmt.Sprintf(" (%d corrupt entries healed)", healed)
+	}
+	fmt.Fprintf(os.Stderr, "cache: %d hits, %d misses%s\n", hits, misses, suffix)
 }
 
 // fig6MaxFaults and fig10BurstPhits are the per-scale knobs of the fault

@@ -173,7 +173,11 @@ func main() {
 	check(err)
 	if store != nil {
 		hits, misses := store.Stats()
-		fmt.Fprintf(os.Stderr, "cache: %d hits, %d misses\n", hits, misses)
+		suffix := ""
+		if healed := store.Healed(); healed > 0 {
+			suffix = fmt.Sprintf(" (%d corrupt entries healed)", healed)
+		}
+		fmt.Fprintf(os.Stderr, "cache: %d hits, %d misses%s\n", hits, misses, suffix)
 	}
 	for i, load := range loads {
 		res := results[i]

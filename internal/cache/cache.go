@@ -20,7 +20,9 @@
 package cache
 
 import (
+	"bytes"
 	"compress/gzip"
+	"crypto/sha256"
 	"fmt"
 	"io"
 	"os"
@@ -50,6 +52,7 @@ type Store struct {
 	dir    string
 	hits   atomic.Int64
 	misses atomic.Int64
+	healed atomic.Int64 // entries found damaged and degraded to a miss
 }
 
 // Open creates (if needed) and opens a cache directory.
@@ -78,8 +81,12 @@ func (s *Store) path(key string) (string, error) {
 }
 
 // Get returns the cached result for key, or ok == false on a miss. A
-// corrupt or unreadable entry counts as a miss (and is left for Put to
-// overwrite) rather than failing the run. Hit/miss tallies feed Stats.
+// corrupt, truncated or unreadable entry counts as a miss (and is left
+// for Put to overwrite, the self-healing path) rather than failing the
+// run: on-disk damage may cost a recompute, never correctness. Entries
+// written by this build end in a SHA-256 trailer that is verified here;
+// trailerless entries from older builds fall back to the codec's own
+// strict decode. Hit/miss tallies feed Stats; healed damage feeds Healed.
 func (s *Store) Get(key string) (res *sim.Result, ok bool, err error) {
 	p, err := s.path(key)
 	if err != nil {
@@ -91,20 +98,55 @@ func (s *Store) Get(key string) (res *sim.Result, ok bool, err error) {
 		if os.IsNotExist(err) {
 			return nil, false, nil
 		}
+		s.healed.Add(1)
 		return nil, false, nil // unreadable entry: recompute
 	}
-	res, err = sim.DecodeResult(data)
-	if err != nil {
+	res, damaged := decodeEntry(data)
+	if res == nil {
 		s.misses.Add(1)
+		if damaged {
+			s.healed.Add(1) // bitflip/truncation: the re-run will overwrite it
+		}
 		return nil, false, nil // corrupt or old-codec entry: recompute
 	}
 	s.hits.Add(1)
 	return res, true, nil
 }
 
+// decodeEntry decodes one .res file body. Entries written by this build
+// carry a SHA-256 trailer over the codec bytes; a matching trailer proves
+// the bytes survived the disk, so a decode failure past it means an old
+// codec version (a plain miss, not damage). Without a matching trailer
+// the bytes are tried as a trailerless legacy entry — the codec's strict
+// no-trailing-bytes decode disambiguates — and anything that fails both
+// ways is reported as damage.
+func decodeEntry(data []byte) (res *sim.Result, damaged bool) {
+	if len(data) > sha256.Size {
+		body, tail := data[:len(data)-sha256.Size], data[len(data)-sha256.Size:]
+		if sum := sha256.Sum256(body); bytes.Equal(sum[:], tail) {
+			res, err := sim.DecodeResult(body)
+			if err != nil {
+				return nil, false // intact bytes, unknown codec: plain miss
+			}
+			return res, false
+		}
+	}
+	res, err := sim.DecodeResult(data)
+	if err != nil {
+		return nil, true
+	}
+	return res, false
+}
+
+// Healed returns how many damaged entries this handle has degraded to
+// misses — each one a corrupt or truncated file that the re-run's Put
+// transparently overwrites (the self-healing cache counter).
+func (s *Store) Healed() int64 { return s.healed.Load() }
+
 // Put stores a result under key, atomically: concurrent writers of the
 // same key (which by construction hold bit-identical encodings) race
-// harmlessly on the final rename.
+// harmlessly on the final rename. The entry ends in a SHA-256 trailer
+// over the codec bytes so Get can tell on-disk damage from a stale codec.
 func (s *Store) Put(key string, res *sim.Result) error {
 	p, err := s.path(key)
 	if err != nil {
@@ -118,7 +160,9 @@ func (s *Store) Put(key string, res *sim.Result) error {
 		return fmt.Errorf("cache: %w", err)
 	}
 	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if _, err := tmp.Write(res.AppendBinary(nil)); err != nil {
+	body := res.AppendBinary(nil)
+	sum := sha256.Sum256(body)
+	if _, err := tmp.Write(append(body, sum[:]...)); err != nil {
 		tmp.Close()
 		return fmt.Errorf("cache: %w", err)
 	}
@@ -325,10 +369,11 @@ func (s *Store) GC() (removed int, err error) {
 }
 
 // cacheOwned reports whether a subtree demonstrably belongs to the store
-// — it holds at least one artifact (.res entry, .ckpt checkpoint or .tmp-
-// temp file) and nothing else — and how many entries it holds. A subtree
-// with no files at all is NOT owned: an empty directory says nothing
-// about who made it, and GC must never guess in favour of deletion.
+// — it holds at least one artifact (.res entry, .ckpt checkpoint,
+// .journal grid journal or .tmp- temp file) and nothing else — and how
+// many entries it holds. A subtree with no files at all is NOT owned: an
+// empty directory says nothing about who made it, and GC must never
+// guess in favour of deletion.
 func cacheOwned(dir string) (owned bool, entries int, err error) {
 	owned = true
 	artifacts := 0
@@ -345,6 +390,8 @@ func cacheOwned(dir string) (owned bool, entries int, err error) {
 			artifacts++
 		case filepath.Ext(path) == ".ckpt":
 			artifacts++ // mid-run checkpoint of an unfinished spec
+		case filepath.Ext(path) == ".journal":
+			artifacts++ // append-only grid journal of a -serve run
 		case strings.HasPrefix(filepath.Base(path), ".tmp-"):
 			artifacts++ // interrupted atomic write
 		default:

@@ -78,6 +78,91 @@ func TestStoreCorruptEntry(t *testing.T) {
 	}
 }
 
+// TestStoreBitflipHeals is the self-healing regression: a single flipped
+// byte anywhere in a stored entry — including the series payload, where
+// the codec alone cannot notice — fails the SHA-256 trailer, degrades to
+// a counted miss, and the re-run's Put transparently repairs the entry.
+func TestStoreBitflipHeals(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey(2)
+	res := &sim.Result{
+		AcceptedLoad: 0.5, AvgLatency: 12.5, DeliveredPackets: 100,
+		Series: []metrics.SeriesPoint{{Cycle: 100, Accepted: 0.5}, {Cycle: 200, Accepted: 0.75}},
+	}
+	if err := s.Put(key, res); err != nil {
+		t.Fatal(err)
+	}
+	p, err := s.path(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pos := range []int{0, len(data) / 2, len(data) - 1} {
+		flipped := append([]byte(nil), data...)
+		flipped[pos] ^= 0x40
+		if err := os.WriteFile(p, flipped, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok, err := s.Get(key); err != nil || ok {
+			t.Fatalf("bitflip at %d returned a hit (ok=%v err=%v)", pos, ok, err)
+		}
+	}
+	// Truncation (a torn write that somehow dodged the atomic rename) is
+	// caught the same way.
+	if err := os.WriteFile(p, data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := s.Get(key); ok {
+		t.Fatal("truncated entry returned a hit")
+	}
+	if healed := s.Healed(); healed != 4 {
+		t.Errorf("Healed = %d, want 4 (three bitflips + one truncation)", healed)
+	}
+	// The self-healing half: the miss re-runs and Put repairs.
+	if err := s.Put(key, res); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.Get(key)
+	if err != nil || !ok || !reflect.DeepEqual(got, res) {
+		t.Fatalf("repaired entry not readable (ok=%v err=%v)", ok, err)
+	}
+}
+
+// TestStoreLegacyTrailerlessEntry: an entry written before the SHA-256
+// trailer (raw codec bytes) still reads as a hit — verification must not
+// invalidate a warmed cache.
+func TestStoreLegacyTrailerlessEntry(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey(9)
+	res := &sim.Result{AcceptedLoad: 0.375, AvgLatency: 9.5}
+	p, err := s.path(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(p, res.AppendBinary(nil), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.Get(key)
+	if err != nil || !ok || !reflect.DeepEqual(got, res) {
+		t.Fatalf("legacy trailerless entry missed (ok=%v err=%v)", ok, err)
+	}
+	if healed := s.Healed(); healed != 0 {
+		t.Errorf("legacy entry tallied as healed damage (%d)", healed)
+	}
+}
+
 func TestStoreSharding(t *testing.T) {
 	dir := t.TempDir()
 	s, err := Open(dir)

@@ -66,6 +66,10 @@ func (s *JobSpec) label() string {
 	return fmt.Sprintf("%s/%s at load %.2f", s.Mechanism, s.Pattern, s.Load)
 }
 
+// String names the job for human-facing reports (quarantine histories,
+// progress lines): the explicit Label if set, else mechanism/pattern/load.
+func (s *JobSpec) String() string { return s.label() }
+
 // AppendCanonical appends the canonical encoding of the spec to b: a fixed
 // field order, exact float bit patterns, normalized sorted fault edges and
 // a stable fault-schedule order. Two specs append equal bytes exactly when

@@ -17,6 +17,10 @@ type SweepRow struct {
 	Latency   float64
 	Jain      float64
 	Escape    float64 // fraction of packets that used the escape subnetwork
+	// Hole marks a point whose job the distributed backend quarantined
+	// (it kept killing workers); its metrics are zero and rendered as an
+	// explicit gap rather than silently plotted as zeros.
+	Hole bool
 }
 
 // SweepConfig parameterizes a fault-free load sweep (Figures 4 and 5).
@@ -103,7 +107,7 @@ func LoadSweep(cfg SweepConfig) ([]SweepRow, error) {
 			}
 		}
 	}
-	results, err := ExecuteJobs(cfg.Workers, jobs)
+	results, holes, err := ExecuteJobsPartial(cfg.Workers, jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -113,11 +117,15 @@ func LoadSweep(cfg SweepConfig) ([]SweepRow, error) {
 			Mechanism: jobs[i].Mechanism,
 			Pattern:   jobs[i].Pattern,
 			Offered:   jobs[i].Load,
-			Accepted:  res.AcceptedLoad,
-			Latency:   res.AvgLatency,
-			Jain:      res.JainIndex,
-			Escape:    res.EscapeFraction,
 		}
+		if holes[i] != nil {
+			rows[i].Hole = true
+			continue
+		}
+		rows[i].Accepted = res.AcceptedLoad
+		rows[i].Latency = res.AvgLatency
+		rows[i].Jain = res.JainIndex
+		rows[i].Escape = res.EscapeFraction
 	}
 	return rows, nil
 }
@@ -140,6 +148,9 @@ func SaturationThroughput(rows []SweepRow) map[string]map[string]float64 {
 	out := make(map[string]map[string]float64)
 	best := make(map[string]float64)
 	for _, r := range rows {
+		if r.Hole {
+			continue
+		}
 		key := r.Pattern + "\x00" + r.Mechanism
 		if r.Offered >= best[key] {
 			best[key] = r.Offered
@@ -167,6 +178,10 @@ func RenderSweep(title string, rows []SweepRow) string {
 			fmt.Fprintf(&b, "  %s\n", r.Mechanism)
 			fmt.Fprintf(&b, "    %-8s %-9s %-9s %-7s %s\n", "offered", "accepted", "latency", "jain", "escape")
 			lastMech = r.Mechanism
+		}
+		if r.Hole {
+			fmt.Fprintf(&b, "    %-8.2f (quarantined — no data)\n", r.Offered)
+			continue
 		}
 		fmt.Fprintf(&b, "    %-8.2f %-9.3f %-9.1f %-7.4f %.4f\n", r.Offered, r.Accepted, r.Latency, r.Jain, r.Escape)
 	}

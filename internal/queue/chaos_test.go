@@ -1,0 +1,530 @@
+package queue
+
+import (
+	"errors"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/experiments"
+	"repro/internal/sim"
+)
+
+// TestBackoffDelayJitteredAndCapped: the reconnect schedule never exceeds
+// its cap or undershoots its base, is deterministic per seed, and differs
+// between seeds — a restarted server sees its fleet trickle back, not
+// stampede in lockstep.
+func TestBackoffDelayJitteredAndCapped(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		for attempt := 0; attempt <= 64; attempt++ {
+			d := backoffDelay(attempt, seed)
+			if d < reconnectBaseDelay {
+				t.Fatalf("attempt %d seed %d: delay %v below base %v", attempt, seed, d, reconnectBaseDelay)
+			}
+			if d > reconnectMaxDelay {
+				t.Fatalf("attempt %d seed %d: delay %v exceeds cap %v", attempt, seed, d, reconnectMaxDelay)
+			}
+		}
+	}
+	if backoffDelay(3, 42) != backoffDelay(3, 42) {
+		t.Error("backoff is not deterministic for a fixed seed")
+	}
+	diverged := false
+	for a := 0; a < 10 && !diverged; a++ {
+		diverged = backoffDelay(a, 1) != backoffDelay(a, 2)
+	}
+	if !diverged {
+		t.Error("different seeds never diverge: jitter is not doing its job")
+	}
+}
+
+// fleet runs WorkLoop workers against addr and replaces any the chaos
+// harness kills (or that gave up during a restart window), up to
+// maxSpawns lifetime spawns. Stop() ends replacement; Wait() joins the
+// survivors.
+type fleet struct {
+	t         *testing.T
+	addr      string
+	slots     int
+	maxSpawns int
+	spawns    atomic.Int64
+	stopping  atomic.Bool
+	wg        sync.WaitGroup
+}
+
+func startFleet(t *testing.T, addr string, n, slots, maxSpawns int) *fleet {
+	f := &fleet{t: t, addr: addr, slots: slots, maxSpawns: maxSpawns}
+	for i := 0; i < n; i++ {
+		f.spawn()
+	}
+	return f
+}
+
+func (f *fleet) spawn() {
+	if f.stopping.Load() || int(f.spawns.Add(1)) > f.maxSpawns {
+		return
+	}
+	f.wg.Add(1)
+	go func() {
+		defer f.wg.Done()
+		err := WorkLoop(f.addr, f.slots)
+		if err != nil && !f.stopping.Load() {
+			f.t.Logf("worker exited: %v (spawning replacement)", err)
+			f.spawn()
+		}
+	}()
+}
+
+func (f *fleet) Stop() { f.stopping.Store(true) }
+func (f *fleet) Wait() { f.wg.Wait() }
+
+// TestSilentWorkerLosesJobs: a worker that handshakes with heartbeat
+// support and then falls silent (a wedged process, a dead host behind a
+// live TCP window) is severed after a few missed intervals; its job
+// requeues and a healthy worker completes it to the bit-identical result.
+func TestSilentWorkerLosesJobs(t *testing.T) {
+	spec := testSpecs()[0]
+	ref, err := experiments.RunSpecLocal(&spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv, err := ServeWith("127.0.0.1:0", ServeOpts{Heartbeat: 25 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// The silent worker: a real hello (offering heartbeats), then nothing.
+	silent, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer silent.Close()
+	if err := writeMessage(silent, &message{Type: "hello", Slots: 1,
+		Engine: sim.ActiveEngineVersion(), Name: "silent-worker", CkptCap: true, HBCap: true}); err != nil {
+		t.Fatal(err)
+	}
+
+	type result struct {
+		res *sim.Result
+		err error
+	}
+	execDone := make(chan result, 1)
+	go func() {
+		res, err := srv.Execute(&spec)
+		execDone <- result{res, err}
+	}()
+	// Let the job land on the silent worker before a healthy one exists.
+	time.Sleep(60 * time.Millisecond)
+	workerDone := make(chan error, 1)
+	go func() { workerDone <- WorkLoop(srv.Addr(), 1) }()
+
+	select {
+	case got := <-execDone:
+		if got.err != nil {
+			t.Fatal(got.err)
+		}
+		if string(got.res.AppendBinary(nil)) != string(ref.AppendBinary(nil)) {
+			t.Error("result via silent-worker recovery differs from local run")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("job never completed after the silent worker was severed")
+	}
+	st := srv.Stats()
+	if st.Crashed == 0 {
+		t.Errorf("silent worker not tallied as crashed: %+v", st)
+	}
+	if st.Requeues == 0 {
+		t.Errorf("silent worker's job was never requeued: %+v", st)
+	}
+
+	srv.Close()
+	select {
+	case <-workerDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("healthy worker did not exit after server close")
+	}
+}
+
+// TestStalledWorkerLeaseRevokedAndFenced: a worker that stalls on a job
+// past its lease — heartbeats flowing, zero progress — loses the lease;
+// the job re-dispatches and the grid stays byte-identical. When the
+// stalled worker finally answers, the fencing token drops the zombie
+// result on the floor.
+func TestStalledWorkerLeaseRevokedAndFenced(t *testing.T) {
+	specs := crashSpecs()[:2]
+	local, err := experiments.ExecuteJobs(2, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	experiments.SetCheckpointPolicy(&experiments.CheckpointPolicy{EveryCycles: 200})
+	defer experiments.SetCheckpointPolicy(nil)
+
+	chaos := NewChaos(ChaosConfig{Seed: 5, StallLabel: specs[0].String(), StallFor: 4 * time.Second})
+	InstallChaos(chaos)
+	defer InstallChaos(nil)
+
+	srv, err := ServeWith("127.0.0.1:0", ServeOpts{
+		Heartbeat:     50 * time.Millisecond,
+		LeaseBase:     time.Second,
+		LeasePerCycle: 100 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	workerDone := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() { workerDone <- WorkLoop(srv.Addr(), 1) }()
+	}
+
+	experiments.SetExecutor(srv.Execute)
+	defer experiments.SetExecutor(nil)
+	remote, err := experiments.ExecuteJobs(2, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range local {
+		if string(local[i].AppendBinary(nil)) != string(remote[i].AppendBinary(nil)) {
+			t.Errorf("job %d: stall-disturbed result differs from local", i)
+		}
+	}
+	if chaos.Stalled.Load() != 1 {
+		t.Errorf("stall fired %d times, want 1", chaos.Stalled.Load())
+	}
+	if st := srv.Stats(); st.LeasesRevoked == 0 {
+		t.Errorf("stalled job's lease was never revoked: %+v", st)
+	}
+	// The stalled worker wakes and answers its original dispatch late; the
+	// fence must drop it.
+	for deadline := time.Now().Add(15 * time.Second); srv.Stats().ZombiesDropped == 0; {
+		if time.Now().After(deadline) {
+			t.Fatalf("no zombie result was fenced off: %+v", srv.Stats())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	experiments.SetExecutor(nil)
+	srv.Close()
+	for i := 0; i < 2; i++ {
+		select {
+		case <-workerDone:
+		case <-time.After(15 * time.Second):
+			t.Fatal("worker did not exit after server close")
+		}
+	}
+}
+
+// TestPoisonJobQuarantined: a spec that kills every worker it touches is
+// pulled from circulation after costing DefaultPoisonAttempts distinct
+// workers, with the full custody history on the error; the rest of the
+// grid completes bit-identically around the hole.
+func TestPoisonJobQuarantined(t *testing.T) {
+	specs := testSpecs()
+	local, err := experiments.ExecuteJobs(2, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	poison := specs[0]
+	poison.Seed += 1000 // semantically distinct: its own hash, its own fate
+	poison.Label = "poison-job"
+	grid := append(append([]experiments.JobSpec(nil), specs...), poison)
+
+	base, max := reconnectBaseDelay, reconnectMaxDelay
+	reconnectBaseDelay, reconnectMaxDelay = time.Millisecond, 10*time.Millisecond
+	defer func() { reconnectBaseDelay, reconnectMaxDelay = base, max }()
+
+	chaos := NewChaos(ChaosConfig{Seed: 3, PoisonLabel: "poison-job"})
+	InstallChaos(chaos)
+	defer InstallChaos(nil)
+
+	srv, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	workers := startFleet(t, srv.Addr(), 2, 1, 10)
+
+	experiments.SetExecutor(srv.Execute)
+	defer experiments.SetExecutor(nil)
+	results, holes, err := experiments.ExecuteJobsPartial(2, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := holes[len(grid)-1]
+	if q == nil {
+		t.Fatal("poison spec was not quarantined")
+	}
+	if !errors.Is(q, experiments.ErrQuarantined) {
+		t.Error("quarantine error does not unwrap to ErrQuarantined")
+	}
+	if len(q.Attempts) != DefaultPoisonAttempts {
+		t.Errorf("quarantine after %d attempts, want %d: %v", len(q.Attempts), DefaultPoisonAttempts, q)
+	}
+	distinct := make(map[string]bool)
+	for _, a := range q.Attempts {
+		distinct[a.Worker] = true
+		if a.Fate != "worker-lost" {
+			t.Errorf("poison attempt fate %q, want worker-lost", a.Fate)
+		}
+	}
+	if len(distinct) != DefaultPoisonAttempts {
+		t.Errorf("quarantine cost %d distinct workers, want %d: %v", len(distinct), DefaultPoisonAttempts, q)
+	}
+	if results[len(grid)-1] != nil {
+		t.Error("quarantined spec produced a result")
+	}
+	for i := range specs {
+		if holes[i] != nil {
+			t.Errorf("innocent job %d quarantined: %v", i, holes[i])
+			continue
+		}
+		if string(local[i].AppendBinary(nil)) != string(results[i].AppendBinary(nil)) {
+			t.Errorf("job %d: poison-disturbed result differs from local", i)
+		}
+	}
+	if st := srv.Stats(); st.Quarantined != 1 {
+		t.Errorf("stats quarantined = %d, want 1: %+v", st.Quarantined, st)
+	}
+	if got := chaos.Poisoned.Load(); got != int64(DefaultPoisonAttempts) {
+		t.Errorf("poison killed %d workers, want %d", got, DefaultPoisonAttempts)
+	}
+
+	experiments.SetExecutor(nil)
+	workers.Stop()
+	srv.Close()
+	workers.Wait()
+}
+
+// TestChaosPropertyBitIdentical is the acceptance property of the
+// failure model: under one seeded schedule of worker disconnects, a
+// stalled worker (lease revocation + zombie fencing), a corrupted and a
+// truncated result frame, a poison spec, and an abrupt server
+// kill/restart mid-grid, the merged non-quarantined results are
+// byte-identical to an undisturbed local run and the poison spec is
+// quarantined with its full cross-restart attempt history.
+func TestChaosPropertyBitIdentical(t *testing.T) {
+	specs := crashSpecs()
+	poison := specs[0]
+	poison.Seed += 7777
+	poison.Label = "poison-property"
+	grid := append(append([]experiments.JobSpec(nil), specs...), poison)
+
+	// Baseline before the shared store exists: a plain local run.
+	baseline, err := experiments.ExecuteJobs(2, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	base, max := reconnectBaseDelay, reconnectMaxDelay
+	reconnectBaseDelay, reconnectMaxDelay = time.Millisecond, 20*time.Millisecond
+	defer func() { reconnectBaseDelay, reconnectMaxDelay = base, max }()
+
+	store, err := cache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	experiments.SetResultCache(store)
+	defer experiments.SetResultCache(nil)
+	experiments.SetCheckpointPolicy(&experiments.CheckpointPolicy{EveryCycles: 200})
+	defer experiments.SetCheckpointPolicy(nil)
+
+	chaos := NewChaos(ChaosConfig{
+		Seed:           11,
+		Disconnects:    2,
+		CorruptResults: 1,
+		TruncateFrames: 1,
+		PoisonLabel:    "poison-property",
+		StallLabel:     specs[1].String(),
+		StallFor:       3 * time.Second,
+	})
+	InstallChaos(chaos)
+	defer InstallChaos(nil)
+
+	// PoisonAttempts exceeds the worst case of every non-poison fault
+	// (2 disconnects + 1 truncate + 1 corrupt + 1 stall identity) landing
+	// on one innocent spec, so only true poison quarantines.
+	opts := ServeOpts{
+		Store:          store,
+		PoisonAttempts: 6,
+		Heartbeat:      100 * time.Millisecond,
+		LeaseBase:      time.Second,
+		LeasePerCycle:  100 * time.Microsecond,
+	}
+	srv1, err := ServeWith("127.0.0.1:0", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv1.Close()
+	addr := srv1.Addr()
+	workers := startFleet(t, addr, 2, 1, 14)
+
+	// The executor trampoline survives the server swap mid-grid.
+	var cur atomic.Pointer[Server]
+	cur.Store(srv1)
+	experiments.SetExecutor(func(spec *experiments.JobSpec) (*sim.Result, error) {
+		return cur.Load().Execute(spec)
+	})
+	defer experiments.SetExecutor(nil)
+
+	// The grid retries across the server restart, exactly like the CLI
+	// being re-invoked: completed points come back from the cache,
+	// in-flight ones from their persisted checkpoints.
+	type gridOut struct {
+		res   []*sim.Result
+		holes []*experiments.QuarantineError
+		err   error
+	}
+	gridDone := make(chan gridOut, 1)
+	go func() {
+		var out gridOut
+		for attempt := 0; attempt < 20; attempt++ {
+			out.res, out.holes, out.err = experiments.ExecuteJobsPartial(2, grid)
+			if out.err == nil || !strings.Contains(out.err.Error(), "server closed") {
+				break
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+		gridDone <- out
+	}()
+
+	// Kill the server once the chaos has demonstrably bitten: a crashed
+	// worker and a persisted checkpoint. The stalled spec holds the grid
+	// open meanwhile (its worker sleeps on it until a disconnect or the
+	// lease takes it away), so the kill lands mid-grid.
+	for deadline := time.Now().Add(60 * time.Second); ; time.Sleep(5 * time.Millisecond) {
+		st := srv1.Stats()
+		if st.Crashed >= 1 && st.CheckpointFrames >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("chaos preconditions never met before kill: %+v", st)
+		}
+	}
+	if err := srv1.closeAbrupt(); err != nil {
+		t.Fatal(err)
+	}
+	st1 := srv1.Stats()
+
+	// Restart on the same address with the same store: the journal replays
+	// the predecessor's enumeration, attempts and quarantines.
+	var srv2 *Server
+	for attempt := 0; ; attempt++ {
+		srv2, err = ServeWith(addr, opts)
+		if err == nil {
+			break
+		}
+		if attempt > 200 {
+			t.Fatalf("could not rebind restarted server: %v", err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	defer srv2.Close()
+	cur.Store(srv2)
+
+	var out gridOut
+	select {
+	case out = <-gridDone:
+	case <-time.After(120 * time.Second):
+		t.Fatal("grid never completed across the restart")
+	}
+	if out.err != nil {
+		t.Fatal(out.err)
+	}
+
+	// The poison spec is a hole with the full cross-restart history; every
+	// innocent spec completed byte-identically.
+	q := out.holes[len(grid)-1]
+	if q == nil {
+		t.Fatal("poison spec was not quarantined")
+	}
+	if len(q.Attempts) < opts.PoisonAttempts {
+		t.Errorf("quarantine history has %d attempts, want >= %d: %v", len(q.Attempts), opts.PoisonAttempts, q)
+	}
+	distinct := make(map[string]bool)
+	for _, a := range q.Attempts {
+		distinct[a.Worker] = true
+	}
+	if len(distinct) < opts.PoisonAttempts {
+		t.Errorf("quarantine cost %d distinct workers, want >= %d: %v", len(distinct), opts.PoisonAttempts, q)
+	}
+	if out.res[len(grid)-1] != nil {
+		t.Error("quarantined spec produced a result")
+	}
+	for i := range specs {
+		if out.holes[i] != nil {
+			t.Errorf("innocent job %d quarantined: %v", i, out.holes[i])
+			continue
+		}
+		if out.res[i] == nil {
+			t.Errorf("job %d missing from merged grid", i)
+			continue
+		}
+		if string(baseline[i].AppendBinary(nil)) != string(out.res[i].AppendBinary(nil)) {
+			t.Errorf("job %d: chaos-disturbed result differs from undisturbed local run", i)
+		}
+	}
+
+	// The schedule actually fired, and the servers saw it.
+	if chaos.Disconnected.Load() == 0 {
+		t.Error("no connection was severed")
+	}
+	if chaos.Corrupted.Load() == 0 {
+		t.Error("no result frame was corrupted")
+	}
+	if chaos.Truncated.Load() == 0 {
+		t.Error("no frame was truncated")
+	}
+	if chaos.Stalled.Load() != 1 {
+		t.Errorf("stall fired %d times, want 1", chaos.Stalled.Load())
+	}
+	if chaos.Poisoned.Load() < int64(opts.PoisonAttempts) {
+		t.Errorf("poison killed %d workers, want >= %d", chaos.Poisoned.Load(), opts.PoisonAttempts)
+	}
+	st2 := srv2.Stats()
+	if st1.Crashed+st2.Crashed == 0 {
+		t.Error("no worker tallied as crashed")
+	}
+	if st1.CorruptFrames+st2.CorruptFrames == 0 {
+		t.Errorf("no corrupt frame detected server-side: phase1 %+v phase2 %+v", st1, st2)
+	}
+	if st1.Quarantined+st2.Quarantined == 0 {
+		t.Error("no quarantine tallied server-side")
+	}
+	if st1.Requeues+st2.Requeues == 0 {
+		t.Error("no requeue tallied server-side")
+	}
+
+	// The journal on disk carries the grid: enumeration and the poison
+	// spec's attempts survived the kill.
+	matches, err := filepath.Glob(filepath.Join(store.Dir(), "*", "grid.journal"))
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("grid journal not found under the store: %v %v", matches, err)
+	}
+	data, err := os.ReadFile(matches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"op":"enum"`) {
+		t.Error("journal holds no enumeration records")
+	}
+	if !strings.Contains(string(data), `"op":"attempt"`) {
+		t.Error("journal holds no attempt records")
+	}
+	if !strings.Contains(string(data), `"op":"quarantine"`) {
+		t.Error("journal holds no quarantine record")
+	}
+
+	experiments.SetExecutor(nil)
+	workers.Stop()
+	srv2.Close()
+	workers.Wait()
+}

@@ -1,10 +1,6 @@
 package queue
 
 import (
-	"math/rand"
-	"net"
-	"sync"
-	"sync/atomic"
 	"testing"
 	"time"
 
@@ -22,13 +18,13 @@ func crashSpecs() []experiments.JobSpec {
 	return specs
 }
 
-// TestCrashInjectionBitIdentical is the preemption-tolerance guarantee: a
-// harness severs worker connections at randomized points mid-run — the
-// wire shape of SIGKILLed workers — while WorkLoop workers reconnect and
-// the server requeues lost jobs with their latest snapshots. The merged
-// grid must still be byte-identical to an undisturbed local run, because
-// a resumed simulation is bit-identical to an uninterrupted one and a job
-// whose snapshot was lost simply restarts from zero.
+// TestCrashInjectionBitIdentical is the preemption-tolerance guarantee:
+// the chaos harness severs worker connections at seeded points mid-run —
+// the wire shape of SIGKILLed workers — while WorkLoop workers reconnect
+// and the server requeues lost jobs with their latest snapshots. The
+// merged grid must still be byte-identical to an undisturbed local run,
+// because a resumed simulation is bit-identical to an uninterrupted one
+// and a job whose snapshot was lost simply restarts from zero.
 func TestCrashInjectionBitIdentical(t *testing.T) {
 	specs := crashSpecs()
 	local, err := experiments.ExecuteJobs(2, specs)
@@ -46,15 +42,11 @@ func TestCrashInjectionBitIdentical(t *testing.T) {
 	experiments.SetCheckpointPolicy(&experiments.CheckpointPolicy{EveryCycles: 200})
 	defer experiments.SetCheckpointPolicy(nil)
 
-	// Track every worker connection as it dials, newest last.
-	var cmu sync.Mutex
-	var conns []net.Conn
-	testConnHook = func(c net.Conn) {
-		cmu.Lock()
-		conns = append(conns, c)
-		cmu.Unlock()
-	}
-	defer func() { testConnHook = nil }()
+	// Four seeded disconnects: each of the first four sessions dialed is
+	// severed after a few frames.
+	chaos := NewChaos(ChaosConfig{Seed: 7, Disconnects: 4})
+	InstallChaos(chaos)
+	defer InstallChaos(nil)
 
 	srv, err := Serve("127.0.0.1:0")
 	if err != nil {
@@ -66,33 +58,9 @@ func TestCrashInjectionBitIdentical(t *testing.T) {
 		go func() { workerDone <- WorkLoop(srv.Addr(), 2) }()
 	}
 
-	// The killer: sever the newest live connection at randomized points.
-	// Bounded kills so the run always terminates; the seed keeps the
-	// schedule reproducible.
-	r := rand.New(rand.NewSource(7))
-	stop := make(chan struct{})
-	var kills atomic.Int64
-	go func() {
-		for kills.Load() < 4 {
-			select {
-			case <-stop:
-				return
-			case <-time.After(time.Duration(10+r.Intn(40)) * time.Millisecond):
-			}
-			cmu.Lock()
-			if n := len(conns); n > 0 {
-				conns[n-1].Close()
-				conns = conns[:n-1]
-				kills.Add(1)
-			}
-			cmu.Unlock()
-		}
-	}()
-
 	experiments.SetExecutor(srv.Execute)
 	defer experiments.SetExecutor(nil)
 	remote, err := experiments.ExecuteJobs(2, specs)
-	close(stop)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,14 +69,14 @@ func TestCrashInjectionBitIdentical(t *testing.T) {
 			t.Errorf("job %d: crash-disturbed result differs from local", i)
 		}
 	}
-	if kills.Load() == 0 {
-		t.Error("harness never killed a connection")
+	if chaos.Disconnected.Load() == 0 {
+		t.Error("harness never severed a connection")
 	}
 	if _, crashed := srv.WorkerExits(); crashed == 0 {
-		t.Error("no worker exit tallied as crashed despite injected kills")
+		t.Error("no worker exit tallied as crashed despite injected disconnects")
 	}
 
-	// Let the workers exit before the deferred hook reset.
+	// Let the workers exit before the deferred harness removal.
 	experiments.SetExecutor(nil)
 	srv.Close()
 	for i := 0; i < 2; i++ {
